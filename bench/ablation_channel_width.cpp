@@ -1,0 +1,33 @@
+// Ablation: guardbanding gain vs. channel width — justifies the W=320 ->
+// W=96 scaling of the routed experiments (DESIGN.md section 6).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taf;
+  using util::Table;
+  bench::print_header("Ablation — guardbanding gain vs channel width",
+                      "gains are a property of delay-temperature physics, not of "
+                      "routing supply, as long as the design routes");
+
+  Table t({"W", "routed", "route iters", "baseline MHz", "gain @25C"});
+  for (int w : {64, 96, 128, 192}) {
+    arch::ArchParams a = bench::bench_arch();
+    a.channel_tracks = w;
+    netlist::BenchmarkSpec spec;
+    for (const auto& s : netlist::vtr_suite()) {
+      if (s.name == "stereovision0") spec = netlist::scaled(s, bench::kSuiteScale);
+    }
+    const auto impl = core::implement(spec, a);
+    // Characterization is independent of W except for per-tile leakage
+    // counts; reuse the shared device model.
+    core::GuardbandOptions opt;
+    opt.t_amb_c = 25.0;
+    const auto r = core::guardband(*impl, bench::device_at(25.0), opt);
+    t.add_row({std::to_string(w), impl->routes.success ? "yes" : "no",
+               std::to_string(impl->routes.iterations),
+               Table::num(r.baseline_fmax_mhz, 1), Table::pct(r.gain())});
+  }
+  t.print();
+  return 0;
+}

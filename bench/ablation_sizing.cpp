@@ -1,0 +1,31 @@
+// Ablation: COFFE sizing objective — area-weight sweep showing the
+// area/delay trade the transistor-sizing optimizer navigates, and the
+// evaluation-count cost of the coordinate descent.
+
+#include "bench_common.hpp"
+#include "coffe/path_eval.hpp"
+#include "coffe/sizing.hpp"
+
+int main() {
+  using namespace taf;
+  using util::Table;
+  bench::print_header("Ablation — transistor sizing objective sweep",
+                      "COFFE minimizes area*delay; heavier area weights shrink the "
+                      "fabric at a delay cost");
+
+  const auto tech = tech::ptm22();
+  Table t({"Resource", "area weight", "delay (ps)", "area (um2)", "evals"});
+  for (coffe::ResourceKind k :
+       {coffe::ResourceKind::SbMux, coffe::ResourceKind::Lut, coffe::ResourceKind::Dsp}) {
+    for (double w : {0.25, 1.0, 3.0}) {
+      coffe::SizingOptions opt;
+      opt.t_opt_c = 25.0;
+      opt.area_weight = w;
+      const auto r = coffe::size_path(coffe::spec_for(k, bench::bench_arch()), tech, opt);
+      t.add_row({coffe::resource_name(k), Table::num(w, 2), Table::num(r.delay_ps, 1),
+                 Table::num(r.area_um2, 1), std::to_string(r.evaluations)});
+    }
+  }
+  t.print();
+  return 0;
+}

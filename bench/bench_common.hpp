@@ -1,0 +1,67 @@
+#pragma once
+// Shared helpers for the reproduction benches: every bench binary prints
+// the rows/series of one table or figure from the paper (DESIGN.md maps
+// experiment ids to binaries).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "util/table.hpp"
+
+namespace taf::bench {
+
+/// Benchmark scale used by the routed experiments (DESIGN.md section 6).
+inline constexpr double kSuiteScale = 1.0 / 16.0;
+
+inline const arch::ArchParams& bench_arch() {
+  static const arch::ArchParams a = arch::scaled_arch();
+  return a;
+}
+
+inline const coffe::Characterizer& characterizer() {
+  static const coffe::Characterizer ch(tech::ptm22(), bench_arch());
+  return ch;
+}
+
+/// Characterized device cache (sizing + sweep is deterministic). Entries
+/// are heap-pinned so returned references survive later insertions.
+inline const coffe::DeviceModel& device_at(double t_opt_c) {
+  static std::vector<std::unique_ptr<coffe::DeviceModel>> cache;
+  for (const auto& d : cache) {
+    if (d->t_opt_c == t_opt_c) return *d;
+  }
+  cache.push_back(
+      std::make_unique<coffe::DeviceModel>(characterizer().characterize(t_opt_c)));
+  return *cache.back();
+}
+
+/// Implemented (packed/placed/routed) benchmark cache keyed by name.
+inline const core::Implementation& implementation_of(const std::string& name,
+                                                     double scale = kSuiteScale) {
+  struct Entry {
+    std::string key;
+    std::unique_ptr<core::Implementation> impl;
+  };
+  static std::vector<Entry> cache;
+  const std::string key = name + "@" + std::to_string(scale);
+  for (const auto& e : cache) {
+    if (e.key == key) return *e.impl;
+  }
+  for (const auto& spec : netlist::vtr_suite()) {
+    if (spec.name != name) continue;
+    cache.push_back({key, core::implement(netlist::scaled(spec, scale), bench_arch())});
+    return *cache.back().impl;
+  }
+  std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+  std::abort();
+}
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("paper: %s\n\n", paper_claim);
+}
+
+}  // namespace taf::bench

@@ -1,0 +1,50 @@
+// Related-work comparison (paper Section II): online slack-measurement /
+// sensor-based DVFS (Levine'14, Zhao'16) adapts frequency to a measured
+// chip temperature but (a) needs a sensor-error margin and (b) assumes a
+// single uniform temperature, so it must track the on-chip *peak*. The
+// paper's offline thermal-aware guardbanding prices every tile at its own
+// converged temperature. This bench quantifies the gap on our flow.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taf;
+  using util::Table;
+  bench::print_header(
+      "Comparison — sensor-based online DVFS vs thermal-aware guardbanding",
+      "online schemes need sensor margin and assume uniform temperature "
+      "(paper Section II); offline per-tile timing recovers both losses");
+
+  const auto& dev = bench::device_at(25.0);
+  const double sensor_margin_c = 5.0;  // RO-sensor inaccuracy + placement offset
+
+  Table t({"Benchmark", "worst-case MHz", "online DVFS MHz", "thermal-aware MHz",
+           "DVFS gain", "paper-flow gain"});
+  std::vector<double> dvfs_gains, ours_gains;
+  for (const char* name :
+       {"sha", "or1200", "blob_merge", "stereovision0", "LU8PEEng", "mcml"}) {
+    const auto& impl = bench::implementation_of(name);
+    core::GuardbandOptions opt;
+    opt.t_amb_c = 25.0;
+    const auto r = core::guardband(impl, dev, opt);
+
+    // Online DVFS: clock for a uniform temperature equal to the measured
+    // peak plus the sensor margin.
+    const double online_t = r.peak_temp_c + sensor_margin_c;
+    const double online_fmax = impl.sta->analyze_uniform(dev, online_t).fmax_mhz;
+
+    const double dvfs_gain = online_fmax / r.baseline_fmax_mhz - 1.0;
+    dvfs_gains.push_back(dvfs_gain);
+    ours_gains.push_back(r.gain());
+    t.add_row({name, Table::num(r.baseline_fmax_mhz, 1), Table::num(online_fmax, 1),
+               Table::num(r.fmax_mhz, 1), Table::pct(dvfs_gain), Table::pct(r.gain())});
+  }
+  t.add_row({"average", "", "", "", Table::pct(util::mean_of(dvfs_gains)),
+             Table::pct(util::mean_of(ours_gains))});
+  t.print();
+  std::printf("\nThe thermal-aware flow's edge over online DVFS comes from (a) no\n"
+              "sensor margin (%.0f C here) and (b) per-tile instead of peak-uniform\n"
+              "timing; both are the distinctions the paper claims in Section II.\n",
+              sensor_margin_c);
+  return 0;
+}

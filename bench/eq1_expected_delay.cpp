@@ -1,0 +1,31 @@
+// Eq. (1): expected CP delay of each device grade over uniform field
+// temperature ranges, and the grade Eq. (1) selects — the paper's
+// argument that no single device is omnipotent.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taf;
+  using util::Table;
+  bench::print_header("Eq. (1) — expected delay over field temperature ranges",
+                      "the optimal design corner follows the field range; no single "
+                      "device dominates everywhere");
+
+  std::vector<coffe::DeviceModel> devices;
+  for (double t : {0.0, 25.0, 70.0, 100.0}) devices.push_back(bench::device_at(t));
+
+  Table t({"Field range (C)", "E[d] D0", "E[d] D25", "E[d] D70", "E[d] D100",
+           "selected grade"});
+  const std::pair<double, double> ranges[] = {{0, 20},  {0, 100}, {20, 65},
+                                              {40, 80}, {60, 100}, {80, 100}};
+  for (const auto& [lo, hi] : ranges) {
+    std::vector<std::string> row;
+    row.push_back(Table::num(lo, 0) + ".." + Table::num(hi, 0));
+    for (const auto& d : devices) row.push_back(Table::num(d.expected_cp_delay_ps(lo, hi), 1));
+    const int sel = core::select_grade(devices, lo, hi);
+    row.push_back(devices[static_cast<std::size_t>(sel)].name);
+    t.add_row(std::move(row));
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 1: delay increase vs. temperature for the representative soft
+// critical path (CP), BRAM, and DSP of the 25C device.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taf;
+  using util::Table;
+  bench::print_header("Fig. 1 — impact of temperature on resource delay",
+                      "at 100C: CP up to ~47%, DSP up to ~84% over the 0C delay; "
+                      "LUT rises faster than SB (69% vs 39%)");
+
+  const auto& dev = bench::device_at(25.0);
+  const double cp0 = dev.rep_cp_delay_ps(0.0);
+  const double bram0 = dev.delay_ps(coffe::ResourceKind::Bram, 0.0);
+  const double dsp0 = dev.delay_ps(coffe::ResourceKind::Dsp, 0.0);
+  const double lut0 = dev.delay_ps(coffe::ResourceKind::Lut, 0.0);
+  const double sb0 = dev.delay_ps(coffe::ResourceKind::SbMux, 0.0);
+
+  Table t({"T (C)", "CP increase", "BRAM increase", "DSP increase", "LUT increase",
+           "SBmux increase"});
+  for (int temp = 0; temp <= 100; temp += 10) {
+    t.add_row({std::to_string(temp),
+               Table::pct(dev.rep_cp_delay_ps(temp) / cp0 - 1.0),
+               Table::pct(dev.delay_ps(coffe::ResourceKind::Bram, temp) / bram0 - 1.0),
+               Table::pct(dev.delay_ps(coffe::ResourceKind::Dsp, temp) / dsp0 - 1.0),
+               Table::pct(dev.delay_ps(coffe::ResourceKind::Lut, temp) / lut0 - 1.0),
+               Table::pct(dev.delay_ps(coffe::ResourceKind::SbMux, temp) / sb0 - 1.0)});
+  }
+  t.print();
+  return 0;
+}

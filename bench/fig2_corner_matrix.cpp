@@ -1,0 +1,39 @@
+// Fig. 2: normalized delay of devices optimized for 0/25/100C, evaluated
+// at 0/25/100C, for the soft CP, BRAM and DSP.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taf;
+  using util::Table;
+  bench::print_header(
+      "Fig. 2 — delay of differently optimized fabrics at different temperatures",
+      "each chunk normalized to its minimum; BRAM spread up to 1.35x at 0C "
+      "(D100 vs D0) and 1.19x at 100C (D0 vs D100); D25 near-optimal in between");
+
+  const coffe::DeviceModel* devs[3] = {&bench::device_at(0.0), &bench::device_at(25.0),
+                                       &bench::device_at(100.0)};
+
+  Table t({"T (C)", "Component", "D0", "D25", "D100"});
+  for (double temp : {0.0, 25.0, 100.0}) {
+    struct Row {
+      const char* name;
+      double v[3];
+    };
+    Row rows[3] = {{"CP", {}}, {"BRAM", {}}, {"DSP", {}}};
+    for (int d = 0; d < 3; ++d) {
+      rows[0].v[d] = devs[d]->rep_cp_delay_ps(temp);
+      rows[1].v[d] = devs[d]->delay_ps(coffe::ResourceKind::Bram, temp);
+      rows[2].v[d] = devs[d]->delay_ps(coffe::ResourceKind::Dsp, temp);
+    }
+    for (const Row& r : rows) {
+      const double mn = std::min({r.v[0], r.v[1], r.v[2]});
+      t.add_row({Table::num(temp, 0), r.name, Table::num(r.v[0] / mn, 3),
+                 Table::num(r.v[1] / mn, 3), Table::num(r.v[2] / mn, 3)});
+    }
+  }
+  t.print();
+  return 0;
+}

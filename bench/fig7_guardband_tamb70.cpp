@@ -1,0 +1,27 @@
+// Fig. 7: per-benchmark guardbanding gain at ambient 70C.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taf;
+  using util::Table;
+  bench::print_header(
+      "Fig. 7 — thermal-aware guardbanding gain at Tamb = 70C",
+      "less headroom before the worst-case corner: average ~14%");
+
+  const auto& dev = bench::device_at(25.0);
+  Table t({"Benchmark", "baseline MHz", "thermal-aware MHz", "gain", "peak T (C)"});
+  std::vector<double> gains;
+  for (const auto& spec : netlist::vtr_suite()) {
+    const auto& impl = bench::implementation_of(spec.name);
+    core::GuardbandOptions opt;
+    opt.t_amb_c = 70.0;
+    const auto r = core::guardband(impl, dev, opt);
+    gains.push_back(r.gain());
+    t.add_row({spec.name, Table::num(r.baseline_fmax_mhz, 1), Table::num(r.fmax_mhz, 1),
+               Table::pct(r.gain()), Table::num(r.peak_temp_c, 2)});
+  }
+  t.add_row({"average", "", "", Table::pct(util::mean_of(gains)), ""});
+  t.print();
+  return 0;
+}

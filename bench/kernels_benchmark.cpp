@@ -1,0 +1,68 @@
+// google-benchmark microbenchmarks of the flow's computational kernels:
+// SPICE transient, Elmore evaluation, thermal solve, STA, and routing.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "coffe/path_eval.hpp"
+#include "spice/solver.hpp"
+#include "thermal/thermal_grid.hpp"
+
+namespace {
+
+using namespace taf;
+
+void BM_ElmoreDelay(benchmark::State& state) {
+  const auto tech = tech::ptm22();
+  const auto spec = coffe::lut_spec(bench::bench_arch());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coffe::elmore_delay_ps(spec, tech, 45.0));
+  }
+}
+BENCHMARK(BM_ElmoreDelay);
+
+void BM_SpiceTransientLut(benchmark::State& state) {
+  const auto tech = tech::ptm22();
+  const auto spec = coffe::lut_spec(bench::bench_arch());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coffe::spice_delay_ps(spec, tech, 45.0));
+  }
+}
+BENCHMARK(BM_SpiceTransientLut)->Unit(benchmark::kMillisecond);
+
+void BM_ThermalSolve(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const arch::FpgaGrid grid(n, n);
+  const thermal::ThermalGrid tg(grid, {});
+  std::vector<double> p(static_cast<std::size_t>(n) * n, 1e-4);
+  p[static_cast<std::size_t>(n * n / 2)] = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg.solve(p));
+  }
+}
+BENCHMARK(BM_ThermalSolve)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_ThermalAwareSta(benchmark::State& state) {
+  const auto& impl = bench::implementation_of("sha");
+  const auto& dev = bench::device_at(25.0);
+  std::vector<double> temps(static_cast<std::size_t>(impl.grid.num_tiles()), 40.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(impl.sta->analyze(dev, temps));
+  }
+}
+BENCHMARK(BM_ThermalAwareSta)->Unit(benchmark::kMillisecond);
+
+void BM_GuardbandFlow(benchmark::State& state) {
+  const auto& impl = bench::implementation_of("sha");
+  const auto& dev = bench::device_at(25.0);
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 25.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::guardband(impl, dev, opt));
+  }
+}
+BENCHMARK(BM_GuardbandFlow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Table I: architectural parameters used in COFFE.
+
+#include "bench_common.hpp"
+
+int main() {
+  using taf::util::Table;
+  taf::bench::print_header("Table I — architectural parameters",
+                           "K=6, N=10, W=320, L=4, SBmux 12, CBmux 64, localmux 25, "
+                           "Vdd 0.8V / 0.95V, I=40, BRAM 1024x32");
+
+  const auto paper = taf::arch::paper_arch();
+  const auto routed = taf::bench::bench_arch();
+
+  Table t({"Parameter", "Paper value", "Routed-experiment value"});
+  auto row = [&](const char* name, int pv, int rv) {
+    t.add_row({name, std::to_string(pv), std::to_string(rv)});
+  };
+  row("K (LUT inputs)", paper.lut_k, routed.lut_k);
+  row("N (BLEs per cluster)", paper.cluster_n, routed.cluster_n);
+  row("Channel tracks (W)", paper.channel_tracks, routed.channel_tracks);
+  row("Wire segment length (L)", paper.wire_segment_length, routed.wire_segment_length);
+  row("Cluster global inputs (I)", paper.cluster_inputs, routed.cluster_inputs);
+  row("SB mux size", paper.sb_mux_size, routed.sb_mux_size);
+  row("CB mux size", paper.cb_mux_size, routed.cb_mux_size);
+  row("Local mux size", paper.local_mux_size, routed.local_mux_size);
+  t.add_row({"Vdd / Vdd low-power", "0.8V / 0.95V",
+             Table::num(routed.vdd, 2) + "V / " + Table::num(routed.vdd_low_power, 2) + "V"});
+  t.add_row({"BRAM", "1024 x 32 bit",
+             std::to_string(routed.bram_words) + " x " + std::to_string(routed.bram_width) +
+                 " bit"});
+  t.print();
+  std::printf("\nNote: W is reduced 320 -> %d for the routed experiments "
+              "(DESIGN.md section 6); the ablation_channel_width bench shows the\n"
+              "guardbanding gains are insensitive to this.\n",
+              routed.channel_tracks);
+  return 0;
+}

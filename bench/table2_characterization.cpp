@@ -1,0 +1,43 @@
+// Table II: area, delay(T), dynamic power and leakage(T) of every
+// resource of the 25C-optimized device, paper vs. measured.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taf;
+  using util::Table;
+  bench::print_header(
+      "Table II — resource characterization of the 25C device",
+      "e.g. SBmux: 2.8um^2 | 166+0.67T ps | 5.74uW | 0.28e^{0.014T} uW");
+
+  const auto& ours = bench::device_at(25.0);
+  const auto paper = coffe::Characterizer::paper_table2_reference();
+
+  Table t({"Resource", "Area um2 (paper)", "Delay ps (paper)", "Pdyn uW (paper)",
+           "Plkg uW (paper)"});
+  for (coffe::ResourceKind k : coffe::all_resource_kinds()) {
+    const auto& m = ours.at(k);
+    const auto& p = paper.at(k);
+    char delay[96], lkg[96], area[64], pdyn[64];
+    std::snprintf(area, sizeof area, "%.1f (%.1f)", m.area_um2, p.area_um2);
+    std::snprintf(delay, sizeof delay, "%.0f + %.2f T (%.0f + %.2f T)",
+                  m.delay_ps.intercept, m.delay_ps.slope, p.delay_ps.intercept,
+                  p.delay_ps.slope);
+    std::snprintf(pdyn, sizeof pdyn, "%.2f (%.2f)", m.pdyn_uw_100mhz, p.pdyn_uw_100mhz);
+    std::snprintf(lkg, sizeof lkg, "%.2f e^{%.4f T} (%.2f e^{%.4f T})", m.plkg_uw.scale,
+                  m.plkg_uw.rate, p.plkg_uw.scale, p.plkg_uw.rate);
+    t.add_row({coffe::resource_name(k), area, delay, pdyn, lkg});
+  }
+  t.print();
+  std::printf(
+      "\nDynamic power at 100 MHz, alpha = 1. Values at 25C are calibrated to the\n"
+      "paper (DESIGN.md section 5); slopes/rates are produced by the physical\n"
+      "models. Delay fit r^2 >= %.3f across resources.\n",
+      [&] {
+        double worst = 1.0;
+        for (coffe::ResourceKind k : coffe::all_resource_kinds())
+          worst = std::min(worst, ours.at(k).delay_ps.r2);
+        return worst;
+      }());
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Validation: the DSP characterized through the full liberty flow
+// (SPICE-characterized std-cell libraries per temperature + gate-level
+// STA over the synthesized MAC path — the paper's Fig. 5b pipeline)
+// against the Table II DSP fit used by the main flow.
+
+#include "bench_common.hpp"
+#include "coffe/stdcell.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace taf;
+  using util::Table;
+  bench::print_header(
+      "Validation — DSP via per-temperature liberty libraries",
+      "SiliconSmart-style flow: characterize cells at each T, sweep the "
+      "libraries over the synthesized MAC; shape must match Table II's "
+      "547 + 4.42 T (+81% over 0..100C)");
+
+  const auto tech = tech::ptm22();
+  const auto path = coffe::stdcell::synthesize_mac(tech, 25.0);
+
+  std::vector<double> temps, delays;
+  Table t({"T (C)", "liberty STA (ps)", "normalized", "Table II fit (normalized)"});
+  const auto& dsp_fit = bench::device_at(25.0).at(coffe::ResourceKind::Dsp).delay_ps;
+  double base = 0.0;
+  for (double temp = 0.0; temp <= 100.0; temp += 10.0) {
+    const auto lib = coffe::stdcell::characterize_library(tech, temp);
+    const double d = coffe::stdcell::sta_path_delay_ps(path, lib);
+    if (temp == 0.0) base = d;
+    temps.push_back(temp);
+    delays.push_back(d);
+    t.add_row({Table::num(temp, 0), Table::num(d, 1), Table::num(d / base, 3),
+               Table::num(dsp_fit(temp) / dsp_fit(0.0), 3)});
+  }
+  t.print();
+
+  const auto fit = util::fit_linear(temps, delays);
+  std::printf("\nliberty-flow fit: %.1f + %.3f T ps (r^2 %.4f); "
+              "0->100C increase %.1f%% (Table II row implies %.1f%%)\n",
+              fit.intercept, fit.slope, fit.r2, (delays.back() / base - 1.0) * 100.0,
+              (dsp_fit(100.0) / dsp_fit(0.0) - 1.0) * 100.0);
+  return 0;
+}

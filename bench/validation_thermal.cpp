@@ -1,0 +1,41 @@
+// Section IV-A validation: the thermal stack reproduces the paper's
+// cross-check against the Xilinx Power Estimator,
+//   dT ~= 0.7 * p_design / p_base,
+// where p_base is the device base (leakage) power.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taf;
+  using util::Table;
+  bench::print_header("Thermal cross-validation — dT vs 0.7 * p_design/p_base",
+                      "temperature sensitivity to power density matches the XPE "
+                      "spreadsheet rule of thumb");
+
+  const auto& dev = bench::device_at(25.0);
+  Table t({"Benchmark", "p_design (W)", "p_base (W)", "mean dT (C)",
+           "0.7 p/pbase", "ratio"});
+  for (const char* name : {"sha", "or1200", "stereovision0", "blob_merge",
+                           "LU8PEEng", "mcml"}) {
+    const auto& impl = bench::implementation_of(name);
+    core::GuardbandOptions opt;
+    opt.t_amb_c = 25.0;
+    const auto r = core::guardband(impl, dev, opt);
+    // Base power: the unconfigured device's leakage at ambient.
+    double p_base = 0.0;
+    for (int y = 0; y < impl.grid.height(); ++y) {
+      for (int x = 0; x < impl.grid.width(); ++x) {
+        p_base += 1e-6 * power::tile_leakage_uw(dev, impl.grid.at(x, y), impl.arch, 25.0);
+      }
+    }
+    const double p_design = r.power.total_w();
+    const double dt = r.mean_temp_c - 25.0;
+    const double predicted = 0.7 * p_design / p_base;
+    t.add_row({name, Table::num(p_design, 3), Table::num(p_base, 3), Table::num(dt, 2),
+               Table::num(predicted, 2),
+               Table::num(predicted > 0 ? dt / predicted : 0.0, 2)});
+  }
+  t.print();
+  std::printf("\nA ratio near 1.0 reproduces the paper's calibration point.\n");
+  return 0;
+}

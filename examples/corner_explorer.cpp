@@ -1,0 +1,66 @@
+// Corner explorer: synthesize devices for a sweep of design temperatures
+// and map out where each one wins — the design-space view behind the
+// paper's thermal-aware architecture proposal (Section III-C).
+//
+//   $ ./corner_explorer
+
+#include <cstdio>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace taf;
+  using util::Table;
+
+  const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
+  std::vector<coffe::DeviceModel> devices;
+  for (double t : {0.0, 20.0, 40.0, 60.0, 80.0, 100.0}) {
+    devices.push_back(ch.characterize(t));
+    std::printf("synthesized %s (CP %.1f ps at its corner)\n", devices.back().name.c_str(),
+                devices.back().rep_cp_delay_ps(t));
+  }
+
+  // Winner map: which device has the lowest CP delay at each temperature.
+  std::printf("\nwinner per operating temperature:\n");
+  Table t({"T (C)", "best device", "CP (ps)", "2nd best", "margin"});
+  for (int temp = 0; temp <= 100; temp += 5) {
+    int best = 0, second = -1;
+    for (int d = 1; d < static_cast<int>(devices.size()); ++d) {
+      const double v = devices[static_cast<std::size_t>(d)].rep_cp_delay_ps(temp);
+      if (v < devices[static_cast<std::size_t>(best)].rep_cp_delay_ps(temp)) {
+        second = best;
+        best = d;
+      } else if (second < 0 ||
+                 v < devices[static_cast<std::size_t>(second)].rep_cp_delay_ps(temp)) {
+        second = d;
+      }
+    }
+    const double vb = devices[static_cast<std::size_t>(best)].rep_cp_delay_ps(temp);
+    const double vs = devices[static_cast<std::size_t>(second)].rep_cp_delay_ps(temp);
+    t.add_row({std::to_string(temp), devices[static_cast<std::size_t>(best)].name,
+               Table::num(vb, 1), devices[static_cast<std::size_t>(second)].name,
+               Table::pct(vs / vb - 1.0, 2)});
+  }
+  t.print();
+
+  // Expected-delay ranking over a few field profiles (Eq. 1).
+  std::printf("\nEq. (1) grade recommendation per field profile:\n");
+  Table t2({"Field", "range (C)", "recommended grade"});
+  const struct {
+    const char* name;
+    double lo, hi;
+  } fields[] = {{"climate-controlled office", 15, 35},
+                {"telecom cabinet", 0, 70},
+                {"datacenter accelerator", 60, 100},
+                {"automotive underhood", 40, 100},
+                {"full industrial range", 0, 100}};
+  for (const auto& f : fields) {
+    const int pick = core::select_grade(devices, f.lo, f.hi);
+    t2.add_row({f.name, Table::num(f.lo, 0) + ".." + Table::num(f.hi, 0),
+                devices[static_cast<std::size_t>(pick)].name});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: characterize a device, implement a benchmark, and compare
+// thermal-aware guardbanding against the conventional worst-case margin.
+//
+//   $ ./quickstart [benchmark-name]
+//
+// This walks the full public API surface in ~40 lines of user code:
+//   1. tech/arch      — pick a technology and architecture
+//   2. Characterizer  — fabrication-stage characterization (Table II)
+//   3. implement()    — pack / place / route / activity (the VPR role)
+//   4. guardband()    — Algorithm 1, vs the 100C worst-case baseline
+
+#include <cstdio>
+#include <string>
+
+#include "core/flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taf;
+  const std::string name = argc > 1 ? argv[1] : "sha";
+
+  // 1. Technology and architecture (Table I, reduced channel width).
+  const tech::Technology technology = tech::ptm22();
+  const arch::ArchParams fabric = arch::scaled_arch();
+
+  // 2. Characterize the device for the typical 25C corner.
+  const coffe::Characterizer characterizer(technology, fabric);
+  const coffe::DeviceModel device = characterizer.characterize(25.0);
+  std::printf("device %s: LUT delay %.0f + %.2f*T ps, leakage %.2f uW @25C\n",
+              device.name.c_str(), device.at(coffe::ResourceKind::Lut).delay_ps.intercept,
+              device.at(coffe::ResourceKind::Lut).delay_ps.slope,
+              device.leakage_uw(coffe::ResourceKind::Lut, 25.0));
+
+  // 3. Implement a benchmark (1/16-scale VTR circuit).
+  netlist::BenchmarkSpec spec;
+  bool found = false;
+  for (const auto& s : netlist::vtr_suite()) {
+    if (s.name == name) {
+      spec = netlist::scaled(s, 1.0 / 16.0);
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+    return 1;
+  }
+  const auto impl = core::implement(spec, fabric);
+  std::printf("%s: %d LUTs -> %dx%d grid, routed in %d iterations (%s)\n",
+              spec.name.c_str(), spec.num_luts, impl->grid.width(), impl->grid.height(),
+              impl->routes.iterations, impl->routes.success ? "clean" : "CONGESTED");
+
+  // 4. Thermal-aware guardbanding vs the worst-case corner.
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 25.0;
+  const core::GuardbandResult r = core::guardband(*impl, device, opt);
+  std::printf("\nworst-case (100C) guardband : %7.1f MHz\n", r.baseline_fmax_mhz);
+  std::printf("thermal-aware guardband     : %7.1f MHz  (+%.1f%%)\n", r.fmax_mhz,
+              r.gain() * 100.0);
+  std::printf("converged in %d iteration(s); die peak %.2f C (ambient %.0f C)\n",
+              r.iterations, r.peak_temp_c, opt.t_amb_c);
+  std::printf("power: %.1f mW dynamic + %.1f mW leakage\n", r.power.dynamic_w * 1e3,
+              r.power.leakage_w * 1e3);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Thermal profile viewer: run Algorithm 1 on a benchmark and render the
+// converged on-chip temperature map as an ASCII heat map, plus the
+// per-iteration convergence trace the paper describes.
+//
+//   $ ./thermal_profile [benchmark-name] [ambient-C]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/flow.hpp"
+#include "thermal/thermal_grid.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taf;
+  const std::string name = argc > 1 ? argv[1] : "mcml";
+  const double t_amb = argc > 2 ? std::atof(argv[2]) : 25.0;
+
+  const arch::ArchParams fabric = arch::scaled_arch();
+  const coffe::Characterizer ch(tech::ptm22(), fabric);
+  const coffe::DeviceModel dev = ch.characterize(25.0);
+
+  netlist::BenchmarkSpec spec;
+  bool found = false;
+  for (const auto& s : netlist::vtr_suite()) {
+    if (s.name == name) {
+      spec = netlist::scaled(s, 1.0 / 16.0);
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+    return 1;
+  }
+  const auto impl = core::implement(spec, fabric);
+
+  // Run Algorithm 1 with a tight threshold to show the convergence trace.
+  core::GuardbandOptions opt;
+  opt.t_amb_c = t_amb;
+  opt.delta_t_c = 0.05;
+  opt.max_iterations = 10;
+  const auto r = core::guardband(*impl, dev, opt);
+
+  std::printf("%s at Tamb=%.0fC: fmax %.1f MHz (baseline %.1f), %d iterations\n",
+              spec.name.c_str(), t_amb, r.fmax_mhz, r.baseline_fmax_mhz, r.iterations);
+  std::printf("temperature: mean %.2f C, peak %.2f C (rise %.2f C)\n\n", r.mean_temp_c,
+              r.peak_temp_c, r.peak_temp_c - t_amb);
+
+  std::printf("converged thermal map (%dx%d tiles; '@' = hottest):\n", impl->grid.width(),
+              impl->grid.height());
+  std::fputs(thermal::ThermalGrid::ascii_heatmap(r.tile_temp_c, impl->grid.width(),
+                                                 impl->grid.height())
+                 .c_str(),
+             stdout);
+
+  // Hottest tiles and what sits on them.
+  std::vector<int> by_temp(static_cast<std::size_t>(impl->grid.num_tiles()));
+  for (int i = 0; i < impl->grid.num_tiles(); ++i) by_temp[static_cast<std::size_t>(i)] = i;
+  std::partial_sort(by_temp.begin(), by_temp.begin() + 3, by_temp.end(),
+                    [&](int a, int b) {
+                      return r.tile_temp_c[static_cast<std::size_t>(a)] >
+                             r.tile_temp_c[static_cast<std::size_t>(b)];
+                    });
+  std::printf("\nhottest tiles:\n");
+  for (int rank = 0; rank < 3; ++rank) {
+    const int i = by_temp[static_cast<std::size_t>(rank)];
+    const arch::TilePos p = impl->grid.pos_of(i);
+    std::printf("  (%2d,%2d) %-4s tile at %.2f C\n", p.x, p.y,
+                arch::tile_kind_name(impl->grid.at(p)),
+                r.tile_temp_c[static_cast<std::size_t>(i)]);
+  }
+  return 0;
+}

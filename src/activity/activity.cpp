@@ -1,0 +1,115 @@
+#include "activity/activity.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace taf::activity {
+
+namespace {
+
+using netlist::kNoNet;
+using netlist::Netlist;
+using netlist::NetId;
+using netlist::PrimKind;
+using netlist::Primitive;
+
+/// Exact LUT output probability under input independence: sum the
+/// probability mass of the onset minterms.
+double lut_prob(const Primitive& lut, const std::vector<SignalStats>& stats) {
+  const int k = static_cast<int>(lut.inputs.size());
+  const int minterms = 1 << k;
+  double p = 0.0;
+  for (int a = 0; a < minterms; ++a) {
+    if (!((lut.truth >> a) & 1ULL)) continue;
+    double m = 1.0;
+    for (int i = 0; i < k; ++i) {
+      const NetId in = lut.inputs[static_cast<std::size_t>(i)];
+      const double pi = in == kNoNet ? 0.0 : stats[static_cast<std::size_t>(in)].prob;
+      m *= ((a >> i) & 1) ? pi : (1.0 - pi);
+    }
+    p += m;
+  }
+  return p;
+}
+
+/// Probability that the Boolean difference df/dx_i is 1: over all
+/// assignments of the other inputs, the function differs in x_i.
+double boolean_difference_prob(const Primitive& lut, int var,
+                               const std::vector<SignalStats>& stats) {
+  const int k = static_cast<int>(lut.inputs.size());
+  const int minterms = 1 << k;
+  double p = 0.0;
+  for (int a = 0; a < minterms; ++a) {
+    if ((a >> var) & 1) continue;  // enumerate with x_var = 0
+    const int b = a | (1 << var);
+    const bool f0 = (lut.truth >> a) & 1ULL;
+    const bool f1 = (lut.truth >> b) & 1ULL;
+    if (f0 == f1) continue;
+    double m = 1.0;
+    for (int i = 0; i < k; ++i) {
+      if (i == var) continue;
+      const NetId in = lut.inputs[static_cast<std::size_t>(i)];
+      const double pi = in == kNoNet ? 0.0 : stats[static_cast<std::size_t>(in)].prob;
+      m *= ((a >> i) & 1) ? pi : (1.0 - pi);
+    }
+    p += m;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<SignalStats> estimate(const Netlist& nl, const ActivityOptions& opt) {
+  std::vector<SignalStats> stats(nl.nets().size());
+
+  for (netlist::PrimId id : nl.topo_order()) {
+    const Primitive& p = nl.prim(id);
+    if (p.output == kNoNet) continue;
+    SignalStats& out = stats[static_cast<std::size_t>(p.output)];
+    switch (p.kind) {
+      case PrimKind::Input:
+        out.prob = opt.input_prob;
+        out.density = opt.input_density;
+        break;
+      case PrimKind::Ff: {
+        // Lag-one filter: the FF samples its input once per cycle, so its
+        // output density is bounded by the input's temporal correlation.
+        const NetId in = p.inputs.empty() ? kNoNet : p.inputs[0];
+        const SignalStats src = in == kNoNet ? SignalStats{} : stats[static_cast<std::size_t>(in)];
+        out.prob = src.prob;
+        out.density = std::min(src.density, 2.0 * src.prob * (1.0 - src.prob));
+        break;
+      }
+      case PrimKind::Bram:
+      case PrimKind::Dsp:
+        out.prob = 0.5;
+        out.density = opt.hard_block_density;
+        break;
+      case PrimKind::Lut: {
+        out.prob = lut_prob(p, stats);
+        double d = 0.0;
+        for (int i = 0; i < static_cast<int>(p.inputs.size()); ++i) {
+          const NetId in = p.inputs[static_cast<std::size_t>(i)];
+          if (in == kNoNet) continue;
+          d += boolean_difference_prob(p, i, stats) * stats[static_cast<std::size_t>(in)].density;
+        }
+        // Transitions cannot exceed what the output value distribution
+        // supports within a clock cycle (glitch-free bound x2).
+        out.density = std::min(d, 4.0 * out.prob * (1.0 - out.prob) + 0.02);
+        break;
+      }
+      case PrimKind::Output:
+        break;  // drives no net
+    }
+  }
+  return stats;
+}
+
+double average_density(const std::vector<SignalStats>& stats) {
+  if (stats.empty()) return 0.0;
+  double s = 0.0;
+  for (const SignalStats& st : stats) s += st.density;
+  return s / static_cast<double>(stats.size());
+}
+
+}  // namespace taf::activity

@@ -1,0 +1,35 @@
+#pragma once
+// ACE-like activity estimation (Lamoureux & Wilton, FPL'06).
+//
+// Propagates static signal probabilities and transition densities through
+// the LUT network in topological order. LUT probabilities are computed
+// exactly from the truth table under the input-independence assumption;
+// transition densities use the Boolean-difference formulation
+//   D(y) = sum_i P(df/dx_i) * D(x_i).
+// Flip-flop outputs follow the lag-one filter model.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace taf::activity {
+
+struct SignalStats {
+  double prob = 0.5;     ///< static probability of logic 1
+  double density = 0.5;  ///< expected transitions per clock cycle
+};
+
+struct ActivityOptions {
+  double input_prob = 0.5;
+  double input_density = 0.5;   ///< primary inputs toggle every other cycle
+  double hard_block_density = 0.40;  ///< BRAM/DSP output activity
+};
+
+/// Per-net statistics, indexed by NetId.
+std::vector<SignalStats> estimate(const netlist::Netlist& nl,
+                                  const ActivityOptions& opt = {});
+
+/// Average switching density over all nets (the design's alpha).
+double average_density(const std::vector<SignalStats>& stats);
+
+}  // namespace taf::activity

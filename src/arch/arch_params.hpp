@@ -1,0 +1,44 @@
+#pragma once
+// Architectural parameters of the modelled island-style FPGA
+// (paper Table I, following COFFE defaults / Stratix-like devices).
+
+#include <cstdint>
+
+namespace taf::arch {
+
+struct ArchParams {
+  int lut_k = 6;              ///< LUT input count (K)
+  int cluster_n = 10;         ///< BLEs per logic cluster (N)
+  int channel_tracks = 320;   ///< routing tracks per channel (W)
+  int wire_segment_length = 4;///< tiles spanned by a routing wire (L)
+  int cluster_inputs = 40;    ///< global inputs per cluster (I)
+  int sb_mux_size = 12;       ///< switch-block mux fan-in
+  int cb_mux_size = 64;       ///< connection-block mux fan-in
+  int local_mux_size = 25;    ///< local crossbar mux fan-in
+  double vdd = 0.8;           ///< core supply [V]
+  double vdd_low_power = 0.95;///< BRAM supply [V]
+  int bram_words = 1024;      ///< BRAM depth
+  int bram_width = 32;        ///< BRAM word width [bits]
+
+  /// Soft-fabric tile edge length [um]; the paper reports a full soft tile
+  /// area of ~1196 um^2, i.e. ~34.6 um on a side.
+  double tile_edge_um = 34.6;
+
+  /// Fraction of channel tracks a routed design may use before the router
+  /// reports congestion failure (PathFinder works toward zero overuse).
+  double max_channel_utilization = 1.0;
+};
+
+/// The paper's Table I configuration.
+inline ArchParams paper_arch() { return ArchParams{}; }
+
+/// A reduced-width configuration used for the routed P&R experiments
+/// (DESIGN.md section 6 documents this scaling; the ablation bench shows
+/// guardbanding gains are insensitive to channel width).
+inline ArchParams scaled_arch() {
+  ArchParams a;
+  a.channel_tracks = 96;
+  return a;
+}
+
+}  // namespace taf::arch

@@ -1,0 +1,63 @@
+#pragma once
+// BRAM read-path model with Monte-Carlo weakest-cell leakage.
+//
+// The paper sizes the BRAM with COFFE's memory flow, which requires the
+// leakage current of the weakest SRAM cell at the target temperature
+// (obtained by Monte-Carlo over Vth variation, per Yazdanshenas FPGA'17).
+// We reproduce the same structure: the sense margin — and therefore the
+// bitline swing the read must develop — is set by the worst-case cell
+// leakage at the *design* temperature, which is why a 100C-optimized BRAM
+// differs from a 0C-optimized one far more than the soft fabric does
+// (Fig. 2: up to 1.35x).
+
+#include "arch/arch_params.hpp"
+#include "tech/technology.hpp"
+#include "util/rng.hpp"
+
+namespace taf::coffe {
+
+/// Sizable parameters of the BRAM read path (LP transistors at Vdd_lp).
+struct BramDesign {
+  double predec_w = 2.0;    ///< row pre-decoder buffer width [um]
+  double wldrv_w = 6.0;     ///< wordline driver width [um]
+  double cell_w = 0.6;      ///< cell access/pull-down width [um]
+  double sense_w = 2.0;     ///< sense buffer width [um]
+  double out_w = 3.0;       ///< output driver width [um]
+  /// Design-time bitline swing requirement [V]; fixed when the device is
+  /// synthesized for its target corner (see size_bram).
+  double swing_v = 0.12;
+  /// Keeper width chosen to fight the design-corner bitline leakage [um].
+  double keeper_w = 0.5;
+};
+
+/// Monte-Carlo estimate of the weakest (leakiest) SRAM cell's off current
+/// among the cells sharing one bitline, at `temp_c` [nA]. Vth varies
+/// N(vth0, sigma); the max leakage over `samples` draws is returned.
+/// Deterministic for a given rng seed.
+double weakest_cell_leakage_na(const tech::Technology& tech, const arch::ArchParams& a,
+                               double temp_c, util::Rng& rng, int samples = 2000);
+
+/// Read-path delay of the design at operating temperature [ps]:
+/// decode + wordline RC + bitline discharge (swing / cell current, fought
+/// by keeper and actual leakage) + sense and output buffering.
+double bram_delay_ps(const BramDesign& d, const tech::Technology& tech,
+                     const arch::ArchParams& a, double temp_c);
+
+/// Area of the BRAM macro [um^2] (cell array dominated).
+double bram_area_um2(const BramDesign& d, const arch::ArchParams& a);
+
+/// Leakage power of the macro at temperature [uW].
+double bram_leakage_uw(const BramDesign& d, const tech::Technology& tech,
+                       const arch::ArchParams& a, double temp_c);
+
+/// Switched capacitance of one read access [fF].
+double bram_switched_cap_ff(const BramDesign& d, const tech::Technology& tech,
+                            const arch::ArchParams& a);
+
+/// Size the BRAM for a target junction temperature: fixes the swing and
+/// keeper from the design-corner weakest-cell leakage, then coordinate-
+/// descends the buffer/cell widths on an area-delay objective at t_opt_c.
+BramDesign size_bram(const tech::Technology& tech, const arch::ArchParams& a,
+                     double t_opt_c, unsigned rng_seed = 17);
+
+}  // namespace taf::coffe

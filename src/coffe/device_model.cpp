@@ -1,0 +1,200 @@
+#include "coffe/device_model.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "coffe/path_eval.hpp"
+#include "coffe/sizing.hpp"
+#include "util/log.hpp"
+
+namespace taf::coffe {
+
+namespace {
+
+/// Corner-mismatch envelope. COFFE's real design space includes buffer
+/// topology and per-stage Vth selection, which shift with the target
+/// temperature; our continuous width sizing resolves only part of that
+/// (the keeper mechanism in path_eval). The remainder is modelled as a
+/// saturating penalty in |T_run - T_opt|, calibrated against Fig. 2/3:
+/// soft fabric ~4.5% across the full range (paper: 6.3-9.0% for the CP),
+/// DSP "similar trend with less intensity". Being symmetric around the
+/// design corner, the term leaves the D25 Table II slopes essentially
+/// untouched. BRAM is excluded: its sense-margin model captures the
+/// (much larger) corner dependence physically.
+double corner_mismatch(ResourceKind k, double t_run_c, double t_opt_c) {
+  double scale = 0.0;
+  if (k == ResourceKind::Dsp) {
+    scale = 0.055;
+  } else if (k != ResourceKind::Bram) {
+    scale = 0.050;
+  }
+  const double dt = std::fabs(t_run_c - t_opt_c);
+  return 1.0 + scale * (1.0 - std::exp(-dt / 45.0));
+}
+
+/// Paper Table II targets at the 25C reference device.
+struct Table2Row {
+  double area_um2;
+  double delay_intercept_ps;
+  double delay_slope_ps;
+  double pdyn_uw;
+  double lkg_scale_uw;
+  double lkg_rate;
+};
+
+Table2Row table2_row(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::SbMux: return {2.8, 166.0, 0.67, 5.74, 0.28, 0.014};
+    case ResourceKind::CbMux: return {5.7, 112.0, 0.70, 0.64, 0.26, 0.014};
+    case ResourceKind::LocalMux: return {1.2, 65.0, 0.35, 0.15, 0.06, 0.015};
+    case ResourceKind::FeedbackMux: return {0.9, 100.0, 0.54, 0.63, 0.23, 0.014};
+    case ResourceKind::OutputMux: return {0.6, 31.0, 0.17, 0.30, 0.24, 0.014};
+    case ResourceKind::Lut: return {33.0, 163.0, 1.40, 1.60, 2.50, 0.015};
+    // BRAM leakage in the paper is the quadratic 6.2 + (T/70)^2; the
+    // exponential below matches it at 25C with the same 0..100C growth.
+    case ResourceKind::Bram: return {7811.0, 902.0, 6.74, 6.85, 6.33, 0.0036};
+    case ResourceKind::Dsp: return {5338.0, 547.0, 4.42, 879.0, 24.4, 0.010};
+  }
+  return {};
+}
+
+double table2_delay_at(ResourceKind k, double temp_c) {
+  const Table2Row r = table2_row(k);
+  return r.delay_intercept_ps + r.delay_slope_ps * temp_c;
+}
+
+}  // namespace
+
+double DeviceModel::rep_cp_delay_ps(double temp_c) const {
+  double d = 0.0;
+  for (ResourceKind k : soft_resource_kinds()) d += cp_weight(k) * delay_ps(k, temp_c);
+  return d;
+}
+
+double DeviceModel::expected_cp_delay_ps(double t_min_c, double t_max_c) const {
+  assert(t_max_c > t_min_c);
+  // The per-resource delay fits are linear in T, so the expectation over a
+  // uniform temperature distribution is the delay at the midpoint; the
+  // explicit integral is kept for clarity and for non-linear future fits.
+  const int n = 50;
+  std::vector<double> xs, ys;
+  xs.reserve(n + 1);
+  ys.reserve(n + 1);
+  for (int i = 0; i <= n; ++i) {
+    const double t = t_min_c + (t_max_c - t_min_c) * i / n;
+    xs.push_back(t);
+    ys.push_back(rep_cp_delay_ps(t));
+  }
+  return util::integrate_trapezoid(xs, ys) / (t_max_c - t_min_c);
+}
+
+DeviceModel Characterizer::paper_table2_reference() {
+  DeviceModel d;
+  d.name = "paper-D25";
+  d.t_opt_c = 25.0;
+  for (ResourceKind k : all_resource_kinds()) {
+    const Table2Row r = table2_row(k);
+    ResourceChar& rc = d.res[static_cast<std::size_t>(k)];
+    rc.area_um2 = r.area_um2;
+    rc.delay_ps.intercept = r.delay_intercept_ps;
+    rc.delay_ps.slope = r.delay_slope_ps;
+    rc.delay_ps.r2 = 1.0;
+    rc.pdyn_uw_100mhz = r.pdyn_uw;
+    rc.plkg_uw.scale = r.lkg_scale_uw * std::exp(-r.lkg_rate * 0.0);
+    rc.plkg_uw.rate = r.lkg_rate;
+    rc.plkg_uw.r2 = 1.0;
+  }
+  return d;
+}
+
+double Characterizer::raw_delay(const PathSpec& spec, double temp_c, bool spice) const {
+  return spice ? spice_delay_ps(spec, tech_, temp_c) : elmore_delay_ps(spec, tech_, temp_c);
+}
+
+Characterizer::Characterizer(tech::Technology technology, arch::ArchParams arch,
+                             CharacterizeOptions options)
+    : tech_(std::move(technology)), arch_(arch), opt_(options) {
+  // Build the 25C reference sizing and derive calibration scales that map
+  // our raw physical models onto the paper's Table II magnitudes at 25C.
+  SizingOptions sopt;
+  sopt.t_opt_c = 25.0;
+  for (ResourceKind k : all_resource_kinds()) {
+    Scales& s = scales_[static_cast<std::size_t>(k)];
+    const Table2Row target = table2_row(k);
+    if (k == ResourceKind::Bram) {
+      const BramDesign d = size_bram(tech_, arch_, 25.0);
+      const double raw_d = bram_delay_ps(d, tech_, arch_, 25.0);
+      s.delay_elmore = table2_delay_at(k, 25.0) / raw_d;
+      s.delay_spice = s.delay_elmore;  // BRAM always uses the analytic model
+      s.area = target.area_um2 / bram_area_um2(d, arch_);
+      const double c_ff = bram_switched_cap_ff(d, tech_, arch_);
+      const double raw_pdyn = 0.5 * c_ff * arch_.vdd_low_power * arch_.vdd_low_power *
+                              100.0 * 1e-3;
+      s.pdyn = target.pdyn_uw / raw_pdyn;
+      s.plkg = target.lkg_scale_uw * std::exp(target.lkg_rate * 25.0) /
+               bram_leakage_uw(d, tech_, arch_, 25.0);
+      continue;
+    }
+    const PathSpec base = spec_for(k, arch_);
+    const SizingResult sized = size_path(base, tech_, sopt);
+    s.delay_elmore = table2_delay_at(k, 25.0) / raw_delay(sized.spec, 25.0, false);
+    s.delay_spice = table2_delay_at(k, 25.0) / raw_delay(sized.spec, 25.0, true);
+    s.area = target.area_um2 / path_area_um2(sized.spec);
+    s.pdyn = target.pdyn_uw / dynamic_power_uw(sized.spec, tech_, 100.0, 1.0);
+    s.plkg = target.lkg_scale_uw * std::exp(target.lkg_rate * 25.0) /
+             leakage_uw(sized.spec, tech_, 25.0);
+    util::log_debug("calibrated %s: delay x%.3f (spice x%.3f) area x%.3f",
+                    resource_name(k), s.delay_elmore, s.delay_spice, s.area);
+  }
+}
+
+DeviceModel Characterizer::characterize(double t_opt_c) const {
+  DeviceModel dev;
+  dev.t_opt_c = t_opt_c;
+  dev.arch = arch_;
+  dev.name = "D" + std::to_string(static_cast<int>(std::lround(t_opt_c)));
+
+  std::vector<double> temps;
+  for (double t = opt_.t_min_c; t <= opt_.t_max_c + 1e-9; t += opt_.t_step_c)
+    temps.push_back(t);
+  assert(temps.size() >= 2);
+
+  SizingOptions sopt;
+  sopt.t_opt_c = t_opt_c;
+
+  for (ResourceKind k : all_resource_kinds()) {
+    const Scales& s = scales_[static_cast<std::size_t>(k)];
+    ResourceChar& rc = dev.res[static_cast<std::size_t>(k)];
+    std::vector<double> delays(temps.size());
+    std::vector<double> leaks(temps.size());
+
+    if (k == ResourceKind::Bram) {
+      const BramDesign d = size_bram(tech_, arch_, t_opt_c);
+      for (std::size_t i = 0; i < temps.size(); ++i) {
+        delays[i] = s.delay_elmore * bram_delay_ps(d, tech_, arch_, temps[i]);
+        leaks[i] = s.plkg * bram_leakage_uw(d, tech_, arch_, temps[i]);
+      }
+      rc.area_um2 = s.area * bram_area_um2(d, arch_);
+      const double c_ff = bram_switched_cap_ff(d, tech_, arch_);
+      rc.pdyn_uw_100mhz =
+          s.pdyn * 0.5 * c_ff * arch_.vdd_low_power * arch_.vdd_low_power * 100.0 * 1e-3;
+    } else {
+      const SizingResult sized = size_path(spec_for(k, arch_), tech_, sopt);
+      const bool spice = opt_.use_spice;
+      const double scale = spice ? s.delay_spice : s.delay_elmore;
+      for (std::size_t i = 0; i < temps.size(); ++i) {
+        delays[i] = scale * raw_delay(sized.spec, temps[i], spice) *
+                    corner_mismatch(k, temps[i], t_opt_c);
+        leaks[i] = s.plkg * leakage_uw(sized.spec, tech_, temps[i]);
+      }
+      rc.area_um2 = s.area * path_area_um2(sized.spec);
+      rc.pdyn_uw_100mhz = s.pdyn * dynamic_power_uw(sized.spec, tech_, 100.0, 1.0);
+    }
+    rc.delay_ps = util::fit_linear(temps, delays);
+    rc.plkg_uw = util::fit_exponential(temps, leaks);
+  }
+  return dev;
+}
+
+}  // namespace taf::coffe

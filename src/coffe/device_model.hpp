@@ -1,0 +1,100 @@
+#pragma once
+// Characterized FPGA device model — the library's central artifact.
+//
+// A DeviceModel is what the paper's "fabrication-stage characterization"
+// produces: for every resource kind, the delay(T) linear fit, the
+// leakage(T) exponential fit, the dynamic energy, and the area (Table II).
+// Devices are produced by the Characterizer for a chosen design corner
+// (D0 / D25 / D70 / D100 in the paper's notation).
+
+#include <array>
+#include <string>
+
+#include "arch/arch_params.hpp"
+#include "coffe/bram_model.hpp"
+#include "coffe/path_spec.hpp"
+#include "coffe/resource.hpp"
+#include "tech/technology.hpp"
+#include "util/stats.hpp"
+
+namespace taf::coffe {
+
+/// One row of Table II.
+struct ResourceChar {
+  double area_um2 = 0.0;
+  util::LinearFit delay_ps;       ///< delay as a function of T [ps]
+  double pdyn_uw_100mhz = 0.0;    ///< dynamic power at 100 MHz, alpha = 1 [uW]
+  util::ExpFit plkg_uw;           ///< leakage power as a function of T [uW]
+};
+
+struct DeviceModel {
+  std::string name;       ///< e.g. "D25"
+  double t_opt_c = 25.0;  ///< corner the fabric was optimized for
+  arch::ArchParams arch;
+  std::array<ResourceChar, kNumResourceKinds> res;
+
+  const ResourceChar& at(ResourceKind k) const {
+    return res[static_cast<std::size_t>(k)];
+  }
+  double delay_ps(ResourceKind k, double temp_c) const { return at(k).delay_ps(temp_c); }
+  double leakage_uw(ResourceKind k, double temp_c) const { return at(k).plkg_uw(temp_c); }
+  double dyn_power_uw(ResourceKind k, double f_mhz, double activity) const {
+    return at(k).pdyn_uw_100mhz * (f_mhz / 100.0) * activity;
+  }
+
+  /// Representative soft-fabric critical-path delay (Fig. 1 "CP"):
+  /// occurrence-weighted average over the soft resources.
+  double rep_cp_delay_ps(double temp_c) const;
+
+  /// Expected delay of the representative CP over a uniform temperature
+  /// range [t_min, t_max] — Eq. (1) of the paper.
+  double expected_cp_delay_ps(double t_min_c, double t_max_c) const;
+};
+
+struct CharacterizeOptions {
+  double t_min_c = 0.0;
+  double t_max_c = 100.0;
+  double t_step_c = 5.0;
+  /// Use the SPICE transient evaluator for the temperature sweep of the
+  /// soft-fabric paths (slower). The Elmore evaluator is always used for
+  /// sizing; BRAM always uses its analytic read-path model.
+  bool use_spice = false;
+};
+
+/// Fabrication-stage characterization flow. The constructor synthesizes
+/// the reference 25C device and derives per-resource calibration scales
+/// against the paper's Table II (documented in DESIGN.md section 5);
+/// characterize() then produces a device for any design corner.
+class Characterizer {
+ public:
+  Characterizer(tech::Technology technology, arch::ArchParams arch,
+                CharacterizeOptions options = {});
+
+  /// Size all resources for `t_opt_c` and sweep the temperature range.
+  DeviceModel characterize(double t_opt_c) const;
+
+  /// The paper's Table II reference values (targets of the calibration).
+  static DeviceModel paper_table2_reference();
+
+  const tech::Technology& technology() const { return tech_; }
+  const arch::ArchParams& arch() const { return arch_; }
+  const CharacterizeOptions& options() const { return opt_; }
+
+ private:
+  struct Scales {
+    double delay_elmore = 1.0;
+    double delay_spice = 1.0;
+    double area = 1.0;
+    double pdyn = 1.0;
+    double plkg = 1.0;
+  };
+
+  double raw_delay(const PathSpec& spec, double temp_c, bool spice) const;
+
+  tech::Technology tech_;
+  arch::ArchParams arch_;
+  CharacterizeOptions opt_;
+  std::array<Scales, kNumResourceKinds> scales_;
+};
+
+}  // namespace taf::coffe

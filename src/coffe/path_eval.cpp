@@ -1,0 +1,252 @@
+#include "coffe/path_eval.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/circuit.hpp"
+#include "spice/solver.hpp"
+
+namespace taf::coffe {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+/// Pass transistors passing a rising edge conduct with reduced overdrive;
+/// COFFE models this as an increased effective resistance.
+constexpr double kPassGatePenalty = 1.5;
+
+// Level-restoring keeper model (see PathSpec::keeper_w). The keeper PMOS
+// fights every falling transition of the restored node, and must hold the
+// degraded pass-gate "1" against the leakage of the off branches: if the
+// actual leakage approaches its holding strength the node droops and the
+// downstream stage switches late. Both effects scale the delay of the
+// pass segment the keeper guards.
+constexpr double kKeeperFight = 0.50;  ///< fraction of keeper Ion opposing the edge
+constexpr double kKeeperHold = 0.0012; ///< fraction of keeper Ion holding the node
+constexpr double kDroopSlowdown = 0.75;///< delay multiplier per unit droop ratio
+constexpr double kDroopMax = 1.6;      ///< saturation of the droop slowdown
+
+/// Delay multiplier applied to a keeper-guarded pass segment. The leakage
+/// pulling on the restored node comes from the off siblings directly
+/// attached to it (the final mux level), evaluated at the *operating*
+/// temperature; the keeper was sized for the design corner.
+double keeper_penalty(const PathSpec& spec, const Stage& keeper_stage,
+                      const tech::Technology& tech, double temp_c, double i_pass_ma) {
+  const auto& hp = tech.flavor(tech::Flavor::HP);
+  const double i_keep_ma = tech::on_current_ma(hp, spec.keeper_w, spec.vdd, temp_c);
+  const double fight = kKeeperFight * i_keep_ma / i_pass_ma;
+  const double off_width_um = keeper_stage.off_siblings * keeper_stage.w_um;
+  const double leak_na = tech::off_current_na(tech.flavor(tech::Flavor::PassGate),
+                                              off_width_um, temp_c);
+  const double hold_na = kKeeperHold * i_keep_ma * 1e6;
+  // Saturating droop: level restoration bounds how late the downstream
+  // stage can fire even with a badly undersized keeper.
+  const double droop_raw = kDroopSlowdown * leak_na / std::max(hold_na, 1.0);
+  const double droop = kDroopMax * (1.0 - std::exp(-droop_raw / kDroopMax));
+  return (1.0 + fight) * (1.0 + droop);
+}
+
+double inv_input_cap_ff(const tech::Technology& tech, const Stage& s) {
+  // NMOS width w, PMOS width 2w.
+  return tech.flavor(s.flavor).c_gate * 3.0 * s.w_um;
+}
+
+double inv_output_cap_ff(const tech::Technology& tech, const Stage& s) {
+  return tech.flavor(s.flavor).c_drain * 3.0 * s.w_um;
+}
+
+}  // namespace
+
+double elmore_delay_ps(const PathSpec& spec, const tech::Technology& tech, double temp_c) {
+  assert(!spec.stages.empty() && spec.stages.front().kind == StageKind::Inverter);
+  double total_ps = 0.0;      // completed (buffered) segments
+  double segment_ps = 0.0;    // Elmore of the segment under construction
+  double segment_mult = 1.0;  // keeper penalty accumulated for this segment
+  double r_acc_kohm = 0.0;    // accumulated series resistance since last buffer
+
+  auto add_node = [&](double cap_ff) { segment_ps += kLn2 * r_acc_kohm * cap_ff; };
+  auto close_segment = [&]() {
+    total_ps += segment_ps * segment_mult;
+    segment_ps = 0.0;
+    segment_mult = 1.0;
+  };
+
+  for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+    const Stage& s = spec.stages[i];
+    switch (s.kind) {
+      case StageKind::Inverter: {
+        // The inverter's gate cap loads the previous segment...
+        add_node(inv_input_cap_ff(tech, s));
+        close_segment();
+        // ...then it starts a new segment with its own drive resistance
+        // and self-loading junction cap.
+        r_acc_kohm = tech::effective_resistance_kohm(tech.flavor(s.flavor), s.w_um,
+                                                     spec.vdd, temp_c);
+        add_node(inv_output_cap_ff(tech, s));
+        break;
+      }
+      case StageKind::PassGate: {
+        // Junction caps of this device and its off siblings load the
+        // input node; the device then adds series resistance; its output
+        // junction loads the far node (plus the keeper's, if present).
+        const double cj = tech.flavor(s.flavor).c_drain * s.w_um;
+        add_node(cj * (1 + s.off_siblings));
+        r_acc_kohm += kPassGatePenalty *
+                      tech::effective_resistance_kohm(tech.flavor(s.flavor), s.w_um,
+                                                      spec.vdd, temp_c);
+        add_node(cj);
+        if (s.has_keeper) {
+          // Keeper junction cap plus the level-restoring inverter's gate
+          // cap load the restored node; both scale with the keeper size,
+          // which is how an oversized hot-corner keeper taxes a device
+          // running cold.
+          const auto& hp = tech.flavor(tech::Flavor::HP);
+          add_node((3.0 * hp.c_drain + 3.0 * hp.c_gate) * spec.keeper_w);
+          const double i_pass_ma = tech::on_current_ma(tech.flavor(s.flavor), s.w_um,
+                                                       spec.vdd, temp_c) /
+                                   kPassGatePenalty;
+          segment_mult *= keeper_penalty(spec, s, tech, temp_c, i_pass_ma);
+        }
+        break;
+      }
+      case StageKind::Wire: {
+        // Pi model: half the cap before the resistance, half after.
+        const double c_half = 0.5 * tech::wire_capacitance_ff(tech, s.wire_len_um);
+        add_node(c_half);
+        r_acc_kohm += 1e-3 * tech::wire_resistance_ohm(tech, s.wire_len_um, temp_c);
+        add_node(c_half);
+        break;
+      }
+    }
+    if (s.fixed_load_ff > 0.0) add_node(s.fixed_load_ff);
+  }
+  close_segment();
+  return total_ps;
+}
+
+double spice_delay_ps(const PathSpec& spec, const tech::Technology& tech, double temp_c) {
+  assert(!spec.stages.empty() && spec.stages.front().kind == StageKind::Inverter);
+  spice::Circuit c;
+  const spice::NodeId vdd = c.add_node("vdd");
+  c.drive(vdd, spice::dc_waveform(spec.vdd));
+  const spice::NodeId in = c.add_node("in");
+
+  spice::NodeId cur = in;  // signal node at the current chain position
+  for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+    const Stage& s = spec.stages[i];
+    switch (s.kind) {
+      case StageKind::Inverter: {
+        const spice::NodeId out = c.add_node("inv" + std::to_string(i));
+        c.add_mosfet(spice::MosType::Nmos, s.flavor, out, cur, spice::kGround, s.w_um);
+        c.add_mosfet(spice::MosType::Pmos, s.flavor, out, cur, vdd, 2.0 * s.w_um);
+        cur = out;
+        break;
+      }
+      case StageKind::PassGate: {
+        const spice::NodeId out = c.add_node("pg" + std::to_string(i));
+        c.add_mosfet(spice::MosType::Nmos, s.flavor, out, vdd, cur, s.w_um);
+        if (s.off_siblings > 0) {
+          // Off siblings: junction capacitance on the input node.
+          const double cj = tech.flavor(s.flavor).c_drain * s.w_um;
+          c.add_capacitor(cur, spice::kGround, cj * s.off_siblings);
+        }
+        cur = out;
+        break;
+      }
+      case StageKind::Wire: {
+        // 3-section pi ladder.
+        const double r_kohm =
+            1e-3 * tech::wire_resistance_ohm(tech, s.wire_len_um, temp_c) / 3.0;
+        const double c_ff = tech::wire_capacitance_ff(tech, s.wire_len_um) / 3.0;
+        for (int seg = 0; seg < 3; ++seg) {
+          const spice::NodeId nxt =
+              c.add_node("w" + std::to_string(i) + "_" + std::to_string(seg));
+          c.add_capacitor(cur, spice::kGround, 0.5 * c_ff);
+          c.add_resistor(cur, nxt, std::max(r_kohm, 1e-6));
+          c.add_capacitor(nxt, spice::kGround, 0.5 * c_ff);
+          cur = nxt;
+        }
+        break;
+      }
+    }
+    if (s.fixed_load_ff > 0.0) c.add_capacitor(cur, spice::kGround, s.fixed_load_ff);
+  }
+
+  // Rising input step after the circuit settles.
+  const double t_edge = 100.0;
+  c.drive(in, spice::step_waveform(0.0, spec.vdd, t_edge, 5.0));
+
+  spice::SolverOptions opt;
+  opt.temp_c = temp_c;
+  opt.dt_ps = 2.0;
+  // Generous horizon: pass-gate heavy paths at 100C can be several ns.
+  const double t_stop = 12000.0;
+  const auto result = spice::solve_transient(c, tech, opt, t_stop);
+
+  const bool out_rising = spec.output_same_polarity();
+  const double d = spice::propagation_delay_ps(result, in, cur, spec.vdd,
+                                               /*in_rising=*/true, out_rising, t_edge);
+  if (d <= 0.0) {
+    throw std::runtime_error("spice_delay_ps: output of '" + spec.name +
+                             "' did not switch");
+  }
+  return d;
+}
+
+double switched_cap_ff(const PathSpec& spec, const tech::Technology& tech) {
+  double c = spec.extra_dyn_cap_ff;
+  for (const Stage& s : spec.stages) {
+    switch (s.kind) {
+      case StageKind::Inverter:
+        c += inv_input_cap_ff(tech, s) + inv_output_cap_ff(tech, s);
+        break;
+      case StageKind::PassGate:
+        c += tech.flavor(s.flavor).c_drain * s.w_um * (2 + s.off_siblings);
+        break;
+      case StageKind::Wire:
+        c += tech::wire_capacitance_ff(tech, s.wire_len_um);
+        break;
+    }
+    c += s.fixed_load_ff;
+  }
+  return c;
+}
+
+double leakage_uw(const PathSpec& spec, const tech::Technology& tech, double temp_c) {
+  // In an inverter one of the two devices is off; pass gates leak through
+  // the off siblings; SRAM cells leak constantly.
+  double i_na = 0.0;
+  for (const Stage& s : spec.stages) {
+    const auto& p = tech.flavor(s.flavor);
+    switch (s.kind) {
+      case StageKind::Inverter:
+        // Average of NMOS-off and PMOS-off states.
+        i_na += 0.5 * (tech::off_current_na(p, s.w_um, temp_c) +
+                       tech::off_current_na(p, 2.0 * s.w_um, temp_c));
+        break;
+      case StageKind::PassGate:
+        i_na += tech::off_current_na(p, s.w_um * s.off_siblings, temp_c);
+        break;
+      case StageKind::Wire:
+        break;
+    }
+  }
+  i_na += tech::off_current_na(tech.flavor(tech::Flavor::HP), spec.off_width_hp_um, temp_c);
+  i_na += tech::off_current_na(tech.flavor(tech::Flavor::PassGate), spec.off_width_pg_um,
+                               temp_c);
+  // SRAM cell leakage: two cross-coupled inverters of minimum LP devices.
+  i_na += spec.sram_bits *
+          tech::off_current_na(tech.flavor(tech::Flavor::LP), 2.0 * 0.4, temp_c);
+  // P = V * I : [V] * [nA] = 1e-3 uW
+  return spec.vdd * i_na * 1e-3;
+}
+
+double dynamic_power_uw(const PathSpec& spec, const tech::Technology& tech, double f_mhz,
+                        double activity) {
+  const double c_ff = switched_cap_ff(spec, tech);
+  // 0.5 * alpha * C * V^2 * f : fF * V^2 * MHz = 1e-15 * 1e6 W = 1e-3 uW
+  return 0.5 * activity * c_ff * spec.vdd * spec.vdd * f_mhz * 1e-3;
+}
+
+}  // namespace taf::coffe

@@ -1,0 +1,35 @@
+#pragma once
+// Delay, capacitance and leakage evaluation of a PathSpec.
+//
+// Two delay evaluators are provided:
+//  * elmore_delay_ps  — analytic RC (ln2 * sum R_upstream * C_node); fast,
+//    used inside the transistor-sizing loop exactly as COFFE does;
+//  * spice_delay_ps   — transient simulation with the built-in solver;
+//    used for the final characterization sweeps (the paper's HSPICE role).
+
+#include "coffe/path_spec.hpp"
+#include "tech/technology.hpp"
+
+namespace taf::coffe {
+
+/// Analytic Elmore delay of the path at the given temperature [ps].
+double elmore_delay_ps(const PathSpec& spec, const tech::Technology& tech, double temp_c);
+
+/// Transient-simulated 50%-to-50% delay of the path [ps]. Throws
+/// std::runtime_error if the output never switches (broken sizing).
+double spice_delay_ps(const PathSpec& spec, const tech::Technology& tech, double temp_c);
+
+/// Total capacitance switched when the resource toggles [fF]
+/// (gate + junction + wire + declared extra dynamic cap).
+double switched_cap_ff(const PathSpec& spec, const tech::Technology& tech);
+
+/// Static leakage power of the full resource at temperature [uW]:
+/// path devices + declared off-structure widths + SRAM cells.
+double leakage_uw(const PathSpec& spec, const tech::Technology& tech, double temp_c);
+
+/// Dynamic power at the given frequency and activity [uW]:
+/// 0.5 * alpha * C * Vdd^2 * f.
+double dynamic_power_uw(const PathSpec& spec, const tech::Technology& tech, double f_mhz,
+                        double activity);
+
+}  // namespace taf::coffe

@@ -1,0 +1,242 @@
+#include "coffe/path_spec.hpp"
+
+#include <cassert>
+
+namespace taf::coffe {
+
+namespace {
+
+Stage inv(double w, tech::Flavor f = tech::Flavor::HP, double fixed_ff = 0.0,
+          bool sizable = true) {
+  Stage s;
+  s.kind = StageKind::Inverter;
+  s.flavor = f;
+  s.w_um = w;
+  s.fixed_load_ff = fixed_ff;
+  s.sizable = sizable;
+  return s;
+}
+
+Stage pass(double w, int off_siblings, bool keeper = false,
+           tech::Flavor f = tech::Flavor::PassGate) {
+  Stage s;
+  s.kind = StageKind::PassGate;
+  s.flavor = f;
+  s.w_um = w;
+  s.off_siblings = off_siblings;
+  s.has_keeper = keeper;
+  return s;
+}
+
+Stage wire(double len_um, double fixed_ff = 0.0) {
+  Stage s;
+  s.kind = StageKind::Wire;
+  s.wire_len_um = len_um;
+  s.fixed_load_ff = fixed_ff;
+  s.sizable = false;
+  return s;
+}
+
+}  // namespace
+
+int PathSpec::num_inverters() const {
+  int n = 0;
+  for (const Stage& s : stages)
+    if (s.kind == StageKind::Inverter) ++n;
+  return n;
+}
+
+PathSpec sb_mux_spec(const arch::ArchParams& a) {
+  PathSpec p;
+  p.name = "SBmux";
+  p.kind = ResourceKind::SbMux;
+  p.vdd = a.vdd;
+  // Two-level 12:1 mux (4 x 3 decomposition) followed by a two-stage
+  // driver onto a length-4 routing wire that also loads downstream mux
+  // junctions. The input driver models the upstream routing buffer.
+  p.stages = {
+      inv(2.0, tech::Flavor::HP, 0.0, false),  // upstream driver (fixed)
+      pass(1.2, 3),                              // level 1 of 4
+      pass(1.2, 2, /*keeper=*/true),             // level 2 of 3
+      inv(1.5),                                // driver stage 1
+      inv(5.0),                                // driver stage 2
+      wire(a.wire_segment_length * a.tile_edge_um, 38.0),  // span + fanout loads
+  };
+  p.sram_bits = 7;  // 4 + 3 one-hot select bits
+  // Remaining 11 off branches (level 1) and 2 off level-2 branches leak.
+  p.off_width_pg_um = (a.sb_mux_size - 1) * 1.2 + 2 * 1.2;
+  p.off_width_hp_um = 4.0;
+  p.extra_dyn_cap_ff = 90.0;  // the rest of the switched routing wire load
+  return p;
+}
+
+PathSpec cb_mux_spec(const arch::ArchParams& a) {
+  PathSpec p;
+  p.name = "CBmux";
+  p.kind = ResourceKind::CbMux;
+  p.vdd = a.vdd;
+  // 64:1 two-level (16 x 4) connection-block mux driving the cluster input.
+  p.stages = {
+      inv(2.0, tech::Flavor::HP, 0.0, false),
+      pass(1.0, 15),
+      pass(1.0, 3, /*keeper=*/true),
+      inv(1.5),
+      inv(4.0),
+      wire(0.35 * a.tile_edge_um, 16.0),  // to the local crossbar inputs
+  };
+  p.sram_bits = 16;
+  p.off_width_pg_um = (a.cb_mux_size - 1) * 0.25 + 3 * 1.0;  // encoded off branches
+  p.off_width_hp_um = 3.0;
+  p.extra_dyn_cap_ff = 4.0;
+  return p;
+}
+
+PathSpec local_mux_spec(const arch::ArchParams& a) {
+  PathSpec p;
+  p.name = "localmux";
+  p.kind = ResourceKind::LocalMux;
+  p.vdd = a.vdd;
+  // 25:1 (5 x 5) crossbar mux feeding one LUT input pin.
+  p.stages = {
+      inv(1.5, tech::Flavor::HP, 0.0, false),
+      pass(1.0, 4),
+      pass(1.0, 4, /*keeper=*/true),
+      inv(2.0, tech::Flavor::HP, 5.0),
+  };
+  p.sram_bits = 10;
+  p.off_width_pg_um = (a.local_mux_size - 1) * 0.30;
+  p.off_width_hp_um = 1.5;
+  p.extra_dyn_cap_ff = 2.0;
+  return p;
+}
+
+PathSpec feedback_mux_spec(const arch::ArchParams& a) {
+  PathSpec p;
+  p.name = "feedbackmux";
+  p.kind = ResourceKind::FeedbackMux;
+  p.vdd = a.vdd;
+  p.stages = {
+      inv(1.5, tech::Flavor::HP, 0.0, false),
+      pass(1.0, 4),
+      pass(1.0, 4, /*keeper=*/true),
+      inv(1.2),
+      inv(3.0, tech::Flavor::HP, 9.0),
+  };
+  p.sram_bits = 10;
+  p.off_width_pg_um = 9.0 * 0.30;
+  p.off_width_hp_um = 1.5;
+  p.extra_dyn_cap_ff = 2.0;
+  return p;
+}
+
+PathSpec output_mux_spec(const arch::ArchParams& a) {
+  PathSpec p;
+  p.name = "outputmux";
+  p.kind = ResourceKind::OutputMux;
+  p.vdd = a.vdd;
+  // 2:1 BLE output selector (LUT vs FF) with a small driver.
+  p.stages = {
+      inv(2.0, tech::Flavor::HP, 0.0, false),
+      pass(1.5, 1, /*keeper=*/true),
+      inv(2.0, tech::Flavor::HP, 5.0),
+  };
+  p.sram_bits = 2;
+  p.off_width_pg_um = 1.5;
+  p.off_width_hp_um = 1.0;
+  p.extra_dyn_cap_ff = 1.0;
+  return p;
+}
+
+PathSpec lut_spec(const arch::ArchParams& a) {
+  PathSpec p;
+  p.name = "LUT";
+  p.kind = ResourceKind::Lut;
+  p.vdd = a.vdd;
+  assert(a.lut_k == 6 && "spec models a 6-LUT (3+3 levels with mid buffer)");
+  // 6-level pass-transistor tree with an internal level-restoring buffer
+  // after level 3 (COFFE's 6-LUT structure) and a two-stage output buffer.
+  p.stages = {
+      inv(2.0, tech::Flavor::HP, 0.0, false),  // input driver (LUTA)
+      pass(1.3, 1),
+      pass(1.3, 1),
+      pass(1.3, 1, /*keeper=*/true),
+      inv(1.2),  // internal buffer
+      inv(2.5),
+      pass(1.3, 1),
+      pass(1.3, 1),
+      pass(1.3, 1, /*keeper=*/true),
+      inv(1.5),  // output buffer
+      inv(4.0, tech::Flavor::HP, 8.0),
+  };
+  p.sram_bits = 1 << a.lut_k;
+  p.off_width_pg_um = 62.0 * 0.4;  // unused tree devices (64-leaf tree)
+  p.off_width_hp_um = 3.0;
+  p.extra_dyn_cap_ff = 6.0;
+  return p;
+}
+
+PathSpec dsp_spec(const arch::ArchParams& a) {
+  PathSpec p;
+  p.name = "DSP";
+  p.kind = ResourceKind::Dsp;
+  p.vdd = a.vdd;
+  p.discrete_sizes = true;
+  // Standard-cell critical path of a Stratix-like 27x27 MAC: partial
+  // product generation, a compressor tree and the final carry chain —
+  // ~16 equivalent gate stages with local wiring between cells.
+  p.stages.push_back(inv(2.0, tech::Flavor::StdCell, 0.0, false));
+  for (int i = 0; i < 15; ++i) {
+    Stage s = inv(i % 2 == 0 ? 1.0 : 2.0, tech::Flavor::StdCell, 6.0);
+    s.min_w = 0.5;
+    s.max_w = 16.0;
+    p.stages.push_back(s);
+    p.stages.push_back(wire(8.0));
+  }
+  p.sram_bits = 0;
+  p.off_width_hp_um = 0.0;
+  p.off_width_pg_um = 0.0;
+  p.extra_dyn_cap_ff = 500.0;  // the full MAC datapath switches, not just the CP
+  return p;
+}
+
+PathSpec spec_for(ResourceKind k, const arch::ArchParams& a) {
+  switch (k) {
+    case ResourceKind::SbMux: return sb_mux_spec(a);
+    case ResourceKind::CbMux: return cb_mux_spec(a);
+    case ResourceKind::LocalMux: return local_mux_spec(a);
+    case ResourceKind::FeedbackMux: return feedback_mux_spec(a);
+    case ResourceKind::OutputMux: return output_mux_spec(a);
+    case ResourceKind::Lut: return lut_spec(a);
+    case ResourceKind::Dsp: return dsp_spec(a);
+    case ResourceKind::Bram: break;  // BRAM uses the dedicated read-path model
+  }
+  assert(false && "no PathSpec for this resource kind");
+  return PathSpec{};
+}
+
+double path_area_um2(const PathSpec& spec) {
+  // COFFE-style width-to-area model: diffusion + poly pitch grows
+  // sub-linearly at small widths, linearly at large widths.
+  constexpr double kSramBitArea = 0.55;  // um^2 per configuration bit
+  auto device_area = [](double w) { return 0.15 + 0.45 * w; };
+  double area = 0.0;
+  for (const Stage& s : spec.stages) {
+    switch (s.kind) {
+      case StageKind::Inverter:
+        area += device_area(s.w_um) + device_area(2.0 * s.w_um);  // N + P
+        break;
+      case StageKind::PassGate:
+        area += device_area(s.w_um) * (1 + s.off_siblings);  // path + siblings
+        break;
+      case StageKind::Wire:
+        break;  // wires live in the metal stack
+    }
+  }
+  for (const Stage& s : spec.stages) {
+    if (s.has_keeper) area += device_area(spec.keeper_w) + device_area(0.4);
+  }
+  area += spec.sram_bits * kSramBitArea;
+  return area;
+}
+
+}  // namespace taf::coffe

@@ -1,0 +1,86 @@
+#pragma once
+// Transistor-level critical-path description of a soft-fabric resource.
+//
+// COFFE models each FPGA resource by its critical path: a chain of
+// inverters (drivers/buffers), pass transistors (mux branches, LUT tree)
+// and wires. The sizing optimizer adjusts the sizable stage widths; the
+// Elmore evaluator (sizing inner loop) and the SPICE evaluator
+// (characterization) both consume this spec.
+
+#include <string>
+#include <vector>
+
+#include "arch/arch_params.hpp"
+#include "coffe/resource.hpp"
+#include "tech/technology.hpp"
+
+namespace taf::coffe {
+
+enum class StageKind { Inverter, PassGate, Wire };
+
+struct Stage {
+  StageKind kind = StageKind::Inverter;
+  tech::Flavor flavor = tech::Flavor::HP;
+  double w_um = 1.0;         ///< device width (per NMOS; PMOS is 2x) — unused for Wire
+  double wire_len_um = 0.0;  ///< wire length — Wire stages only
+  double fixed_load_ff = 0.0;///< extra fixed capacitance at the stage output
+  /// Number of identical off sibling branches hanging on this stage's
+  /// *input* node (mux branching). Their junction caps scale with w_um.
+  int off_siblings = 0;
+  /// True on the last pass transistor of a pass segment: the segment's
+  /// output node carries a level-restoring keeper (see PathSpec::keeper_w).
+  bool has_keeper = false;
+  bool sizable = true;       ///< may the optimizer change w_um?
+  double min_w = 0.4;
+  double max_w = 24.0;
+};
+
+struct PathSpec {
+  std::string name;
+  ResourceKind kind = ResourceKind::SbMux;
+  double vdd = 0.8;
+  std::vector<Stage> stages;
+  int sram_bits = 0;          ///< configuration SRAM cells (area + leakage)
+  double extra_dyn_cap_ff = 0.0;  ///< switched cap not on the critical path
+  /// Leakage of replicated structure not on the path (off mux branches of
+  /// the full mux, unused tree devices), expressed as total device width
+  /// per flavor that sits in an off state.
+  double off_width_hp_um = 0.0;
+  double off_width_pg_um = 0.0;
+  /// If true the optimizer snaps widths to discrete drive strengths
+  /// (standard-cell flow; used for the DSP path).
+  bool discrete_sizes = false;
+
+  /// Width of the PMOS level-restoring keeper on pass-segment outputs.
+  /// Keepers must hold the degraded pass-gate "1" against the leakage of
+  /// the off branches *at the design corner*, so their sizing is the main
+  /// way the design temperature imprints on soft-fabric timing: an
+  /// oversized keeper (hot-corner design run cold) fights every
+  /// transition; an undersized one (cold-corner design run hot) lets the
+  /// node droop and slows the downstream stage. See elmore_delay_ps.
+  double keeper_w = 0.3;
+  double keeper_min_w = 0.05;
+  double keeper_max_w = 4.0;
+
+  int num_inverters() const;
+  /// True if the output edge direction equals the input edge direction.
+  bool output_same_polarity() const { return num_inverters() % 2 == 0; }
+};
+
+/// Default (pre-sizing) critical-path specs for the Table I architecture.
+PathSpec sb_mux_spec(const arch::ArchParams& a);
+PathSpec cb_mux_spec(const arch::ArchParams& a);
+PathSpec local_mux_spec(const arch::ArchParams& a);
+PathSpec feedback_mux_spec(const arch::ArchParams& a);
+PathSpec output_mux_spec(const arch::ArchParams& a);
+PathSpec lut_spec(const arch::ArchParams& a);
+/// Std-cell chain representing the Stratix-like DSP (27x27 MAC) critical path.
+PathSpec dsp_spec(const arch::ArchParams& a);
+
+PathSpec spec_for(ResourceKind k, const arch::ArchParams& a);
+
+/// Active transistor area of the path plus SRAM area [um^2], using the
+/// COFFE-style width-to-area model.
+double path_area_um2(const PathSpec& spec);
+
+}  // namespace taf::coffe

@@ -1,0 +1,33 @@
+#include "coffe/resource.hpp"
+
+namespace taf::coffe {
+
+const char* resource_name(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::SbMux: return "SBmux";
+    case ResourceKind::CbMux: return "CBmux";
+    case ResourceKind::LocalMux: return "localmux";
+    case ResourceKind::FeedbackMux: return "feedbackmux";
+    case ResourceKind::OutputMux: return "outputmux";
+    case ResourceKind::Lut: return "LUT";
+    case ResourceKind::Bram: return "BRAM";
+    case ResourceKind::Dsp: return "DSP";
+  }
+  return "?";
+}
+
+double cp_weight(ResourceKind k) {
+  // A representative soft-fabric critical path crosses several switch
+  // blocks per logic level, so routing muxes dominate the weighting.
+  switch (k) {
+    case ResourceKind::SbMux: return 0.42;
+    case ResourceKind::CbMux: return 0.12;
+    case ResourceKind::LocalMux: return 0.08;
+    case ResourceKind::FeedbackMux: return 0.04;
+    case ResourceKind::OutputMux: return 0.06;
+    case ResourceKind::Lut: return 0.28;
+    default: return 0.0;  // hard blocks are reported separately
+  }
+}
+
+}  // namespace taf::coffe

@@ -1,0 +1,40 @@
+#pragma once
+// FPGA resource kinds characterized by the COFFE-like flow.
+// One row of the paper's Table II per kind.
+
+#include <array>
+
+namespace taf::coffe {
+
+enum class ResourceKind : int {
+  SbMux = 0,     ///< switch-block routing mux + driver
+  CbMux,         ///< connection-block input mux
+  LocalMux,      ///< intra-cluster crossbar mux
+  FeedbackMux,   ///< cluster feedback mux
+  OutputMux,     ///< BLE output mux
+  Lut,           ///< K-input LUT (pass-transistor tree) incl. input driver
+  Bram,          ///< block RAM read path
+  Dsp,           ///< DSP block critical path (std-cell MAC)
+};
+inline constexpr int kNumResourceKinds = 8;
+
+inline constexpr std::array<ResourceKind, kNumResourceKinds> all_resource_kinds() {
+  return {ResourceKind::SbMux,     ResourceKind::CbMux,   ResourceKind::LocalMux,
+          ResourceKind::FeedbackMux, ResourceKind::OutputMux, ResourceKind::Lut,
+          ResourceKind::Bram,      ResourceKind::Dsp};
+}
+
+/// Soft-fabric kinds (the configurable resources forming the representative
+/// critical path of Fig. 1).
+inline constexpr std::array<ResourceKind, 6> soft_resource_kinds() {
+  return {ResourceKind::SbMux,       ResourceKind::CbMux,     ResourceKind::LocalMux,
+          ResourceKind::FeedbackMux, ResourceKind::OutputMux, ResourceKind::Lut};
+}
+
+const char* resource_name(ResourceKind k);
+
+/// Occurrence weight of each soft resource on a representative critical
+/// path (per the COFFE paper's composition; used for Fig. 1's "CP" curve).
+double cp_weight(ResourceKind k);
+
+}  // namespace taf::coffe

@@ -1,0 +1,85 @@
+#include "coffe/sizing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coffe/path_eval.hpp"
+
+namespace taf::coffe {
+
+namespace {
+
+/// Snap a width to the discrete drive-strength ladder used by the
+/// standard-cell (DSP) flow: 0.5, 1, 2, 4, 8, 16.
+double snap_discrete(double w) {
+  double best = 0.5;
+  for (double cand = 0.5; cand <= 16.0; cand *= 2.0) {
+    if (std::fabs(std::log(w / cand)) < std::fabs(std::log(w / best))) best = cand;
+  }
+  return best;
+}
+
+}  // namespace
+
+SizingResult size_path(PathSpec spec, const tech::Technology& tech,
+                       const SizingOptions& opt) {
+  SizingResult result;
+  result.evaluations = 0;
+
+  auto cost = [&](const PathSpec& s) {
+    ++result.evaluations;
+    const double d = elmore_delay_ps(s, tech, opt.t_opt_c);
+    const double a = path_area_um2(s);
+    return d * std::pow(a, opt.area_weight);
+  };
+
+  double best = cost(spec);
+  const auto steps = spec.discrete_sizes
+                         ? std::vector<double>{2.0}
+                         : std::vector<double>{1.30, 1.12, 1.05, 1.02};
+  for (double step : steps) {
+    bool improved = true;
+    int rounds = 0;
+    while (improved && rounds++ < opt.max_rounds) {
+      improved = false;
+      for (Stage& s : spec.stages) {
+        if (!s.sizable || s.kind == StageKind::Wire) continue;
+        for (double mult : {step, 1.0 / step}) {
+          const double old = s.w_um;
+          double next = std::clamp(old * mult, s.min_w, s.max_w);
+          if (spec.discrete_sizes) next = snap_discrete(next);
+          if (next == old) continue;
+          s.w_um = next;
+          const double c = cost(spec);
+          if (c < best) {
+            best = c;
+            improved = true;
+          } else {
+            s.w_um = old;
+          }
+        }
+      }
+      // The keeper is a spec-level coordinate (shared by all restored
+      // segments of the resource).
+      for (double mult : {step, 1.0 / step}) {
+        const double old = spec.keeper_w;
+        const double next = std::clamp(old * mult, spec.keeper_min_w, spec.keeper_max_w);
+        if (next == old) continue;
+        spec.keeper_w = next;
+        const double c = cost(spec);
+        if (c < best) {
+          best = c;
+          improved = true;
+        } else {
+          spec.keeper_w = old;
+        }
+      }
+    }
+  }
+  result.delay_ps = elmore_delay_ps(spec, tech, opt.t_opt_c);
+  result.area_um2 = path_area_um2(spec);
+  result.spec = std::move(spec);
+  return result;
+}
+
+}  // namespace taf::coffe

@@ -1,0 +1,33 @@
+#pragma once
+// COFFE-style automated transistor sizing.
+//
+// For a target junction temperature, coordinate descent over the sizable
+// stage widths minimizes an area-delay product evaluated with the Elmore
+// model *at that temperature*. Because pass-gate resistance degrades
+// faster with temperature than buffer resistance (and off-branch junction
+// load grows with pass width), the optimum sizing shifts with the target
+// corner — the mechanism behind the paper's Fig. 2/3.
+
+#include "coffe/path_spec.hpp"
+#include "tech/technology.hpp"
+
+namespace taf::coffe {
+
+struct SizingOptions {
+  double t_opt_c = 25.0;    ///< design corner the device is optimized for
+  double area_weight = 1.0; ///< cost = delay * area^area_weight
+  int max_rounds = 40;
+};
+
+struct SizingResult {
+  PathSpec spec;        ///< spec with optimized widths
+  double delay_ps = 0;  ///< Elmore delay at the design corner
+  double area_um2 = 0;
+  int evaluations = 0;  ///< cost-function evaluations performed
+};
+
+/// Optimize the sizable widths of `spec` for the given corner.
+SizingResult size_path(PathSpec spec, const tech::Technology& tech,
+                       const SizingOptions& opt);
+
+}  // namespace taf::coffe

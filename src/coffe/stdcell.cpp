@@ -1,0 +1,220 @@
+#include "coffe/stdcell.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <cmath>
+
+#include "spice/circuit.hpp"
+#include "spice/solver.hpp"
+
+namespace taf::coffe::stdcell {
+
+namespace {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::MosType;
+using spice::NodeId;
+using tech::Flavor;
+
+const char* kCellNames[kNumCellTypes] = {"INV", "NAND2", "NOR2", "AND3", "XOR2",
+                                         "FA_CARRY"};
+
+/// Structural description used to build the worst-case SPICE arc of a
+/// cell: `n_stack` series NMOS devices on the pull-down (side inputs tied
+/// on), `p_stack` series PMOS on the pull-up, plus `extra_stages` internal
+/// inverter stages for compound cells (AND3's output inverter, XOR's
+/// input conditioning, the carry's buffering).
+struct CellStructure {
+  int n_stack = 1;
+  int p_stack = 1;
+  int extra_stages = 0;
+  double internal_cap_ff = 0.0;  ///< self-loading of the internal network
+};
+
+CellStructure structure_of(CellType t) {
+  switch (t) {
+    case CellType::Inv: return {1, 1, 0, 0.0};
+    case CellType::Nand2: return {2, 1, 0, 0.4};
+    case CellType::Nor2: return {1, 2, 0, 0.4};
+    case CellType::And3: return {3, 1, 1, 0.8};
+    case CellType::Xor2: return {2, 2, 1, 1.0};
+    case CellType::FaCarry: return {2, 2, 1, 1.4};
+  }
+  return {};
+}
+
+/// Build the cell's worst arc into `c` and return {input node, output node}.
+/// The driving input switches through the full stack; the other stack
+/// inputs are tied active so the path conducts.
+std::pair<NodeId, NodeId> build_cell(Circuit& c, NodeId vdd, CellType t, double w_um,
+                                     const std::string& prefix) {
+  const CellStructure st = structure_of(t);
+  const NodeId in = c.add_node(prefix + "_in");
+
+  // Pull-down stack: series NMOS, driven input at the bottom (worst case).
+  NodeId out = c.add_node(prefix + "_out");
+  NodeId below = kGround;
+  for (int i = 0; i < st.n_stack; ++i) {
+    const bool driven = i == 0;
+    const NodeId drain = i == st.n_stack - 1 ? out : c.add_node(prefix + "_n" + std::to_string(i));
+    if (driven) {
+      c.add_mosfet(MosType::Nmos, Flavor::StdCell, drain, in, below, w_um);
+    } else {
+      c.add_mosfet(MosType::Nmos, Flavor::StdCell, drain, vdd, below, w_um);
+    }
+    below = drain;
+  }
+  // Pull-up stack: series PMOS (2x width per device), driven input on top.
+  NodeId above = vdd;
+  for (int i = 0; i < st.p_stack; ++i) {
+    const bool driven = i == 0;
+    const NodeId drain = i == st.p_stack - 1 ? out : c.add_node(prefix + "_p" + std::to_string(i));
+    if (driven) {
+      c.add_mosfet(MosType::Pmos, Flavor::StdCell, drain, in, above, 2.0 * w_um);
+    } else {
+      c.add_mosfet(MosType::Pmos, Flavor::StdCell, drain, kGround, above, 2.0 * w_um);
+    }
+    above = drain;
+  }
+  if (st.internal_cap_ff > 0.0) c.add_capacitor(out, kGround, st.internal_cap_ff * w_um);
+
+  // Compound cells: internal inverter stage(s) after the stack.
+  NodeId stage_in = out;
+  for (int s = 0; s < st.extra_stages; ++s) {
+    const NodeId next = c.add_node(prefix + "_x" + std::to_string(s));
+    c.add_mosfet(MosType::Nmos, Flavor::StdCell, next, stage_in, kGround, w_um);
+    c.add_mosfet(MosType::Pmos, Flavor::StdCell, next, stage_in, vdd, 2.0 * w_um);
+    stage_in = next;
+  }
+  return {in, stage_in};
+}
+
+/// Measure one cell's 50%-to-50% delay at a given output load.
+double measure_cell_delay(const tech::Technology& tech, double temp_c, CellType t,
+                          double w_um, double load_ff) {
+  Circuit c;
+  const NodeId vdd = c.add_node("vdd");
+  c.drive(vdd, spice::dc_waveform(tech.vdd));
+  // A small driver inverter shapes a realistic input edge.
+  const NodeId src = c.add_node("src");
+  c.drive(src, spice::step_waveform(0.0, tech.vdd, 60.0, 5.0));
+  const NodeId edge = c.add_node("edge");
+  c.add_mosfet(MosType::Nmos, Flavor::StdCell, edge, src, kGround, 1.0);
+  c.add_mosfet(MosType::Pmos, Flavor::StdCell, edge, src, vdd, 2.0);
+
+  auto [in, out] = build_cell(c, vdd, t, w_um, "cell");
+  c.add_resistor(edge, in, 1e-3);  // tie the shaped edge to the cell input
+  c.add_capacitor(out, kGround, load_ff);
+
+  spice::SolverOptions opt;
+  opt.temp_c = temp_c;
+  opt.dt_ps = 1.5;
+  const auto r = spice::solve_transient(c, tech, opt, 4000.0);
+
+  const CellStructure st = structure_of(t);
+  // Polarity: the falling input is inverted by the stack and by each
+  // extra stage; the output rises when the total inversion count is odd.
+  const bool out_rising = (1 + st.extra_stages) % 2 == 1;
+  const double d = spice::propagation_delay_ps(r, edge, out, tech.vdd,
+                                               /*in_rising=*/false, out_rising, 60.0);
+  if (d <= 0.0) throw std::runtime_error("stdcell: cell did not switch");
+  return d;
+}
+
+}  // namespace
+
+const char* cell_name(CellType t) { return kCellNames[static_cast<int>(t)]; }
+
+Liberty characterize_library(const tech::Technology& tech, double temp_c) {
+  std::array<std::array<CellTiming, 3>, kNumCellTypes> arcs{};
+  for (int ti = 0; ti < kNumCellTypes; ++ti) {
+    const auto type = static_cast<CellType>(ti);
+    for (std::size_t di = 0; di < kDriveStrengths.size(); ++di) {
+      const double w = kDriveStrengths[di];
+      const double lo = 2.0, hi = 12.0;  // characterization loads [fF]
+      const double d_lo = measure_cell_delay(tech, temp_c, type, w, lo);
+      const double d_hi = measure_cell_delay(tech, temp_c, type, w, hi);
+      CellTiming ct;
+      ct.slope_ps_per_ff = (d_hi - d_lo) / (hi - lo);
+      ct.intrinsic_ps = d_lo - ct.slope_ps_per_ff * lo;
+      const auto& p = tech.flavor(Flavor::StdCell);
+      const CellStructure st = structure_of(type);
+      ct.input_cap_ff = p.c_gate * 3.0 * w;  // driven N + P gate
+      // Leakage: one off device per stack plus the extra stages.
+      ct.leakage_nw = tech.vdd *
+                      tech::off_current_na(p, w * (st.n_stack + 2.0 * st.p_stack) * 0.5 +
+                                                  3.0 * w * st.extra_stages * 0.5,
+                                           temp_c);
+      arcs[static_cast<std::size_t>(ti)][di] = ct;
+    }
+  }
+  return Liberty(temp_c, arcs);
+}
+
+std::vector<PathGate> mac27_critical_path() {
+  // 27x27 MAC worst path: partial-product AND, Booth mux (XOR-ish), six
+  // 3:2 compressor levels (FA carry arcs), and a 54-bit final adder
+  // modelled as a log-depth carry tree (7 levels of AND3/XOR alternation).
+  std::vector<PathGate> p;
+  p.push_back({CellType::Nand2, 1, 1.5});
+  p.push_back({CellType::Xor2, 1, 2.0});
+  for (int i = 0; i < 6; ++i) {
+    p.push_back({CellType::FaCarry, 1, 2.5});
+  }
+  for (int i = 0; i < 7; ++i) {
+    p.push_back({i % 2 == 0 ? CellType::And3 : CellType::Xor2, 1, 3.0});
+  }
+  p.push_back({CellType::Inv, 2, 4.0});  // output driver
+  return p;
+}
+
+double sta_path_delay_ps(const std::vector<PathGate>& path, const Liberty& lib) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const PathGate& g = path[i];
+    const double next_cap =
+        i + 1 < path.size()
+            ? lib.arc(path[i + 1].type, path[i + 1].drive_index).input_cap_ff
+            : 4.0;  // output flop
+    total += lib.arc(g.type, g.drive_index).delay_ps(g.wire_ff + next_cap);
+  }
+  return total;
+}
+
+std::vector<PathGate> synthesize_mac(const tech::Technology& tech, double t_opt_c,
+                                     double area_weight) {
+  const Liberty lib = characterize_library(tech, t_opt_c);
+  std::vector<PathGate> path = mac27_critical_path();
+
+  auto cost = [&]() {
+    double area = 0.0;
+    for (const PathGate& g : path) area += kDriveStrengths[static_cast<std::size_t>(g.drive_index)];
+    return sta_path_delay_ps(path, lib) * (1.0 + area_weight * area);
+  };
+
+  double best = cost();
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds++ < 20) {
+    improved = false;
+    for (PathGate& g : path) {
+      for (int delta : {1, -1}) {
+        const int old = g.drive_index;
+        const int next = old + delta;
+        if (next < 0 || next >= static_cast<int>(kDriveStrengths.size())) continue;
+        g.drive_index = next;
+        const double c = cost();
+        if (c < best) {
+          best = c;
+          improved = true;
+        } else {
+          g.drive_index = old;
+        }
+      }
+    }
+  }
+  return path;
+}
+
+}  // namespace taf::coffe::stdcell

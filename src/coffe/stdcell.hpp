@@ -1,0 +1,90 @@
+#pragma once
+// Standard-cell library characterization and gate-level STA — the
+// SiliconSmart + Design Compiler role in the paper's DSP flow (Fig. 5b).
+//
+// The paper builds one liberty library per temperature from SPICE netlists
+// of NanGate-like cells, synthesizes a Stratix-like DSP once, and then
+// sweeps the libraries over the netlist to get delay(T). This module does
+// exactly that with the built-in SPICE engine: each cell is characterized
+// into a linear delay-vs-load arc (liberty's NLDM reduced to first order),
+// a MAC critical-path netlist is "synthesized" by discrete drive-strength
+// selection at a target corner, and per-temperature STA sweeps follow.
+
+#include <array>
+#include <vector>
+
+#include "tech/technology.hpp"
+
+namespace taf::coffe::stdcell {
+
+enum class CellType : int {
+  Inv = 0,    ///< inverter
+  Nand2,      ///< 2-input NAND (2-high NMOS stack)
+  Nor2,       ///< 2-input NOR (2-high PMOS stack)
+  And3,       ///< 3-input AND (NAND3 + INV compound, 3-high stack)
+  Xor2,       ///< XOR (transmission-gate style; modelled as compound stack)
+  FaCarry,    ///< full-adder carry arc (the compressor-tree workhorse)
+};
+inline constexpr int kNumCellTypes = 6;
+inline constexpr std::array<int, 3> kDriveStrengths = {1, 2, 4};
+
+const char* cell_name(CellType t);
+
+/// One liberty timing arc: delay(load) = intrinsic + slope * C_load.
+struct CellTiming {
+  double intrinsic_ps = 0.0;
+  double slope_ps_per_ff = 0.0;
+  double input_cap_ff = 0.0;
+  double leakage_nw = 0.0;
+
+  double delay_ps(double load_ff) const { return intrinsic_ps + slope_ps_per_ff * load_ff; }
+};
+
+/// A characterized library: all cells at all drive strengths, at one
+/// temperature (one ".lib" file of the paper's flow).
+class Liberty {
+ public:
+  Liberty(double temp_c, std::array<std::array<CellTiming, 3>, kNumCellTypes> arcs)
+      : temp_c_(temp_c), arcs_(arcs) {}
+
+  double temp_c() const { return temp_c_; }
+  /// drive_index indexes kDriveStrengths.
+  const CellTiming& arc(CellType t, int drive_index) const {
+    return arcs_[static_cast<std::size_t>(static_cast<int>(t))]
+                [static_cast<std::size_t>(drive_index)];
+  }
+
+ private:
+  double temp_c_;
+  std::array<std::array<CellTiming, 3>, kNumCellTypes> arcs_;
+};
+
+/// SPICE-characterize the full library at a temperature: each cell's worst
+/// arc is measured at two output loads and reduced to the linear model.
+Liberty characterize_library(const tech::Technology& tech, double temp_c);
+
+/// A gate on the synthesized critical path.
+struct PathGate {
+  CellType type = CellType::Inv;
+  int drive_index = 0;    ///< into kDriveStrengths
+  double wire_ff = 2.0;   ///< interconnect cap this gate drives, on top of
+                          ///< the next gate's input cap
+};
+
+/// Critical path of a Stratix-like 27x27 multiply-accumulate block:
+/// Booth/partial-product AND stage, XOR/carry compressor tree levels, and
+/// the final adder's carry chain (structure after Boutros FPL'18).
+std::vector<PathGate> mac27_critical_path();
+
+/// Sum of liberty arc delays along the path (output load of gate i is the
+/// input cap of gate i+1 plus its wire load; the last gate drives the
+/// block's output flop, ~4 fF).
+double sta_path_delay_ps(const std::vector<PathGate>& path, const Liberty& lib);
+
+/// "Synthesis": choose per-gate drive strengths minimizing path delay
+/// under the library of the target corner (greedy sweeps to convergence,
+/// with a mild area penalty per drive step).
+std::vector<PathGate> synthesize_mac(const tech::Technology& tech, double t_opt_c,
+                                     double area_weight = 0.02);
+
+}  // namespace taf::coffe::stdcell

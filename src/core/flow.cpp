@@ -1,0 +1,114 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace taf::core {
+
+std::unique_ptr<Implementation> implement(const netlist::BenchmarkSpec& spec,
+                                          const arch::ArchParams& arch,
+                                          const ImplementOptions& opt) {
+  util::Rng rng(opt.seed ^ std::hash<std::string>{}(spec.name));
+  netlist::Netlist nl = netlist::generate(spec, rng);
+
+  pack::PackedNetlist packed = pack::pack(nl, arch);
+  const arch::FpgaGrid grid = arch::FpgaGrid::fit(packed.count(pack::BlockKind::Clb),
+                                                  packed.count(pack::BlockKind::Bram),
+                                                  packed.count(pack::BlockKind::Dsp));
+
+  auto impl = std::make_unique<Implementation>(arch, std::move(nl), grid);
+  impl->packed = std::move(packed);
+  impl->packed.source = &impl->nl;
+
+  place::PlaceOptions popt;
+  popt.seed = opt.seed;
+  popt.effort = opt.place_effort;
+  impl->placement = place::place(impl->packed, impl->grid, popt);
+
+  impl->routes = route::route(impl->rr, impl->packed, impl->placement, opt.route);
+  if (!impl->routes.success) {
+    util::log_warn("implement(%s): routing left %d overused nodes after %d iterations",
+                   spec.name.c_str(), impl->routes.overused_nodes,
+                   impl->routes.iterations);
+  }
+
+  impl->activity = activity::estimate(impl->nl);
+  impl->sta = std::make_unique<timing::TimingAnalyzer>(
+      impl->nl, impl->packed, impl->placement, impl->rr, impl->routes, impl->grid);
+  return impl;
+}
+
+GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& dev,
+                          const GuardbandOptions& opt) {
+  GuardbandResult result;
+
+  // Conventional baseline: clock for the worst-case corner.
+  result.baseline_fmax_mhz =
+      impl.sta->analyze_uniform(dev, opt.t_worst_c).fmax_mhz;
+
+  thermal::ThermalConfig tcfg = opt.thermal;
+  tcfg.ambient_c = opt.t_amb_c;
+  tcfg.tile_edge_um = impl.arch.tile_edge_um;
+  const thermal::ThermalGrid tgrid(impl.grid, tcfg);
+
+  // Algorithm 1.
+  const auto n_tiles = static_cast<std::size_t>(impl.grid.num_tiles());
+  std::vector<double> temps(n_tiles, opt.t_amb_c);
+  timing::TimingResult sta = impl.sta->analyze(dev, temps);
+  double fmax = sta.fmax_mhz;
+
+  power::PowerBreakdown power;
+  for (int iter = 1; iter <= opt.max_iterations; ++iter) {
+    result.iterations = iter;
+    power = power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
+                                 impl.routes, impl.activity, fmax, temps, impl.grid);
+    const std::vector<double> new_temps = tgrid.solve(power.tile_w);
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n_tiles; ++i) {
+      max_delta = std::max(max_delta, std::fabs(new_temps[i] - temps[i]));
+    }
+    temps = new_temps;
+    sta = impl.sta->analyze(dev, temps);
+    fmax = sta.fmax_mhz;
+    util::log_debug("guardband iter %d: fmax %.1f MHz, max dT %.3f C", iter, fmax,
+                    max_delta);
+    if (max_delta < opt.delta_t_c) break;
+  }
+
+  // Final margin: re-time at T + delta_T to absorb the convergence error.
+  std::vector<double> margin_temps = temps;
+  for (double& t : margin_temps) t += opt.delta_t_c;
+  result.timing = impl.sta->analyze(dev, margin_temps);
+  result.fmax_mhz = result.timing.fmax_mhz;
+  result.tile_temp_c = std::move(temps);
+  result.power = power;
+
+  util::Accumulator acc;
+  for (double t : result.tile_temp_c) acc.add(t);
+  result.peak_temp_c = acc.max();
+  result.mean_temp_c = acc.mean();
+  return result;
+}
+
+int select_grade(const std::vector<coffe::DeviceModel>& devices, double t_min_c,
+                 double t_max_c) {
+  if (devices.empty()) throw std::invalid_argument("select_grade: no devices");
+  int best = 0;
+  double best_d = devices[0].expected_cp_delay_ps(t_min_c, t_max_c);
+  for (int i = 1; i < static_cast<int>(devices.size()); ++i) {
+    const double d = devices[static_cast<std::size_t>(i)].expected_cp_delay_ps(t_min_c, t_max_c);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace taf::core

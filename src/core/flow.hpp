@@ -1,0 +1,92 @@
+#pragma once
+// The paper's core contribution: thermal-aware guardbanding (Algorithm 1)
+// and thermal-aware device/grade selection, driving the full CAD stack
+// (pack -> place -> route -> activity -> power -> thermal -> STA).
+
+#include <memory>
+#include <vector>
+
+#include "activity/activity.hpp"
+#include "arch/arch_params.hpp"
+#include "arch/fpga_grid.hpp"
+#include "coffe/device_model.hpp"
+#include "netlist/benchmarks.hpp"
+#include "netlist/netlist.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "power/power.hpp"
+#include "route/router.hpp"
+#include "route/rr_graph.hpp"
+#include "thermal/thermal_grid.hpp"
+#include "timing/timing.hpp"
+
+namespace taf::core {
+
+/// A fully implemented design: the netlist and every CAD-stage artifact.
+/// Sub-objects hold pointers into their siblings, so the struct is pinned
+/// in memory (created through implement(), never copied or moved).
+struct Implementation {
+  arch::ArchParams arch;
+  netlist::Netlist nl;
+  pack::PackedNetlist packed;
+  arch::FpgaGrid grid;
+  place::Placement placement;
+  route::RrGraph rr;
+  route::RouteResult routes;
+  std::vector<activity::SignalStats> activity;
+  std::unique_ptr<timing::TimingAnalyzer> sta;
+
+  Implementation(arch::ArchParams a, netlist::Netlist n, arch::FpgaGrid g)
+      : arch(a), nl(std::move(n)), grid(g), rr(grid, arch) {}
+  Implementation(const Implementation&) = delete;
+  Implementation& operator=(const Implementation&) = delete;
+};
+
+struct ImplementOptions {
+  unsigned seed = 1;
+  double place_effort = 0.5;
+  route::RouteOptions route;
+};
+
+/// Run the full implementation flow on a benchmark spec.
+std::unique_ptr<Implementation> implement(const netlist::BenchmarkSpec& spec,
+                                          const arch::ArchParams& arch,
+                                          const ImplementOptions& opt = {});
+
+struct GuardbandOptions {
+  double t_amb_c = 25.0;          ///< ambient / board temperature
+  double delta_t_c = 1.0;         ///< convergence threshold and final margin
+  int max_iterations = 10;        ///< the paper observes < 10 iterations
+  double t_worst_c = 100.0;       ///< conventional worst-case corner
+  thermal::ThermalConfig thermal; ///< ambient_c is overridden by t_amb_c
+};
+
+struct GuardbandResult {
+  double fmax_mhz = 0.0;           ///< thermal-aware frequency
+  double baseline_fmax_mhz = 0.0;  ///< worst-case-corner frequency
+  int iterations = 0;
+  std::vector<double> tile_temp_c; ///< converged temperature map
+  double peak_temp_c = 0.0;
+  double mean_temp_c = 0.0;
+  timing::TimingResult timing;     ///< final thermal-aware STA
+  power::PowerBreakdown power;     ///< power at the converged point
+
+  /// The paper's reported metric: performance improvement over the
+  /// worst-case guardband.
+  double gain() const {
+    return baseline_fmax_mhz > 0.0 ? fmax_mhz / baseline_fmax_mhz - 1.0 : 0.0;
+  }
+};
+
+/// Algorithm 1: iterate STA / power / thermal to convergence, then apply
+/// the delta-T safety margin. Also runs the T_worst baseline STA.
+GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& dev,
+                          const GuardbandOptions& opt = {});
+
+/// Eq. (1)-based grade selection: the device (by index) with the lowest
+/// expected representative-CP delay over a uniform [t_min, t_max] field
+/// temperature range.
+int select_grade(const std::vector<coffe::DeviceModel>& devices, double t_min_c,
+                 double t_max_c);
+
+}  // namespace taf::core

@@ -1,0 +1,247 @@
+#include "netlist/benchmarks.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace taf::netlist {
+
+std::vector<BenchmarkSpec> vtr_suite() {
+  // name, LUTs, FFs, BRAMs, DSPs, inputs, outputs, depth, ff_ratio
+  // Published VTR 7.0 resource mixes (6-LUT mapping), lightly rounded.
+  auto mk = [](const char* name, int luts, int ffs, int brams, int dsps, int in,
+               int out, int depth, double ffr) {
+    BenchmarkSpec s;
+    s.name = name;
+    s.num_luts = luts;
+    s.num_ffs = ffs;
+    s.num_brams = brams;
+    s.num_dsps = dsps;
+    s.num_inputs = in;
+    s.num_outputs = out;
+    s.logic_depth = depth;
+    s.ff_ratio = ffr;
+    return s;
+  };
+  return {
+      mk("bgm", 32384, 5362, 0, 11, 257, 32, 14, 0.17),
+      mk("blob_merge", 6600, 2403, 0, 0, 36, 100, 12, 0.36),
+      mk("boundtop", 2921, 1669, 1, 0, 114, 192, 9, 0.42),
+      mk("ch_intrinsics", 493, 230, 1, 0, 99, 130, 6, 0.40),
+      mk("diffeq1", 486, 193, 0, 5, 162, 96, 10, 0.33),
+      mk("diffeq2", 325, 96, 0, 5, 66, 96, 10, 0.30),
+      mk("LU32PEEng", 76211, 20898, 168, 32, 114, 102, 16, 0.27),
+      mk("LU8PEEng", 22634, 6630, 45, 8, 114, 102, 15, 0.29),
+      mk("mcml", 89000, 53736, 334, 30, 36, 33, 16, 0.45),
+      mk("mkDelayWorker32B", 5590, 2491, 43, 0, 506, 553, 8, 0.44),
+      mk("mkPktMerge", 232, 36, 15, 0, 311, 156, 5, 0.16),
+      mk("mkSMAdapter4B", 1977, 984, 5, 0, 195, 205, 8, 0.42),
+      mk("or1200", 3054, 691, 2, 1, 385, 394, 12, 0.23),
+      mk("raygentop", 2148, 1423, 1, 18, 239, 305, 9, 0.44),
+      mk("sha", 2212, 911, 0, 0, 38, 36, 11, 0.38),
+      mk("stereovision0", 11462, 13405, 0, 0, 157, 197, 8, 0.54),
+      mk("stereovision1", 10366, 11789, 0, 152, 133, 145, 9, 0.53),
+      mk("stereovision2", 29849, 18416, 0, 213, 149, 182, 11, 0.42),
+      mk("stereovision3", 174, 96, 0, 0, 11, 30, 6, 0.41),
+  };
+}
+
+BenchmarkSpec scaled(BenchmarkSpec spec, double factor) {
+  auto scale = [&](int v) {
+    if (v == 0) return 0;
+    return std::max(1, static_cast<int>(std::lround(v * factor)));
+  };
+  spec.num_luts = std::max(8, scale(spec.num_luts));
+  spec.num_ffs = scale(spec.num_ffs);
+  spec.num_brams = scale(spec.num_brams);
+  spec.num_dsps = scale(spec.num_dsps);
+  spec.num_inputs = std::clamp(scale(spec.num_inputs), 4, spec.num_inputs);
+  spec.num_outputs = std::clamp(scale(spec.num_outputs), 4, spec.num_outputs);
+  return spec;
+}
+
+namespace {
+
+/// Random LUT truth table with a biased onset (real logic is rarely a
+/// balanced random function).
+std::uint64_t random_truth(util::Rng& rng, int k) {
+  const double bias = rng.uniform(0.25, 0.75);
+  std::uint64_t t = 0;
+  const int bits = 1 << k;
+  for (int i = 0; i < bits; ++i) {
+    if (rng.bernoulli(bias)) t |= (1ULL << i);
+  }
+  // Degenerate constants would be swept by synthesis; force at least one
+  // 0 and one 1.
+  if (t == 0) t = 1;
+  const std::uint64_t full = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+  if (t == full) t &= ~1ULL;
+  return t;
+}
+
+}  // namespace
+
+Netlist generate(const BenchmarkSpec& spec, util::Rng& rng) {
+  Netlist nl(spec.name);
+  const int depth = std::max(2, spec.logic_depth);
+
+  // Real circuits are modular: logic clusters into submodules whose nets
+  // stay mostly internal (Rent's rule). Each layer is partitioned into
+  // vertical module slices; a primitive draws most inputs from its own
+  // module, giving the placer locality to exploit and keeping routing
+  // demand realistic.
+  const int num_modules = std::max(1, spec.num_luts / 90);
+
+  // layer_nets[layer][module] -> available nets.
+  std::vector<std::vector<std::vector<NetId>>> layer_nets(
+      static_cast<std::size_t>(depth) + 1,
+      std::vector<std::vector<NetId>>(static_cast<std::size_t>(num_modules)));
+
+  // Primary inputs form layer 0, distributed round-robin over modules.
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    const PrimId p = nl.add_primitive({PrimKind::Input, "pi" + std::to_string(i), {}, kNoNet, 0});
+    layer_nets[0][static_cast<std::size_t>(i % num_modules)].push_back(nl.add_net(p));
+  }
+
+  // High-fanout control nets get picked preferentially.
+  std::vector<NetId> control_nets;
+  for (int i = 0; i < std::max(1, spec.num_inputs / 8); ++i) {
+    control_nets.push_back(layer_nets[0][static_cast<std::size_t>(i % num_modules)][0]);
+  }
+
+  // Pick a source net for a primitive in (layer, module): mostly the same
+  // module in the previous layer, some deeper history, a small fraction
+  // from neighbouring modules, occasionally a control net.
+  auto pick_source = [&](int layer, int module) -> NetId {
+    if (rng.bernoulli(0.05) && !control_nets.empty()) {
+      return control_nets[rng.next_below(static_cast<std::uint32_t>(control_nets.size()))];
+    }
+    int m = module;
+    if (rng.bernoulli(0.10) && num_modules > 1) {
+      // Cross-module connection, usually to a neighbour.
+      const int hop = rng.bernoulli(0.75) ? 1 : 1 + static_cast<int>(rng.next_below(
+                                                       static_cast<std::uint32_t>(num_modules)));
+      m = (module + hop) % num_modules;
+    }
+    int from = layer - 1;
+    const double r = rng.next_double();
+    if (r > 0.60 && layer >= 2) from = layer - 1 - static_cast<int>(rng.next_below(2)) - (r > 0.85 ? 1 : 0);
+    from = std::max(0, from);
+    // Walk back/aside until a non-empty pool is found.
+    for (int tries = 0; tries < num_modules; ++tries) {
+      int f = from;
+      while (f > 0 && layer_nets[static_cast<std::size_t>(f)][static_cast<std::size_t>(m)].empty()) --f;
+      const auto& pool = layer_nets[static_cast<std::size_t>(f)][static_cast<std::size_t>(m)];
+      if (!pool.empty()) return pool[rng.next_below(static_cast<std::uint32_t>(pool.size()))];
+      m = (m + 1) % num_modules;
+    }
+    assert(false && "no source pool available");
+    return 0;
+  };
+
+  // Distribute LUTs over layers 1..depth (bell-ish: middle layers widest).
+  std::vector<int> luts_in_layer(static_cast<std::size_t>(depth) + 1, 0);
+  {
+    std::vector<double> w(static_cast<std::size_t>(depth) + 1, 0.0);
+    double total = 0.0;
+    for (int l = 1; l <= depth; ++l) {
+      const double x = (l - 0.5 * depth) / (0.5 * depth);
+      w[static_cast<std::size_t>(l)] = 1.0 - 0.55 * x * x;
+      total += w[static_cast<std::size_t>(l)];
+    }
+    int assigned = 0;
+    for (int l = 1; l <= depth; ++l) {
+      const int n = static_cast<int>(std::floor(spec.num_luts * w[static_cast<std::size_t>(l)] / total));
+      luts_in_layer[static_cast<std::size_t>(l)] = std::max(1, n);
+      assigned += luts_in_layer[static_cast<std::size_t>(l)];
+    }
+    luts_in_layer[static_cast<std::size_t>(depth / 2 + 1)] += std::max(0, spec.num_luts - assigned);
+  }
+
+  // Hard blocks are sprinkled over the middle layers.
+  std::vector<int> brams_in_layer(static_cast<std::size_t>(depth) + 1, 0);
+  std::vector<int> dsps_in_layer(static_cast<std::size_t>(depth) + 1, 0);
+  for (int i = 0; i < spec.num_brams; ++i)
+    brams_in_layer[1 + rng.next_below(static_cast<std::uint32_t>(depth - 1))]++;
+  for (int i = 0; i < spec.num_dsps; ++i)
+    dsps_in_layer[1 + rng.next_below(static_cast<std::uint32_t>(depth - 1))]++;
+
+  int ffs_left = spec.num_ffs;
+  int lut_seq = 0, ff_seq = 0, bram_seq = 0, dsp_seq = 0;
+  // Hard blocks form datapath chains (multiplier cascades, FIFO pipes):
+  // a new DSP/BRAM usually consumes the previous one's output, which is
+  // what puts hard blocks on the critical path of DSP-heavy circuits.
+  NetId last_dsp_net = kNoNet;
+  NetId last_bram_net = kNoNet;
+  int dsp_chain_len = 0;
+  int bram_chain_len = 0;
+
+  for (int layer = 1; layer <= depth; ++layer) {
+    auto& pools = layer_nets[static_cast<std::size_t>(layer)];
+
+    for (int i = 0; i < luts_in_layer[static_cast<std::size_t>(layer)]; ++i) {
+      const int module = i % num_modules;
+      const int k = 2 + static_cast<int>(rng.next_below(5));  // 2..6 inputs
+      Primitive lut{PrimKind::Lut, "lut" + std::to_string(lut_seq++), {}, kNoNet, 0};
+      const PrimId id = nl.add_primitive(std::move(lut));
+      for (int pin = 0; pin < k; ++pin) nl.connect(pick_source(layer, module), id, pin);
+      nl.prim(id).truth = random_truth(rng, k);
+      NetId out = nl.add_net(id);
+
+      // Register a fraction of LUT outputs; the FF output replaces the
+      // combinational net in the pool (cutting the timing path there).
+      if (ffs_left > 0 && rng.bernoulli(spec.ff_ratio)) {
+        const PrimId ff = nl.add_primitive({PrimKind::Ff, "ff" + std::to_string(ff_seq++), {}, kNoNet, 0});
+        nl.connect(out, ff, 0);
+        out = nl.add_net(ff);
+        --ffs_left;
+      }
+      pools[static_cast<std::size_t>(module)].push_back(out);
+      if (rng.bernoulli(0.01)) control_nets.push_back(out);
+    }
+
+    for (int i = 0; i < brams_in_layer[static_cast<std::size_t>(layer)]; ++i) {
+      const int module = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(num_modules)));
+      const PrimId id = nl.add_primitive({PrimKind::Bram, "bram" + std::to_string(bram_seq++), {}, kNoNet, 0});
+      for (int pin = 0; pin < 12; ++pin) {
+        if (pin == 0 && last_bram_net != kNoNet && bram_chain_len < 3 &&
+            rng.bernoulli(0.6)) {
+          nl.connect(last_bram_net, id, pin);
+          ++bram_chain_len;
+        } else {
+          if (pin == 0) bram_chain_len = 0;
+          nl.connect(pick_source(layer, module), id, pin);
+        }
+      }
+      last_bram_net = nl.add_net(id);
+      pools[static_cast<std::size_t>(module)].push_back(last_bram_net);
+    }
+    for (int i = 0; i < dsps_in_layer[static_cast<std::size_t>(layer)]; ++i) {
+      const int module = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(num_modules)));
+      const PrimId id = nl.add_primitive({PrimKind::Dsp, "dsp" + std::to_string(dsp_seq++), {}, kNoNet, 0});
+      for (int pin = 0; pin < 8; ++pin) {
+        if (pin == 0 && last_dsp_net != kNoNet && dsp_chain_len < 4 &&
+            rng.bernoulli(0.7)) {
+          nl.connect(last_dsp_net, id, pin);  // multiply-accumulate cascade
+          ++dsp_chain_len;
+        } else {
+          if (pin == 0) dsp_chain_len = 0;
+          nl.connect(pick_source(layer, module), id, pin);
+        }
+      }
+      last_dsp_net = nl.add_net(id);
+      pools[static_cast<std::size_t>(module)].push_back(last_dsp_net);
+    }
+  }
+
+  // Primary outputs tap the last layers.
+  for (int i = 0; i < spec.num_outputs; ++i) {
+    const PrimId id = nl.add_primitive({PrimKind::Output, "po" + std::to_string(i), {}, kNoNet, 0});
+    nl.connect(pick_source(depth, i % num_modules), id, 0);
+  }
+
+  assert(nl.validate().empty());
+  return nl;
+}
+
+}  // namespace taf::netlist

@@ -1,0 +1,230 @@
+#include "netlist/blif.hpp"
+
+#include <cassert>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace taf::netlist {
+
+namespace {
+
+/// Net names: primary IO keep the primitive's name; internal nets are
+/// named after their driver.
+std::string net_name(const Netlist& nl, NetId n) {
+  const Primitive& d = nl.prim(nl.net(n).driver);
+  return d.name;
+}
+
+}  // namespace
+
+void write_blif(const Netlist& nl, std::ostream& out) {
+  out << ".model " << nl.name() << "\n";
+
+  out << ".inputs";
+  for (const Primitive& p : nl.prims()) {
+    if (p.kind == PrimKind::Input) out << " " << p.name;
+  }
+  out << "\n.outputs";
+  for (const Primitive& p : nl.prims()) {
+    if (p.kind == PrimKind::Output) out << " " << p.name;
+  }
+  out << "\n";
+
+  for (PrimId id = 0; id < static_cast<PrimId>(nl.prims().size()); ++id) {
+    const Primitive& p = nl.prim(id);
+    switch (p.kind) {
+      case PrimKind::Lut: {
+        out << ".names";
+        for (NetId in : p.inputs) out << " " << net_name(nl, in);
+        out << " " << p.name << "\n";
+        const int k = static_cast<int>(p.inputs.size());
+        for (int m = 0; m < (1 << k); ++m) {
+          if (!((p.truth >> m) & 1ULL)) continue;
+          for (int b = 0; b < k; ++b) out << (((m >> b) & 1) ? '1' : '0');
+          out << " 1\n";
+        }
+        break;
+      }
+      case PrimKind::Ff:
+        out << ".latch " << net_name(nl, p.inputs.at(0)) << " " << p.name
+            << " re clk 0\n";
+        break;
+      case PrimKind::Bram:
+      case PrimKind::Dsp: {
+        out << ".subckt " << (p.kind == PrimKind::Bram ? "bram" : "dsp");
+        for (std::size_t i = 0; i < p.inputs.size(); ++i) {
+          out << " in" << i << "=" << net_name(nl, p.inputs[i]);
+        }
+        out << " out=" << p.name << "\n";
+        break;
+      }
+      case PrimKind::Output:
+        // Emitted as a buffer .names so the output net name is bound.
+        out << ".names " << net_name(nl, p.inputs.at(0)) << " " << p.name << "\n1 1\n";
+        break;
+      case PrimKind::Input:
+        break;
+    }
+  }
+  out << ".end\n";
+}
+
+Netlist read_blif(std::istream& in) {
+  std::string line, logical;
+  std::vector<std::string> lines;  // logical lines ('\' continuations folded)
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (line.empty()) continue;
+    if (line.back() == '\\') {
+      line.pop_back();
+      logical += line;
+      continue;
+    }
+    logical += line;
+    lines.push_back(logical);
+    logical.clear();
+  }
+
+  auto tokens_of = [](const std::string& l) {
+    std::istringstream ss(l);
+    std::vector<std::string> t;
+    std::string w;
+    while (ss >> w) t.push_back(w);
+    return t;
+  };
+
+  Netlist nl("blif");
+  std::map<std::string, NetId> net_of;          // net name -> id (once driven)
+  std::map<std::string, std::vector<std::pair<PrimId, int>>> pending;  // undriven uses
+  std::vector<std::string> output_names;
+
+  auto use_net = [&](const std::string& name, PrimId sink, int pin) {
+    auto it = net_of.find(name);
+    if (it != net_of.end()) {
+      nl.connect(it->second, sink, pin);
+    } else {
+      pending[name].push_back({sink, pin});
+    }
+  };
+  auto drive_net = [&](const std::string& name, PrimId driver) {
+    if (net_of.count(name)) throw std::runtime_error("blif: net driven twice: " + name);
+    const NetId n = nl.add_net(driver);
+    net_of[name] = n;
+    auto it = pending.find(name);
+    if (it != pending.end()) {
+      for (auto [sink, pin] : it->second) nl.connect(n, sink, pin);
+      pending.erase(it);
+    }
+  };
+
+  std::size_t li = 0;
+  // Deferred .names bodies: (lut prim, k) -> collect rows until next dot-line.
+  for (li = 0; li < lines.size(); ++li) {
+    const auto tok = tokens_of(lines[li]);
+    if (tok.empty()) continue;
+    const std::string& cmd = tok[0];
+    if (cmd == ".model" || cmd == ".end") continue;
+    if (cmd == ".inputs") {
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const PrimId p = nl.add_primitive({PrimKind::Input, tok[i], {}, kNoNet, 0});
+        drive_net(tok[i], p);
+      }
+    } else if (cmd == ".outputs") {
+      for (std::size_t i = 1; i < tok.size(); ++i) output_names.push_back(tok[i]);
+    } else if (cmd == ".latch") {
+      if (tok.size() < 3) throw std::runtime_error("blif: malformed .latch");
+      const PrimId p = nl.add_primitive({PrimKind::Ff, tok[2], {}, kNoNet, 0});
+      use_net(tok[1], p, 0);
+      drive_net(tok[2], p);
+    } else if (cmd == ".subckt") {
+      if (tok.size() < 3) throw std::runtime_error("blif: malformed .subckt");
+      const PrimKind kind = tok[1] == "bram" ? PrimKind::Bram
+                            : tok[1] == "dsp" ? PrimKind::Dsp
+                                              : PrimKind::Lut;
+      if (kind == PrimKind::Lut)
+        throw std::runtime_error("blif: unsupported subckt " + tok[1]);
+      std::string out_name;
+      std::vector<std::pair<int, std::string>> ins;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        const auto eq = tok[i].find('=');
+        if (eq == std::string::npos) throw std::runtime_error("blif: bad binding");
+        const std::string port = tok[i].substr(0, eq);
+        const std::string net = tok[i].substr(eq + 1);
+        if (port == "out") {
+          out_name = net;
+        } else if (port.rfind("in", 0) == 0) {
+          ins.push_back({std::stoi(port.substr(2)), net});
+        }
+      }
+      if (out_name.empty()) throw std::runtime_error("blif: subckt without out=");
+      const PrimId p = nl.add_primitive({kind, out_name, {}, kNoNet, 0});
+      for (const auto& [pin, net] : ins) use_net(net, p, pin);
+      drive_net(out_name, p);
+    } else if (cmd == ".names") {
+      if (tok.size() < 2) throw std::runtime_error("blif: malformed .names");
+      const std::string out_name = tok.back();
+      const int k = static_cast<int>(tok.size()) - 2;
+      if (k > 6) throw std::runtime_error("blif: .names with more than 6 inputs");
+      const PrimId p = nl.add_primitive({PrimKind::Lut, out_name, {}, kNoNet, 0});
+      for (int i = 0; i < k; ++i) use_net(tok[static_cast<std::size_t>(i) + 1], p, i);
+      // Consume truth rows.
+      std::uint64_t truth = 0;
+      while (li + 1 < lines.size() && lines[li + 1][0] != '.') {
+        ++li;
+        const auto row = tokens_of(lines[li]);
+        if (row.size() != (k == 0 ? 1u : 2u))
+          throw std::runtime_error("blif: bad truth row at line " + std::to_string(li));
+        const std::string& bits = k == 0 ? "" : row[0];
+        const std::string& val = row.back();
+        if (val != "1") throw std::runtime_error("blif: only onset rows supported");
+        if (static_cast<int>(bits.size()) != k)
+          throw std::runtime_error("blif: truth row width mismatch");
+        // Expand don't-cares recursively.
+        std::vector<int> minterms{0};
+        for (int b = 0; b < k; ++b) {
+          const char cbit = bits[static_cast<std::size_t>(b)];
+          std::vector<int> next;
+          for (int m : minterms) {
+            if (cbit == '0' || cbit == '-') next.push_back(m);
+            if (cbit == '1' || cbit == '-') next.push_back(m | (1 << b));
+          }
+          minterms = std::move(next);
+        }
+        for (int m : minterms) truth |= (1ULL << m);
+      }
+      if (k == 0) truth = 1;  // constant-1 .names
+      nl.prim(p).truth = truth;
+      drive_net(out_name, p);
+    } else {
+      throw std::runtime_error("blif: unsupported construct " + cmd);
+    }
+  }
+
+  // Primary outputs: one Output primitive per declared name.
+  for (const std::string& name : output_names) {
+    const PrimId p = nl.add_primitive({PrimKind::Output, name + "_po", {}, kNoNet, 0});
+    use_net(name, p, 0);
+  }
+  if (!pending.empty())
+    throw std::runtime_error("blif: undriven net " + pending.begin()->first);
+  return nl;
+}
+
+std::string to_blif_string(const Netlist& nl) {
+  std::ostringstream ss;
+  write_blif(nl, ss);
+  return ss.str();
+}
+
+Netlist from_blif_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_blif(ss);
+}
+
+}  // namespace taf::netlist

@@ -1,0 +1,27 @@
+#pragma once
+// BLIF reader/writer — the interchange format of the VTR flow the paper
+// builds on. Lets generated benchmarks be inspected with standard tools
+// and real .blif circuits be fed into this flow.
+//
+// Supported subset: .model/.inputs/.outputs/.names (with don't-cares on
+// read), .latch (re-triggered), and .subckt bram/dsp for the hard blocks.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace taf::netlist {
+
+/// Serialize the netlist as BLIF.
+void write_blif(const Netlist& nl, std::ostream& out);
+
+/// Parse a BLIF stream. Throws std::runtime_error with a line-numbered
+/// message on malformed input or on constructs outside the subset.
+Netlist read_blif(std::istream& in);
+
+/// Convenience: round-trip through strings (used by tests/tools).
+std::string to_blif_string(const Netlist& nl);
+Netlist from_blif_string(const std::string& text);
+
+}  // namespace taf::netlist

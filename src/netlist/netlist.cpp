@@ -1,0 +1,111 @@
+#include "netlist/netlist.hpp"
+
+#include <cassert>
+#include <queue>
+
+namespace taf::netlist {
+
+const char* prim_kind_name(PrimKind k) {
+  switch (k) {
+    case PrimKind::Input: return "input";
+    case PrimKind::Output: return "output";
+    case PrimKind::Lut: return "lut";
+    case PrimKind::Ff: return "ff";
+    case PrimKind::Bram: return "bram";
+    case PrimKind::Dsp: return "dsp";
+  }
+  return "?";
+}
+
+PrimId Netlist::add_primitive(Primitive p) {
+  prims_.push_back(std::move(p));
+  return static_cast<PrimId>(prims_.size() - 1);
+}
+
+NetId Netlist::add_net(PrimId driver) {
+  assert(driver >= 0 && driver < static_cast<PrimId>(prims_.size()));
+  nets_.push_back(Net{driver, {}});
+  const NetId id = static_cast<NetId>(nets_.size() - 1);
+  prims_[static_cast<std::size_t>(driver)].output = id;
+  return id;
+}
+
+void Netlist::connect(NetId net, PrimId sink, int pin) {
+  assert(net >= 0 && net < static_cast<NetId>(nets_.size()));
+  nets_[static_cast<std::size_t>(net)].sinks.push_back({sink, pin});
+  auto& inputs = prims_[static_cast<std::size_t>(sink)].inputs;
+  if (static_cast<int>(inputs.size()) <= pin) inputs.resize(static_cast<std::size_t>(pin) + 1, kNoNet);
+  inputs[static_cast<std::size_t>(pin)] = net;
+}
+
+int Netlist::count(PrimKind k) const {
+  int n = 0;
+  for (const Primitive& p : prims_)
+    if (p.kind == k) ++n;
+  return n;
+}
+
+std::vector<PrimId> Netlist::topo_order() const {
+  // Kahn's algorithm over combinational edges only: an edge exists from
+  // net driver d to sink s iff s is a LUT or Output (sequential elements
+  // consume but do not propagate within a cycle).
+  const auto n = static_cast<PrimId>(prims_.size());
+  std::vector<int> pending(static_cast<std::size_t>(n), 0);
+  for (PrimId id = 0; id < n; ++id) {
+    const Primitive& p = prims_[static_cast<std::size_t>(id)];
+    if (p.kind == PrimKind::Lut || p.kind == PrimKind::Output) {
+      int cnt = 0;
+      for (NetId in : p.inputs)
+        if (in != kNoNet) ++cnt;
+      pending[static_cast<std::size_t>(id)] = cnt;
+    }
+  }
+  std::queue<PrimId> ready;
+  for (PrimId id = 0; id < n; ++id) {
+    if (pending[static_cast<std::size_t>(id)] == 0) ready.push(id);
+  }
+  std::vector<PrimId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const PrimId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    const Primitive& p = prims_[static_cast<std::size_t>(id)];
+    if (p.output == kNoNet) continue;
+    for (const NetSink& s : nets_[static_cast<std::size_t>(p.output)].sinks) {
+      const Primitive& sp = prims_[static_cast<std::size_t>(s.prim)];
+      if (sp.kind != PrimKind::Lut && sp.kind != PrimKind::Output) continue;
+      if (--pending[static_cast<std::size_t>(s.prim)] == 0) ready.push(s.prim);
+    }
+  }
+  assert(order.size() == prims_.size() && "combinational cycle in netlist");
+  return order;
+}
+
+std::string Netlist::validate() const {
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const Net& net = nets_[i];
+    if (net.driver < 0 || net.driver >= static_cast<PrimId>(prims_.size()))
+      return "net " + std::to_string(i) + ": bad driver";
+    if (prims_[static_cast<std::size_t>(net.driver)].output != static_cast<NetId>(i))
+      return "net " + std::to_string(i) + ": driver does not point back";
+    for (const NetSink& s : net.sinks) {
+      if (s.prim < 0 || s.prim >= static_cast<PrimId>(prims_.size()))
+        return "net " + std::to_string(i) + ": bad sink";
+      const auto& inputs = prims_[static_cast<std::size_t>(s.prim)].inputs;
+      if (s.pin < 0 || s.pin >= static_cast<int>(inputs.size()) ||
+          inputs[static_cast<std::size_t>(s.pin)] != static_cast<NetId>(i))
+        return "net " + std::to_string(i) + ": sink pin mismatch";
+    }
+  }
+  for (std::size_t i = 0; i < prims_.size(); ++i) {
+    const Primitive& p = prims_[i];
+    if (p.kind == PrimKind::Lut && p.inputs.size() > 6)
+      return "prim " + std::to_string(i) + ": LUT with more than 6 inputs";
+    if (p.kind != PrimKind::Output && p.output == kNoNet)
+      return "prim " + std::to_string(i) + ": missing output net";
+  }
+  return {};
+}
+
+}  // namespace taf::netlist

@@ -1,0 +1,82 @@
+#pragma once
+// Technology-mapped netlist model (the VTR input of the paper's flow).
+//
+// Primitives are 6-LUTs (with explicit truth tables — the activity
+// estimator computes exact Boolean-difference probabilities from them),
+// flip-flops, BRAM and DSP macro blocks, and primary IOs. Each primitive
+// drives exactly one net; a net records its sink primitives and pins.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taf::netlist {
+
+enum class PrimKind : std::uint8_t { Input, Output, Lut, Ff, Bram, Dsp };
+
+const char* prim_kind_name(PrimKind k);
+
+using PrimId = int;
+using NetId = int;
+inline constexpr NetId kNoNet = -1;
+
+struct Primitive {
+  PrimKind kind = PrimKind::Lut;
+  std::string name;
+  /// Nets feeding this primitive's input pins (size: LUT <= K, FF 1,
+  /// BRAM/DSP several, Output 1, Input 0).
+  std::vector<NetId> inputs;
+  /// The net this primitive drives (kNoNet for Output).
+  NetId output = kNoNet;
+  /// LUT truth table over the first inputs.size() variables; bit i gives
+  /// the output for input assignment i (LSB = input 0). Unused otherwise.
+  std::uint64_t truth = 0;
+};
+
+struct NetSink {
+  PrimId prim = 0;
+  int pin = 0;
+};
+
+struct Net {
+  PrimId driver = 0;
+  std::vector<NetSink> sinks;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  PrimId add_primitive(Primitive p);
+  /// Create the net driven by `driver` (every non-Output primitive gets one).
+  NetId add_net(PrimId driver);
+  void connect(NetId net, PrimId sink, int pin);
+
+  const std::vector<Primitive>& prims() const { return prims_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  Primitive& prim(PrimId id) { return prims_[static_cast<std::size_t>(id)]; }
+  const Primitive& prim(PrimId id) const { return prims_[static_cast<std::size_t>(id)]; }
+  const Net& net(NetId id) const { return nets_[static_cast<std::size_t>(id)]; }
+
+  int count(PrimKind k) const;
+
+  /// Primitives in topological order (inputs/FF/BRAM/DSP outputs are
+  /// sources; combinational LUT edges define the partial order). FF, BRAM
+  /// and DSP primitives break cycles: their outputs are treated as
+  /// sequential sources.
+  std::vector<PrimId> topo_order() const;
+
+  /// Sanity checks: every net's driver/sink ids are consistent and every
+  /// LUT has <= 6 inputs. Returns an empty string or a description of the
+  /// first violation.
+  std::string validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Primitive> prims_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace taf::netlist

@@ -1,0 +1,225 @@
+#include "place/place.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace taf::place {
+
+namespace {
+
+using arch::FpgaGrid;
+using arch::TileKind;
+using arch::TilePos;
+using pack::BlockKind;
+using pack::PackedNetlist;
+
+TileKind tile_kind_for(BlockKind k) {
+  switch (k) {
+    case BlockKind::Clb: return TileKind::Clb;
+    case BlockKind::Bram: return TileKind::Bram;
+    case BlockKind::Dsp: return TileKind::Dsp;
+    case BlockKind::Io: return TileKind::Io;
+  }
+  return TileKind::Clb;
+}
+
+/// VPR's crossing-count correction for multi-terminal nets.
+double q_factor(int pins) {
+  static const double kQ[] = {1.0,    1.0,    1.0,    1.0828, 1.1536, 1.2206,
+                              1.2823, 1.3385, 1.3991, 1.4493, 1.4974};
+  if (pins <= 10) return kQ[std::max(0, pins)];
+  return 1.4974 + (pins - 10) * 0.0264;
+}
+
+struct NetBox {
+  int xmin = 0, xmax = 0, ymin = 0, ymax = 0;
+  int pins = 0;
+  double cost() const {
+    return q_factor(pins) * ((xmax - xmin) + (ymax - ymin));
+  }
+};
+
+}  // namespace
+
+double wirelength_cost(const PackedNetlist& packed, const Placement& pl) {
+  double total = 0.0;
+  for (const auto& bn : packed.block_nets) {
+    NetBox box;
+    const TilePos d = pl.pos[static_cast<std::size_t>(bn.driver_block)];
+    box.xmin = box.xmax = d.x;
+    box.ymin = box.ymax = d.y;
+    box.pins = 1 + static_cast<int>(bn.sink_blocks.size());
+    for (int s : bn.sink_blocks) {
+      const TilePos p = pl.pos[static_cast<std::size_t>(s)];
+      box.xmin = std::min(box.xmin, p.x);
+      box.xmax = std::max(box.xmax, p.x);
+      box.ymin = std::min(box.ymin, p.y);
+      box.ymax = std::max(box.ymax, p.y);
+    }
+    total += box.cost();
+  }
+  return total;
+}
+
+Placement place(const PackedNetlist& packed, const FpgaGrid& grid,
+                const PlaceOptions& opt) {
+  util::Rng rng(opt.seed);
+  const int num_blocks = static_cast<int>(packed.blocks.size());
+
+  // --- Build slot lists per block kind.
+  struct Slot {
+    TilePos pos;
+    int block = -1;  ///< occupying block or -1
+  };
+  std::vector<std::vector<Slot>> slots(4);
+  for (int k = 0; k < 4; ++k) {
+    const TileKind tk = tile_kind_for(static_cast<BlockKind>(k));
+    const int cap = tk == TileKind::Io ? opt.io_capacity : 1;
+    for (const TilePos& p : grid.tiles_of(tk)) {
+      for (int c = 0; c < cap; ++c) slots[static_cast<std::size_t>(k)].push_back({p, -1});
+    }
+  }
+
+  // --- Random legal initial placement.
+  std::vector<int> slot_of_block(static_cast<std::size_t>(num_blocks), -1);
+  std::vector<int> next_free(4, 0);
+  Placement pl;
+  pl.pos.resize(static_cast<std::size_t>(num_blocks));
+  for (int b = 0; b < num_blocks; ++b) {
+    const int k = static_cast<int>(packed.blocks[static_cast<std::size_t>(b)].kind);
+    auto& pool = slots[static_cast<std::size_t>(k)];
+    if (next_free[static_cast<std::size_t>(k)] >= static_cast<int>(pool.size()))
+      throw std::runtime_error("place: grid capacity exceeded for kind " +
+                               std::to_string(k));
+    // Place into a random free slot: swap a random remaining slot into
+    // the next-free position (Fisher-Yates over slots).
+    const int base = next_free[static_cast<std::size_t>(k)]++;
+    const int pick = base + static_cast<int>(rng.next_below(
+                               static_cast<std::uint32_t>(pool.size() - static_cast<std::size_t>(base))));
+    std::swap(pool[static_cast<std::size_t>(base)], pool[static_cast<std::size_t>(pick)]);
+    pool[static_cast<std::size_t>(base)].block = b;
+    slot_of_block[static_cast<std::size_t>(b)] = base;
+    pl.pos[static_cast<std::size_t>(b)] = pool[static_cast<std::size_t>(base)].pos;
+  }
+
+  // --- Per-block incident nets for incremental cost evaluation.
+  std::vector<std::vector<int>> nets_of_block(static_cast<std::size_t>(num_blocks));
+  for (int n = 0; n < static_cast<int>(packed.block_nets.size()); ++n) {
+    const auto& bn = packed.block_nets[static_cast<std::size_t>(n)];
+    nets_of_block[static_cast<std::size_t>(bn.driver_block)].push_back(n);
+    for (int s : bn.sink_blocks) nets_of_block[static_cast<std::size_t>(s)].push_back(n);
+  }
+
+  auto net_cost = [&](int n) {
+    const auto& bn = packed.block_nets[static_cast<std::size_t>(n)];
+    NetBox box;
+    const TilePos d = pl.pos[static_cast<std::size_t>(bn.driver_block)];
+    box.xmin = box.xmax = d.x;
+    box.ymin = box.ymax = d.y;
+    box.pins = 1 + static_cast<int>(bn.sink_blocks.size());
+    for (int s : bn.sink_blocks) {
+      const TilePos p = pl.pos[static_cast<std::size_t>(s)];
+      box.xmin = std::min(box.xmin, p.x);
+      box.xmax = std::max(box.xmax, p.x);
+      box.ymin = std::min(box.ymin, p.y);
+      box.ymax = std::max(box.ymax, p.y);
+    }
+    return box.cost();
+  };
+
+  double cost = wirelength_cost(packed, pl);
+  if (packed.block_nets.empty() || num_blocks < 2) {
+    pl.cost = cost;
+    return pl;
+  }
+
+  // --- Annealing schedule (VPR-flavoured).
+  const int moves_per_t = std::max(
+      64, static_cast<int>(opt.effort *
+                           std::pow(static_cast<double>(num_blocks), 4.0 / 3.0)));
+
+  // Initial temperature: sample random swaps.
+  double t;
+  {
+    util::Accumulator deltas;
+    for (int i = 0; i < 200; ++i) {
+      const int b = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(num_blocks)));
+      deltas.add(std::fabs(net_cost(nets_of_block[static_cast<std::size_t>(b)].empty()
+                                        ? 0
+                                        : nets_of_block[static_cast<std::size_t>(b)][0])));
+    }
+    t = 20.0 * std::max(deltas.mean(), 1.0);
+  }
+
+  // One proposed move: pick a random block, a random slot of its kind,
+  // swap occupants (or move into a free slot).
+  auto try_move = [&](double temperature) -> bool {
+    const int b1 = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(num_blocks)));
+    const int k = static_cast<int>(packed.blocks[static_cast<std::size_t>(b1)].kind);
+    auto& pool = slots[static_cast<std::size_t>(k)];
+    const int s1 = slot_of_block[static_cast<std::size_t>(b1)];
+    const int s2 = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(pool.size())));
+    if (s1 == s2) return false;
+    const int b2 = pool[static_cast<std::size_t>(s2)].block;
+
+    // Collect affected nets (dedup via sort).
+    std::vector<int> affected = nets_of_block[static_cast<std::size_t>(b1)];
+    if (b2 >= 0) {
+      affected.insert(affected.end(), nets_of_block[static_cast<std::size_t>(b2)].begin(),
+                      nets_of_block[static_cast<std::size_t>(b2)].end());
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+    double before = 0.0;
+    for (int n : affected) before += net_cost(n);
+
+    // Apply.
+    pl.pos[static_cast<std::size_t>(b1)] = pool[static_cast<std::size_t>(s2)].pos;
+    if (b2 >= 0) pl.pos[static_cast<std::size_t>(b2)] = pool[static_cast<std::size_t>(s1)].pos;
+
+    double after = 0.0;
+    for (int n : affected) after += net_cost(n);
+    const double delta = after - before;
+
+    const bool accept = delta <= 0.0 || rng.next_double() < std::exp(-delta / temperature);
+    if (accept) {
+      std::swap(pool[static_cast<std::size_t>(s1)].block, pool[static_cast<std::size_t>(s2)].block);
+      slot_of_block[static_cast<std::size_t>(b1)] = s2;
+      if (b2 >= 0) slot_of_block[static_cast<std::size_t>(b2)] = s1;
+      cost += delta;
+      return true;
+    }
+    // Revert.
+    pl.pos[static_cast<std::size_t>(b1)] = pool[static_cast<std::size_t>(s1)].pos;
+    if (b2 >= 0) pl.pos[static_cast<std::size_t>(b2)] = pool[static_cast<std::size_t>(s2)].pos;
+    return false;
+  };
+
+  const double exit_t = 0.002 * cost / std::max<std::size_t>(packed.block_nets.size(), 1);
+  int rounds = 0;
+  while (t > exit_t && rounds++ < 200) {
+    int accepted = 0;
+    for (int m = 0; m < moves_per_t; ++m) accepted += try_move(t) ? 1 : 0;
+    const double rate = static_cast<double>(accepted) / moves_per_t;
+    // VPR's adaptive alpha: cool slowly near the critical acceptance band.
+    double alpha;
+    if (rate > 0.96) alpha = 0.5;
+    else if (rate > 0.8) alpha = 0.9;
+    else if (rate > 0.15) alpha = 0.95;
+    else alpha = 0.8;
+    t *= alpha;
+  }
+
+  pl.cost = wirelength_cost(packed, pl);
+  util::log_debug("place: %d blocks, final HPWL %.1f after %d rounds", num_blocks,
+                  pl.cost, rounds);
+  return pl;
+}
+
+}  // namespace taf::place

@@ -1,0 +1,38 @@
+#pragma once
+// Simulated-annealing placement (the VPR place stage).
+//
+// Wirelength-driven annealing over legal slots: CLBs on logic tiles,
+// BRAM/DSP on their columns, IOs on perimeter pads (8 per tile). Cost is
+// the q-corrected half-perimeter wirelength used by VPR; the schedule
+// adapts the temperature decay to the acceptance rate.
+
+#include <vector>
+
+#include "arch/fpga_grid.hpp"
+#include "pack/pack.hpp"
+#include "util/rng.hpp"
+
+namespace taf::place {
+
+struct Placement {
+  /// Tile position of every block (indexed by block id).
+  std::vector<arch::TilePos> pos;
+  double cost = 0.0;  ///< final HPWL cost
+};
+
+struct PlaceOptions {
+  unsigned seed = 1;
+  /// Scales moves per temperature (VPR's inner_num).
+  double effort = 1.0;
+  int io_capacity = 8;  ///< pads per IO tile
+};
+
+/// Anneal the packed netlist onto the grid. The grid must have enough
+/// capacity of every tile kind (use arch::FpgaGrid::fit).
+Placement place(const pack::PackedNetlist& packed, const arch::FpgaGrid& grid,
+                const PlaceOptions& opt = {});
+
+/// Total q-corrected HPWL of a placement (for testing / reporting).
+double wirelength_cost(const pack::PackedNetlist& packed, const Placement& pl);
+
+}  // namespace taf::place

@@ -1,0 +1,127 @@
+#include "power/power.hpp"
+
+#include <cassert>
+
+namespace taf::power {
+
+namespace {
+
+using coffe::ResourceKind;
+using netlist::PrimKind;
+
+}  // namespace
+
+double tile_leakage_uw(const coffe::DeviceModel& dev, arch::TileKind kind,
+                       const arch::ArchParams& arch, double temp_c) {
+  // Routing resources exist on every tile: wires anchored per tile
+  // (2 * W / L SB muxes) plus the connection-block muxes.
+  const double sb_count = 2.0 * arch.channel_tracks / arch.wire_segment_length;
+  double uw = sb_count * dev.leakage_uw(ResourceKind::SbMux, temp_c) +
+              arch.cluster_inputs * dev.leakage_uw(ResourceKind::CbMux, temp_c);
+  switch (kind) {
+    case arch::TileKind::Clb:
+      uw += arch.cluster_n * (dev.leakage_uw(ResourceKind::Lut, temp_c) +
+                              dev.leakage_uw(ResourceKind::OutputMux, temp_c) +
+                              dev.leakage_uw(ResourceKind::FeedbackMux, temp_c)) +
+            arch.cluster_n * arch.lut_k * dev.leakage_uw(ResourceKind::LocalMux, temp_c);
+      break;
+    case arch::TileKind::Bram:
+      uw += dev.leakage_uw(ResourceKind::Bram, temp_c);
+      break;
+    case arch::TileKind::Dsp:
+      uw += dev.leakage_uw(ResourceKind::Dsp, temp_c);
+      break;
+    case arch::TileKind::Io:
+      break;  // pads modelled as leakage-free
+  }
+  return uw;
+}
+
+PowerBreakdown compute_power(const coffe::DeviceModel& dev, const netlist::Netlist& nl,
+                             const pack::PackedNetlist& packed,
+                             const place::Placement& pl, const route::RrGraph& rr,
+                             const route::RouteResult& routes,
+                             const std::vector<activity::SignalStats>& act,
+                             double f_mhz, const std::vector<double>& tile_temp_c,
+                             const arch::FpgaGrid& grid) {
+  assert(static_cast<int>(tile_temp_c.size()) == grid.num_tiles());
+  PowerBreakdown result;
+  result.tile_w.assign(static_cast<std::size_t>(grid.num_tiles()), 0.0);
+
+  auto add_uw = [&](arch::TilePos pos, double uw, bool dynamic) {
+    const double w = uw * 1e-6;
+    result.tile_w[static_cast<std::size_t>(grid.index_of(pos))] += w;
+    (dynamic ? result.dynamic_w : result.leakage_w) += w;
+  };
+
+  // --- Leakage: full per-tile inventory at the tile temperature.
+  for (int y = 0; y < grid.height(); ++y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      const double t = tile_temp_c[static_cast<std::size_t>(grid.index_of(x, y))];
+      add_uw({x, y}, tile_leakage_uw(dev, grid.at(x, y), dev.arch, t), false);
+    }
+  }
+
+  // --- Dynamic: blocks.
+  auto net_density = [&](netlist::NetId n) {
+    return n >= 0 && n < static_cast<netlist::NetId>(act.size())
+               ? act[static_cast<std::size_t>(n)].density
+               : 0.0;
+  };
+  for (netlist::PrimId id = 0; id < static_cast<netlist::PrimId>(nl.prims().size());
+       ++id) {
+    const auto& p = nl.prim(id);
+    const int block = packed.block_of_prim[static_cast<std::size_t>(id)];
+    if (block < 0) continue;
+    const arch::TilePos pos = pl.pos[static_cast<std::size_t>(block)];
+    const double alpha = p.output != netlist::kNoNet ? net_density(p.output) : 0.0;
+    switch (p.kind) {
+      case PrimKind::Lut: {
+        add_uw(pos, dev.dyn_power_uw(ResourceKind::Lut, f_mhz, alpha), true);
+        // Input muxes switch with the input nets.
+        double in_alpha = 0.0;
+        for (netlist::NetId in : p.inputs)
+          if (in != netlist::kNoNet) in_alpha += net_density(in);
+        add_uw(pos, dev.dyn_power_uw(ResourceKind::LocalMux, f_mhz, in_alpha), true);
+        add_uw(pos, dev.dyn_power_uw(ResourceKind::OutputMux, f_mhz, alpha), true);
+        break;
+      }
+      case PrimKind::Bram:
+        add_uw(pos, dev.dyn_power_uw(ResourceKind::Bram, f_mhz, 0.5 + alpha), true);
+        break;
+      case PrimKind::Dsp:
+        add_uw(pos, dev.dyn_power_uw(ResourceKind::Dsp, f_mhz, 0.25 + 0.5 * alpha), true);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- Dynamic: routing. Each occupied wire burns one SB mux's switched
+  // energy in the tile that anchors (drives) it.
+  for (std::size_t bn = 0; bn < packed.block_nets.size(); ++bn) {
+    const auto& net = packed.block_nets[bn];
+    const double alpha = net_density(net.net);
+    const route::NetRoute& nr = routes.routes[bn];
+    for (route::RrNodeId n : nr.nodes) {
+      const route::RrNode& node = rr.node(n);
+      switch (node.kind) {
+        case route::RrKind::WireH:
+        case route::RrKind::WireV:
+          add_uw(node.tile, dev.dyn_power_uw(ResourceKind::SbMux, f_mhz, alpha), true);
+          break;
+        case route::RrKind::Ipin:
+          add_uw(node.tile, dev.dyn_power_uw(ResourceKind::CbMux, f_mhz, alpha), true);
+          break;
+        case route::RrKind::Opin:
+          break;  // output mux accounted with the block
+      }
+    }
+    // Intra-block feedback connections switch the feedback muxes.
+    (void)nl;
+  }
+
+  return result;
+}
+
+}  // namespace taf::power

@@ -1,0 +1,48 @@
+#pragma once
+// Per-tile power estimation (the paper's in-house power script).
+//
+// Leakage: every fabricated resource leaks whether used or not (the
+// paper's "abundance of leaky resources") — each tile carries its full
+// inventory of muxes/LUTs/hard cores, and leakage is evaluated at the
+// tile's own temperature.
+// Dynamic: scaled from the Table II characterization (pdyn at 100 MHz,
+// alpha=1) by each net's estimated activity and the design frequency;
+// routed wires burn SB-mux energy in the tile that drives them, so the
+// spatial power distribution tracks the routing, as the paper requires.
+
+#include <vector>
+
+#include "activity/activity.hpp"
+#include "arch/fpga_grid.hpp"
+#include "coffe/device_model.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/router.hpp"
+#include "route/rr_graph.hpp"
+
+namespace taf::power {
+
+struct PowerBreakdown {
+  std::vector<double> tile_w;   ///< per-tile total power [W]
+  double dynamic_w = 0.0;
+  double leakage_w = 0.0;
+  double total_w() const { return dynamic_w + leakage_w; }
+};
+
+/// Per-tile leakage inventory of the architecture [uW] at a temperature.
+/// Exposed for the validation bench (device base power).
+double tile_leakage_uw(const coffe::DeviceModel& dev, arch::TileKind kind,
+                       const arch::ArchParams& arch, double temp_c);
+
+/// Full power map for an implemented design at frequency f and the given
+/// per-tile temperatures.
+PowerBreakdown compute_power(const coffe::DeviceModel& dev,
+                             const netlist::Netlist& nl,
+                             const pack::PackedNetlist& packed,
+                             const place::Placement& pl, const route::RrGraph& rr,
+                             const route::RouteResult& routes,
+                             const std::vector<activity::SignalStats>& act,
+                             double f_mhz, const std::vector<double>& tile_temp_c,
+                             const arch::FpgaGrid& grid);
+
+}  // namespace taf::power

@@ -1,0 +1,228 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "util/log.hpp"
+
+namespace taf::route {
+
+namespace {
+
+struct HeapEntry {
+  double priority;  // cost + heuristic
+  double cost;      // accumulated path cost
+  RrNodeId node;
+  bool operator>(const HeapEntry& o) const { return priority > o.priority; }
+};
+
+double base_cost(const RrNode& n) {
+  switch (n.kind) {
+    case RrKind::Opin: return 0.6;
+    case RrKind::Ipin: return 0.5;
+    case RrKind::WireH:
+    case RrKind::WireV: return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+RouteResult route(const RrGraph& rr, const pack::PackedNetlist& packed,
+                  const place::Placement& pl, const RouteOptions& opt) {
+  const int n_nodes = rr.num_nodes();
+  const auto n_nets = static_cast<int>(packed.block_nets.size());
+  const int seg = std::max(1, rr.arch().wire_segment_length);
+
+  RouteResult result;
+  result.routes.assign(static_cast<std::size_t>(n_nets), {});
+
+  std::vector<int> occ(static_cast<std::size_t>(n_nodes), 0);
+  std::vector<double> hist(static_cast<std::size_t>(n_nodes), 0.0);
+
+  auto over = [&](RrNodeId n) {
+    return std::max(0, occ[static_cast<std::size_t>(n)] - rr.node(n).capacity);
+  };
+
+  double pres_fac = opt.first_iter_pres_fac;
+  auto node_cost = [&](RrNodeId n, int extra_occ) {
+    const RrNode& node = rr.node(n);
+    const int over_after =
+        std::max(0, occ[static_cast<std::size_t>(n)] + extra_occ - node.capacity);
+    return base_cost(node) * (1.0 + hist[static_cast<std::size_t>(n)]) *
+           (1.0 + pres_fac * over_after);
+  };
+
+  // A* bookkeeping with epoch-tagged visitation to avoid clearing.
+  std::vector<double> best_cost(static_cast<std::size_t>(n_nodes), 0.0);
+  std::vector<RrNodeId> prev(static_cast<std::size_t>(n_nodes), -1);
+  std::vector<int> visit_epoch(static_cast<std::size_t>(n_nodes), -1);
+  std::vector<char> in_tree(static_cast<std::size_t>(n_nodes), 0);
+  int epoch = 0;
+
+  auto heuristic = [&](RrNodeId n, arch::TilePos target) {
+    const RrNode& node = rr.node(n);
+    const int dx = std::abs(node.tile.x - target.x);
+    const int dy = std::abs(node.tile.y - target.y);
+    return opt.astar_fac * static_cast<double>(dx + dy) / seg;
+  };
+
+  // Route one net; returns false if any sink is unreachable.
+  auto route_net = [&](int net_idx) -> bool {
+    const auto& bn = packed.block_nets[static_cast<std::size_t>(net_idx)];
+    NetRoute& nr = result.routes[static_cast<std::size_t>(net_idx)];
+
+    // Rip up previous occupancy.
+    for (RrNodeId n : nr.nodes) --occ[static_cast<std::size_t>(n)];
+    nr.paths.assign(bn.sink_blocks.size(), {});
+    nr.nodes.clear();
+    nr.parents.clear();
+
+    const arch::TilePos src_pos = pl.pos[static_cast<std::size_t>(bn.driver_block)];
+    const RrNodeId source = rr.opin_at(src_pos.x, src_pos.y);
+
+    // Route sinks nearest-first (cheap heuristic for better trees).
+    std::vector<int> order(bn.sink_blocks.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const auto pa = pl.pos[static_cast<std::size_t>(bn.sink_blocks[static_cast<std::size_t>(a)])];
+      const auto pb = pl.pos[static_cast<std::size_t>(bn.sink_blocks[static_cast<std::size_t>(b)])];
+      const int da = std::abs(pa.x - src_pos.x) + std::abs(pa.y - src_pos.y);
+      const int db = std::abs(pb.x - src_pos.x) + std::abs(pb.y - src_pos.y);
+      return da < db;
+    });
+
+    std::vector<RrNodeId> tree{source};
+    for (RrNodeId n : tree) in_tree[static_cast<std::size_t>(n)] = 1;
+
+    bool ok = true;
+    for (int sink_i : order) {
+      const int sink_block = bn.sink_blocks[static_cast<std::size_t>(sink_i)];
+      const arch::TilePos dst = pl.pos[static_cast<std::size_t>(sink_block)];
+      const RrNodeId target = rr.ipin_at(dst.x, dst.y);
+
+      ++epoch;
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+      for (RrNodeId n : tree) {
+        // Tree nodes re-usable at zero cost.
+        best_cost[static_cast<std::size_t>(n)] = 0.0;
+        prev[static_cast<std::size_t>(n)] = -1;
+        visit_epoch[static_cast<std::size_t>(n)] = epoch;
+        heap.push({heuristic(n, dst), 0.0, n});
+      }
+
+      bool found = false;
+      while (!heap.empty()) {
+        const HeapEntry e = heap.top();
+        heap.pop();
+        if (e.cost > best_cost[static_cast<std::size_t>(e.node)] + 1e-12) continue;
+        if (e.node == target) {
+          found = true;
+          break;
+        }
+        for (RrNodeId to : rr.fanout(e.node)) {
+          const RrNode& tn = rr.node(to);
+          // IPINs other than the target are dead ends; skip early.
+          if (tn.kind == RrKind::Ipin && to != target) continue;
+          if (tn.kind == RrKind::Opin) continue;  // never route through OPINs
+          const double c = e.cost + node_cost(to, /*extra_occ=*/1);
+          if (visit_epoch[static_cast<std::size_t>(to)] == epoch &&
+              c >= best_cost[static_cast<std::size_t>(to)] - 1e-12)
+            continue;
+          visit_epoch[static_cast<std::size_t>(to)] = epoch;
+          best_cost[static_cast<std::size_t>(to)] = c;
+          prev[static_cast<std::size_t>(to)] = e.node;
+          heap.push({c + heuristic(to, dst), c, to});
+        }
+      }
+      if (!found) {
+        ok = false;
+        break;
+      }
+      // Trace back to the tree and commit the path.
+      std::vector<RrNodeId> path;
+      for (RrNodeId n = target; n != -1 && !in_tree[static_cast<std::size_t>(n)];
+           n = prev[static_cast<std::size_t>(n)]) {
+        path.push_back(n);
+      }
+      std::reverse(path.begin(), path.end());
+      for (RrNodeId n : path) {
+        tree.push_back(n);
+        in_tree[static_cast<std::size_t>(n)] = 1;
+        nr.parents.emplace_back(n, prev[static_cast<std::size_t>(n)]);
+      }
+      nr.paths[static_cast<std::size_t>(sink_i)] = std::move(path);
+    }
+
+    for (RrNodeId n : tree) in_tree[static_cast<std::size_t>(n)] = 0;
+    if (ok) {
+      nr.nodes = std::move(tree);
+      std::sort(nr.nodes.begin(), nr.nodes.end());
+      nr.nodes.erase(std::unique(nr.nodes.begin(), nr.nodes.end()), nr.nodes.end());
+      for (RrNodeId n : nr.nodes) ++occ[static_cast<std::size_t>(n)];
+    }
+    return ok;
+  };
+
+  // --- PathFinder iterations. The reroute order rotates every iteration
+  // so two nets contending for one node do not ping-pong forever.
+  std::vector<char> dirty(static_cast<std::size_t>(n_nets), 1);
+  for (int iter = 1; iter <= opt.max_iterations; ++iter) {
+    result.iterations = iter;
+    bool all_routed = true;
+    const int offset = n_nets > 0 ? (iter * 7919) % n_nets : 0;
+    for (int i = 0; i < n_nets; ++i) {
+      const int n = (i + offset) % n_nets;
+      if (!dirty[static_cast<std::size_t>(n)]) continue;
+      if (!route_net(n)) all_routed = false;
+    }
+
+    // Accumulate history and find congested nets.
+    int overused = 0;
+    for (RrNodeId n = 0; n < n_nodes; ++n) {
+      const int o = over(n);
+      if (o > 0) {
+        ++overused;
+        hist[static_cast<std::size_t>(n)] += opt.hist_fac * o;
+      }
+    }
+    result.overused_nodes = overused;
+
+    if (overused == 0 && all_routed) {
+      result.success = true;
+      break;
+    }
+
+    std::fill(dirty.begin(), dirty.end(), 0);
+    for (int n = 0; n < n_nets; ++n) {
+      const NetRoute& nr = result.routes[static_cast<std::size_t>(n)];
+      if (nr.nodes.empty()) {
+        dirty[static_cast<std::size_t>(n)] = 1;  // unrouted net
+        continue;
+      }
+      for (RrNodeId node : nr.nodes) {
+        if (over(node) > 0) {
+          dirty[static_cast<std::size_t>(n)] = 1;
+          break;
+        }
+      }
+    }
+    pres_fac = std::min(pres_fac * opt.pres_fac_mult, 1e6);
+    util::log_debug("route: iter %d, %d overused nodes", iter, overused);
+  }
+
+  int used_wires = 0;
+  for (RrNodeId n = 0; n < n_nodes; ++n) {
+    const RrNode& node = rr.node(n);
+    if ((node.kind == RrKind::WireH || node.kind == RrKind::WireV) &&
+        occ[static_cast<std::size_t>(n)] > 0)
+      ++used_wires;
+  }
+  result.wire_utilization =
+      rr.num_wires() > 0 ? static_cast<double>(used_wires) / rr.num_wires() : 0.0;
+  return result;
+}
+
+}  // namespace taf::route

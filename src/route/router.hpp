@@ -1,0 +1,53 @@
+#pragma once
+// PathFinder negotiated-congestion router (the VPR route stage).
+//
+// Every block-level net is routed from its driver's OPIN to each sink's
+// IPIN over the RR graph. Congestion is negotiated: present overuse is
+// priced by a growing pres_fac, history cost accumulates on persistently
+// overused nodes, and only congested nets are ripped up between
+// iterations. A* with an admissible distance heuristic accelerates each
+// search.
+
+#include <vector>
+
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/rr_graph.hpp"
+
+namespace taf::route {
+
+/// The routed tree of one block-net: for each sink (same order as
+/// BlockNet::sink_blocks) the node path from a tree attachment point to
+/// the sink IPIN. Wire nodes on the paths define SB-hop timing.
+struct NetRoute {
+  /// paths[s] = RR nodes from (exclusive) tree attachment to sink IPIN
+  /// (inclusive), in traversal order.
+  std::vector<std::vector<RrNodeId>> paths;
+  /// All RR nodes occupied by this net (deduped).
+  std::vector<RrNodeId> nodes;
+  /// Tree parent pointers as (node, parent) pairs; the source OPIN has no
+  /// entry. Walking a sink IPIN to the source yields its full path — the
+  /// thermal-aware STA prices every SB hop at its own tile temperature.
+  std::vector<std::pair<RrNodeId, RrNodeId>> parents;
+};
+
+struct RouteResult {
+  bool success = false;
+  int iterations = 0;
+  int overused_nodes = 0;
+  std::vector<NetRoute> routes;  ///< indexed like PackedNetlist::block_nets
+  double wire_utilization = 0.0; ///< occupied wires / total wires
+};
+
+struct RouteOptions {
+  int max_iterations = 30;
+  double first_iter_pres_fac = 0.8;
+  double pres_fac_mult = 2.0;
+  double hist_fac = 1.0;
+  double astar_fac = 0.85;  ///< heuristic weight (<=1 keeps A* admissible-ish)
+};
+
+RouteResult route(const RrGraph& rr, const pack::PackedNetlist& packed,
+                  const place::Placement& pl, const RouteOptions& opt = {});
+
+}  // namespace taf::route

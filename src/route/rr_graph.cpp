@@ -1,0 +1,177 @@
+#include "route/rr_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace taf::route {
+
+namespace {
+
+int pin_capacity(arch::TileKind k, bool output) {
+  switch (k) {
+    case arch::TileKind::Clb: return output ? 20 : 40;  // 2N outputs, I inputs
+    case arch::TileKind::Bram: return output ? 8 : 16;
+    case arch::TileKind::Dsp: return output ? 8 : 16;
+    case arch::TileKind::Io: return output ? 8 : 16;  // 8 pads per tile
+  }
+  return 1;
+}
+
+}  // namespace
+
+RrGraph::RrGraph(const arch::FpgaGrid& grid, const arch::ArchParams& arch)
+    : grid_(&grid), arch_(&arch) {
+  const int w = grid.width();
+  const int h = grid.height();
+  const int tracks = arch.channel_tracks;
+  const int seg = std::max(1, arch.wire_segment_length);
+
+  opin_.assign(static_cast<std::size_t>(w) * h, -1);
+  ipin_.assign(static_cast<std::size_t>(w) * h, -1);
+
+  // --- Pin nodes.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const arch::TileKind tk = grid.at(x, y);
+      RrNode op;
+      op.kind = RrKind::Opin;
+      op.tile = {x, y};
+      op.capacity = static_cast<std::int16_t>(pin_capacity(tk, true));
+      opin_[static_cast<std::size_t>(index(x, y))] = static_cast<RrNodeId>(nodes_.size());
+      nodes_.push_back(op);
+
+      RrNode ip;
+      ip.kind = RrKind::Ipin;
+      ip.tile = {x, y};
+      ip.capacity = static_cast<std::int16_t>(pin_capacity(tk, false));
+      ipin_[static_cast<std::size_t>(index(x, y))] = static_cast<RrNodeId>(nodes_.size());
+      nodes_.push_back(ip);
+    }
+  }
+
+  // --- Wire nodes. Track t's horizontal wires start at x = t % seg and
+  // repeat every `seg` columns (staggered segmentation); vertical wires
+  // are symmetric in y. wires_through[(x,y)][dir] lists (track -> node).
+  // Per tile and track there is exactly one wire of each direction.
+  const auto tile_count = static_cast<std::size_t>(w) * h;
+  std::vector<std::vector<RrNodeId>> through_h(tile_count);
+  std::vector<std::vector<RrNodeId>> through_v(tile_count);
+  for (auto& v : through_h) v.assign(static_cast<std::size_t>(tracks), -1);
+  for (auto& v : through_v) v.assign(static_cast<std::size_t>(tracks), -1);
+
+  auto add_wire = [&](RrKind kind, int x, int y, int track, int span) {
+    RrNode n;
+    n.kind = kind;
+    n.tile = {x, y};
+    n.track = static_cast<std::int16_t>(track);
+    n.span = static_cast<std::int16_t>(span);
+    n.capacity = 1;
+    const RrNodeId id = static_cast<RrNodeId>(nodes_.size());
+    nodes_.push_back(n);
+    ++num_wires_;
+    for (int k = 0; k < span; ++k) {
+      if (kind == RrKind::WireH) {
+        through_h[static_cast<std::size_t>(index(x + k, y))][static_cast<std::size_t>(track)] = id;
+      } else {
+        through_v[static_cast<std::size_t>(index(x, y + k))][static_cast<std::size_t>(track)] = id;
+      }
+    }
+    return id;
+  };
+
+  for (int t = 0; t < tracks; ++t) {
+    const int phase = t % seg;
+    for (int y = 0; y < h; ++y) {
+      for (int x = (phase == 0 ? 0 : phase - seg); x < w; x += seg) {
+        const int xs = std::max(0, x);
+        const int xe = std::min(w - 1, x + seg - 1);
+        if (xe < xs) continue;
+        add_wire(RrKind::WireH, xs, y, t, xe - xs + 1);
+      }
+    }
+    for (int x = 0; x < w; ++x) {
+      for (int y = (phase == 0 ? 0 : phase - seg); y < h; y += seg) {
+        const int ys = std::max(0, y);
+        const int ye = std::min(h - 1, y + seg - 1);
+        if (ye < ys) continue;
+        add_wire(RrKind::WireV, x, ys, t, ye - ys + 1);
+      }
+    }
+  }
+
+  edges_.resize(nodes_.size());
+
+  // --- OPIN -> wires passing the tile (Fc_out = W/4), IPIN taps
+  // (Fc_in = W/4), both direction-balanced.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const RrNodeId op = opin_at(x, y);
+      const RrNodeId ip = ipin_at(x, y);
+      for (int t = 0; t < tracks; ++t) {
+        const RrNodeId wh = through_h[static_cast<std::size_t>(index(x, y))][static_cast<std::size_t>(t)];
+        const RrNodeId wv = through_v[static_cast<std::size_t>(index(x, y))][static_cast<std::size_t>(t)];
+        if (t % 2 == (x + y) % 2) {
+          if (wh >= 0) add_edge(op, wh);
+          if (wv >= 0) add_edge(op, wv);
+        }
+        if ((t + 2 * x + 3 * y) % 2 == 1) {
+          if (wh >= 0) add_edge(wh, ip);
+          if (wv >= 0) add_edge(wv, ip);
+        }
+      }
+    }
+  }
+
+  // --- Switch-block edges at wire endpoints: same-direction continuation
+  // (track window +-1) and perpendicular turns (track window +-2).
+  // Wires behave bidirectionally: edges are added both ways.
+  auto connect = [&](RrNodeId a, RrNodeId b) {
+    if (a < 0 || b < 0 || a == b) return;
+    add_edge(a, b);
+    add_edge(b, a);
+  };
+  for (RrNodeId id = 0; id < static_cast<RrNodeId>(nodes_.size()); ++id) {
+    const RrNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.kind != RrKind::WireH && n.kind != RrKind::WireV) continue;
+    const bool horiz = n.kind == RrKind::WireH;
+    const int xs = n.tile.x;
+    const int ys = n.tile.y;
+    const int xe = horiz ? xs + n.span - 1 : xs;
+    const int ye = horiz ? ys : ys + n.span - 1;
+
+    // Same-direction continuation beyond each endpoint (track window +-1,
+    // as in a disjoint switch block).
+    for (int dt = -1; dt <= 1; ++dt) {
+      const int t2 = n.track + dt;
+      if (t2 < 0 || t2 >= tracks) continue;
+      if (horiz) {
+        if (xe + 1 < w) connect(id, through_h[static_cast<std::size_t>(index(xe + 1, ys))][static_cast<std::size_t>(t2)]);
+      } else {
+        if (ye + 1 < h) connect(id, through_v[static_cast<std::size_t>(index(xs, ye + 1))][static_cast<std::size_t>(t2)]);
+      }
+    }
+    // Perpendicular turns at both endpoints. Wilton-style track twisting:
+    // turns reach the same track, its neighbour, and the reversed track
+    // (W-1-t), so track bands mix after a few hops and congestion can
+    // spread over the whole channel instead of saturating one band.
+    const int turn_tracks[4] = {n.track, (n.track + 1) % tracks,
+                                (n.track + seg) % tracks, tracks - 1 - n.track};
+    for (int t2 : turn_tracks) {
+      if (horiz) {
+        connect(id, through_v[static_cast<std::size_t>(index(xs, ys))][static_cast<std::size_t>(t2)]);
+        connect(id, through_v[static_cast<std::size_t>(index(xe, ys))][static_cast<std::size_t>(t2)]);
+      } else {
+        connect(id, through_h[static_cast<std::size_t>(index(xs, ys))][static_cast<std::size_t>(t2)]);
+        connect(id, through_h[static_cast<std::size_t>(index(xs, ye))][static_cast<std::size_t>(t2)]);
+      }
+    }
+  }
+
+  // Dedup edges (corner cases connect twice).
+  for (auto& fan : edges_) {
+    std::sort(fan.begin(), fan.end());
+    fan.erase(std::unique(fan.begin(), fan.end()), fan.end());
+  }
+}
+
+}  // namespace taf::route

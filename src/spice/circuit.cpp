@@ -1,0 +1,52 @@
+#include "spice/circuit.hpp"
+
+#include <cassert>
+
+namespace taf::spice {
+
+Waveform step_waveform(double v0, double v1, double t_step_ps, double ramp_ps) {
+  assert(ramp_ps > 0.0);
+  return [=](double t) {
+    if (t <= t_step_ps) return v0;
+    if (t >= t_step_ps + ramp_ps) return v1;
+    return v0 + (v1 - v0) * (t - t_step_ps) / ramp_ps;
+  };
+}
+
+Waveform dc_waveform(double v) {
+  return [v](double) { return v; };
+}
+
+Circuit::Circuit() {
+  names_.emplace_back("gnd");
+  drives_.emplace_back(dc_waveform(0.0));  // ground is always driven to 0
+}
+
+NodeId Circuit::add_node(std::string name) {
+  names_.push_back(std::move(name));
+  drives_.emplace_back();  // free by default
+  return static_cast<NodeId>(names_.size() - 1);
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, double kohm) {
+  assert(kohm > 0.0);
+  resistors_.push_back({a, b, kohm});
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, double ff) {
+  assert(ff >= 0.0);
+  capacitors_.push_back({a, b, ff});
+}
+
+void Circuit::add_mosfet(MosType type, tech::Flavor flavor, NodeId d, NodeId g, NodeId s,
+                         double w_um) {
+  assert(w_um > 0.0);
+  mosfets_.push_back({type, flavor, d, g, s, w_um});
+}
+
+void Circuit::drive(NodeId n, Waveform w) {
+  assert(n != kGround && "ground drive is fixed");
+  drives_[static_cast<size_t>(n)] = std::move(w);
+}
+
+}  // namespace taf::spice

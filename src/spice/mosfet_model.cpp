@@ -1,0 +1,71 @@
+#include "spice/mosfet_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taf::spice {
+
+namespace {
+
+/// NMOS drain current with vd >= vs handled by the caller. [mA]
+///
+/// Single smooth expression covering subthreshold through saturation: the
+/// overdrive is passed through a soft-plus with a thermal-voltage-scaled
+/// knee, which yields an exponential subthreshold characteristic
+/// (~90 mV/decade at 300 K) and the alpha-power law above threshold, with
+/// continuous derivatives everywhere — a requirement for Newton
+/// convergence on long gate chains.
+double nmos_current(const tech::MosfetParams& p, double w_um, double temp_c, double vds,
+                    double vgs) {
+  if (vds <= 0.0) return 0.0;
+  const double vth = tech::vth_at(p, temp_c);
+  const double mu = tech::mobility_factor(p, temp_c);
+  const double tk = temp_c + 273.15;
+  const double knee = 0.045 * tk / 298.15;  // soft-plus width [V]
+
+  const double od = vgs - vth;
+  const double x = od / knee;
+  double od_eff;
+  if (x > 30.0) {
+    od_eff = od;
+  } else if (x < -30.0) {
+    od_eff = knee * std::exp(-30.0);  // floor far below threshold
+  } else {
+    od_eff = knee * std::log1p(std::exp(x));
+  }
+
+  const double idsat = p.k_drive * w_um * mu * std::pow(od_eff, p.alpha);
+  const double vdsat = std::max(0.8 * od_eff, 0.03);
+  if (vds >= vdsat) {
+    return idsat * (1.0 + 0.05 * (vds - vdsat));  // mild channel-length modulation
+  }
+  const double r = vds / vdsat;
+  return idsat * r * (2.0 - r);  // smooth triode interpolation
+}
+
+}  // namespace
+
+double mosfet_current_ma(const Mosfet& m, const tech::Technology& t, double temp_c,
+                         double vd, double vg, double vs) {
+  const tech::MosfetParams& p = t.flavor(m.flavor);
+  if (m.type == MosType::Nmos) {
+    // The device is symmetric: if vd < vs the roles of drain/source swap
+    // and current flows the other way.
+    if (vd >= vs) return nmos_current(p, m.w_um, temp_c, vd - vs, vg - vs);
+    return -nmos_current(p, m.w_um, temp_c, vs - vd, vg - vd);
+  }
+  // PMOS: mirror voltages; returned sign keeps the convention "positive
+  // current leaves the drain node".
+  if (vd <= vs) return -nmos_current(p, m.w_um, temp_c, vs - vd, vs - vg);
+  return nmos_current(p, m.w_um, temp_c, vd - vs, vd - vg);
+}
+
+double mosfet_cgate_ff(const Mosfet& m, const tech::Technology& t) {
+  return t.flavor(m.flavor).c_gate * m.w_um;
+}
+
+double mosfet_cdrain_ff(const Mosfet& m, const tech::Technology& t) {
+  return t.flavor(m.flavor).c_drain * m.w_um;
+}
+
+}  // namespace taf::spice

@@ -1,0 +1,21 @@
+#pragma once
+// Alpha-power-law MOSFET I-V model (Sakurai–Newton) with subthreshold
+// conduction, evaluated at a given junction temperature.
+
+#include "spice/circuit.hpp"
+#include "tech/technology.hpp"
+
+namespace taf::spice {
+
+/// Drain current of the device for terminal voltages (node voltages w.r.t.
+/// ground), positive current flowing drain -> source for NMOS. [mA]
+double mosfet_current_ma(const Mosfet& m, const tech::Technology& t, double temp_c,
+                         double vd, double vg, double vs);
+
+/// Total gate capacitance of the device [fF].
+double mosfet_cgate_ff(const Mosfet& m, const tech::Technology& t);
+
+/// Total drain/source junction capacitance [fF].
+double mosfet_cdrain_ff(const Mosfet& m, const tech::Technology& t);
+
+}  // namespace taf::spice

@@ -1,0 +1,314 @@
+#include "spice/solver.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/mosfet_model.hpp"
+
+namespace taf::spice {
+
+namespace {
+
+/// Dense linear solve A x = b with partial pivoting. A is n x n row-major.
+/// Overwrites A and b. Near-zero pivots are regularized rather than
+/// rejected: open-loop chains of high-gain stages biased at mid-rail have
+/// determinants that underflow even though a damped Newton step in the
+/// regularized direction still makes progress.
+void lu_solve(std::vector<double>& a, std::vector<double>& b, int n) {
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    double best = std::fabs(a[static_cast<size_t>(col) * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a[static_cast<size_t>(r) * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      double& diag = a[static_cast<size_t>(col) * n + col];
+      diag += (diag >= 0.0 ? 1e-9 : -1e-9);
+      pivot = col;
+    }
+    if (pivot != col) {
+      for (int k = 0; k < n; ++k)
+        std::swap(a[static_cast<size_t>(pivot) * n + k], a[static_cast<size_t>(col) * n + k]);
+      std::swap(b[static_cast<size_t>(pivot)], b[static_cast<size_t>(col)]);
+    }
+    const double diag = a[static_cast<size_t>(col) * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a[static_cast<size_t>(r) * n + col] / diag;
+      if (f == 0.0) continue;
+      a[static_cast<size_t>(r) * n + col] = 0.0;
+      for (int k = col + 1; k < n; ++k)
+        a[static_cast<size_t>(r) * n + k] -= f * a[static_cast<size_t>(col) * n + k];
+      b[static_cast<size_t>(r)] -= f * b[static_cast<size_t>(col)];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[static_cast<size_t>(r)];
+    for (int k = r + 1; k < n; ++k) sum -= a[static_cast<size_t>(r) * n + k] * b[static_cast<size_t>(k)];
+    b[static_cast<size_t>(r)] = sum / a[static_cast<size_t>(r) * n + r];
+  }
+}
+
+/// Maps circuit nodes to unknown indices (driven nodes and ground excluded).
+struct NodeMap {
+  std::vector<int> unknown_index;  ///< -1 for driven/ground nodes
+  std::vector<NodeId> unknown_nodes;
+
+  explicit NodeMap(const Circuit& c) {
+    unknown_index.assign(static_cast<size_t>(c.num_nodes()), -1);
+    for (NodeId n = 0; n < c.num_nodes(); ++n) {
+      if (!c.is_driven(n)) {
+        unknown_index[static_cast<size_t>(n)] = static_cast<int>(unknown_nodes.size());
+        unknown_nodes.push_back(n);
+      }
+    }
+  }
+  int count() const { return static_cast<int>(unknown_nodes.size()); }
+};
+
+/// One Newton solve of the (possibly companion-augmented) nonlinear system.
+/// `v` holds all node voltages and is updated in place for unknown nodes;
+/// driven node entries must be pre-set by the caller.
+///
+/// cap_g / cap_i: per-capacitor companion conductance [mA/V] and per-node
+/// equivalent current injection. Empty cap_g means a pure DC solve
+/// (capacitors open).
+void newton_solve(const Circuit& c, const tech::Technology& tech, const SolverOptions& opt,
+                  const NodeMap& map, std::vector<double>& v, bool with_caps,
+                  double cap_g_scale, const std::vector<double>& v_prev) {
+  const int n = map.count();
+  if (n == 0) return;
+  std::vector<double> a(static_cast<size_t>(n) * n);
+  std::vector<double> rhs(static_cast<size_t>(n));
+
+  for (int iter = 0; iter < opt.max_newton_iters; ++iter) {
+    std::fill(a.begin(), a.end(), 0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    auto idx = [&](NodeId node) { return map.unknown_index[static_cast<size_t>(node)]; };
+    // Stamp conductance g between nodes x and y with current source
+    // contributions handled by the residual formulation below. We build
+    // J * dv = -f directly: accumulate f (KCL residual, current leaving
+    // node) in rhs with a negative sign, and df/dv in `a`.
+    auto stamp_g = [&](NodeId x, NodeId y, double g) {
+      const int ix = idx(x), iy = idx(y);
+      const double ivx = v[static_cast<size_t>(x)], ivy = v[static_cast<size_t>(y)];
+      const double i_leaving_x = g * (ivx - ivy);
+      if (ix >= 0) {
+        rhs[static_cast<size_t>(ix)] -= i_leaving_x;
+        a[static_cast<size_t>(ix) * n + ix] += g;
+        if (iy >= 0) a[static_cast<size_t>(ix) * n + iy] -= g;
+      }
+      if (iy >= 0) {
+        rhs[static_cast<size_t>(iy)] += i_leaving_x;
+        a[static_cast<size_t>(iy) * n + iy] += g;
+        if (ix >= 0) a[static_cast<size_t>(iy) * n + ix] -= g;
+      }
+    };
+    auto stamp_current_into = [&](NodeId x, double i_in) {
+      const int ix = idx(x);
+      if (ix >= 0) rhs[static_cast<size_t>(ix)] += i_in;
+    };
+
+    // gmin to ground on every unknown node for convergence.
+    for (NodeId node : map.unknown_nodes) stamp_g(node, kGround, opt.gmin);
+
+    for (const Resistor& r : c.resistors()) stamp_g(r.a, r.b, 1.0 / r.kohm);
+
+    if (with_caps) {
+      // Backward Euler companion: i = C/dt * (v - v_prev); conductance
+      // C/dt between the nodes plus history current source.
+      for (const Capacitor& cap : c.capacitors()) {
+        const double g = cap.ff * cap_g_scale;
+        stamp_g(cap.a, cap.b, g);
+        const double hist = g * (v_prev[static_cast<size_t>(cap.a)] - v_prev[static_cast<size_t>(cap.b)]);
+        stamp_current_into(cap.a, hist);
+        stamp_current_into(cap.b, -hist);
+      }
+      // MOSFET intrinsic caps: gate and drain/source junction caps to ground.
+      for (const Mosfet& m : c.mosfets()) {
+        const double cg = mosfet_cgate_ff(m, tech) * cap_g_scale;
+        const double cd = mosfet_cdrain_ff(m, tech) * cap_g_scale;
+        auto self_cap = [&](NodeId node, double g) {
+          stamp_g(node, kGround, g);
+          stamp_current_into(node, g * v_prev[static_cast<size_t>(node)]);
+        };
+        self_cap(m.gate, cg);
+        self_cap(m.drain, cd);
+        self_cap(m.source, cd);
+      }
+    }
+
+    // MOSFETs: nonlinear current source drain->source plus numeric Jacobian.
+    for (const Mosfet& m : c.mosfets()) {
+      const double vd = v[static_cast<size_t>(m.drain)];
+      const double vg = v[static_cast<size_t>(m.gate)];
+      const double vs = v[static_cast<size_t>(m.source)];
+      const double id = mosfet_current_ma(m, tech, opt.temp_c, vd, vg, vs);
+      const double h = 1e-5;
+      const double did_dvd =
+          (mosfet_current_ma(m, tech, opt.temp_c, vd + h, vg, vs) - id) / h;
+      const double did_dvg =
+          (mosfet_current_ma(m, tech, opt.temp_c, vd, vg + h, vs) - id) / h;
+      const double did_dvs =
+          (mosfet_current_ma(m, tech, opt.temp_c, vd, vg, vs + h) - id) / h;
+
+      const int idr = idx(m.drain), isr = idx(m.source), igt = idx(m.gate);
+      // Current `id` leaves the drain node and enters the source node.
+      if (idr >= 0) {
+        rhs[static_cast<size_t>(idr)] -= id;
+        a[static_cast<size_t>(idr) * n + idr] += did_dvd;
+        if (igt >= 0) a[static_cast<size_t>(idr) * n + igt] += did_dvg;
+        if (isr >= 0) a[static_cast<size_t>(idr) * n + isr] += did_dvs;
+      }
+      if (isr >= 0) {
+        rhs[static_cast<size_t>(isr)] += id;
+        a[static_cast<size_t>(isr) * n + isr] -= did_dvs;
+        if (igt >= 0) a[static_cast<size_t>(isr) * n + igt] -= did_dvg;
+        if (idr >= 0) a[static_cast<size_t>(isr) * n + idr] -= did_dvd;
+      }
+    }
+
+    std::vector<double> a_copy = a;
+    std::vector<double> dv = rhs;
+    lu_solve(a_copy, dv, n);
+
+    double max_dv = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double step = dv[static_cast<size_t>(i)];
+      step = std::clamp(step, -0.3, 0.3);  // damped Newton
+      v[static_cast<size_t>(map.unknown_nodes[static_cast<size_t>(i)])] += step;
+      max_dv = std::max(max_dv, std::fabs(step));
+    }
+    if (max_dv < opt.v_tol) return;
+  }
+  throw std::runtime_error("spice: Newton iteration did not converge");
+}
+
+/// Nonlinear Gauss-Seidel relaxation: solve each node's KCL alone by
+/// bisection with the other nodes frozen. Logic levels propagate down
+/// gate chains in one pass per stage, giving Newton an initial point near
+/// the operating point instead of the degenerate all-mid-rail bias.
+void gauss_seidel_init(const Circuit& c, const tech::Technology& tech,
+                       const SolverOptions& opt, const NodeMap& map,
+                       std::vector<double>& v) {
+  const double v_lo = -0.2;
+  const double v_hi = tech.vdd + 0.4;
+
+  auto kcl = [&](NodeId node, double vn) {
+    const double saved = v[static_cast<size_t>(node)];
+    v[static_cast<size_t>(node)] = vn;
+    double i_leaving = opt.gmin * vn;
+    for (const Resistor& r : c.resistors()) {
+      if (r.a == node) i_leaving += (vn - v[static_cast<size_t>(r.b)]) / r.kohm;
+      if (r.b == node) i_leaving += (vn - v[static_cast<size_t>(r.a)]) / r.kohm;
+    }
+    for (const Mosfet& m : c.mosfets()) {
+      if (m.drain != node && m.source != node) continue;
+      const double id = mosfet_current_ma(m, tech, opt.temp_c, v[static_cast<size_t>(m.drain)],
+                                          v[static_cast<size_t>(m.gate)],
+                                          v[static_cast<size_t>(m.source)]);
+      if (m.drain == node) i_leaving += id;
+      if (m.source == node) i_leaving -= id;
+    }
+    v[static_cast<size_t>(node)] = saved;
+    return i_leaving;
+  };
+
+  const int passes = std::min(map.count() + 2, 60);
+  for (int pass = 0; pass < passes; ++pass) {
+    double max_change = 0.0;
+    for (NodeId node : map.unknown_nodes) {
+      // KCL is monotonically increasing in the node voltage (gmin plus
+      // device output conductances), so bisection is safe.
+      double lo = v_lo, hi = v_hi;
+      if (kcl(node, lo) > 0.0 || kcl(node, hi) < 0.0) continue;  // no bracket
+      for (int it = 0; it < 40; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        (kcl(node, mid) > 0.0 ? hi : lo) = mid;
+      }
+      const double vn = 0.5 * (lo + hi);
+      max_change = std::max(max_change, std::fabs(vn - v[static_cast<size_t>(node)]));
+      v[static_cast<size_t>(node)] = vn;
+    }
+    if (max_change < 1e-4) break;
+  }
+}
+
+}  // namespace
+
+std::vector<double> solve_dc(const Circuit& c, const tech::Technology& tech,
+                             const SolverOptions& opt) {
+  NodeMap map(c);
+  std::vector<double> v(static_cast<size_t>(c.num_nodes()), 0.0);
+  for (NodeId node = 0; node < c.num_nodes(); ++node) {
+    if (c.is_driven(node)) v[static_cast<size_t>(node)] = c.drives()[static_cast<size_t>(node)](0.0);
+  }
+  // Start unknown nodes at half supply, relax toward logic levels, then
+  // polish with full Newton.
+  for (NodeId node : map.unknown_nodes) v[static_cast<size_t>(node)] = 0.5 * tech.vdd;
+  gauss_seidel_init(c, tech, opt, map, v);
+  std::vector<double> dummy;
+  newton_solve(c, tech, opt, map, v, /*with_caps=*/false, 0.0, dummy);
+  return v;
+}
+
+TransientResult solve_transient(const Circuit& c, const tech::Technology& tech,
+                                const SolverOptions& opt, double t_stop_ps) {
+  assert(opt.dt_ps > 0.0);
+  NodeMap map(c);
+  std::vector<double> v = solve_dc(c, tech, opt);
+
+  TransientResult result;
+  const auto n_nodes = static_cast<size_t>(c.num_nodes());
+  result.waveforms.assign(n_nodes, {});
+
+  const double cap_g_scale = 1.0 / opt.dt_ps;  // fF/ps = mA/V
+  double t = 0.0;
+  while (t <= t_stop_ps + 1e-9) {
+    result.time_ps.push_back(t);
+    for (size_t i = 0; i < n_nodes; ++i) result.waveforms[i].push_back(v[i]);
+
+    const double t_next = t + opt.dt_ps;
+    std::vector<double> v_prev = v;
+    for (NodeId node = 0; node < c.num_nodes(); ++node) {
+      if (c.is_driven(node))
+        v[static_cast<size_t>(node)] = c.drives()[static_cast<size_t>(node)](t_next);
+    }
+    newton_solve(c, tech, opt, map, v, /*with_caps=*/true, cap_g_scale, v_prev);
+    t = t_next;
+  }
+  return result;
+}
+
+double crossing_time_ps(const TransientResult& r, NodeId node, double threshold,
+                        bool rising, double t_from_ps) {
+  const auto& w = r.waveforms[static_cast<size_t>(node)];
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    if (r.time_ps[i] < t_from_ps) continue;
+    const double v0 = w[i - 1];
+    const double v1 = w[i];
+    const bool crossed = rising ? (v0 < threshold && v1 >= threshold)
+                                : (v0 > threshold && v1 <= threshold);
+    if (crossed) {
+      const double frac = (threshold - v0) / (v1 - v0);
+      return r.time_ps[i - 1] + frac * (r.time_ps[i] - r.time_ps[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+double propagation_delay_ps(const TransientResult& r, NodeId in, NodeId out, double vdd,
+                            bool in_rising, bool out_rising, double t_from_ps) {
+  const double t_in = crossing_time_ps(r, in, 0.5 * vdd, in_rising, t_from_ps);
+  if (t_in < 0.0) return -1.0;
+  const double t_out = crossing_time_ps(r, out, 0.5 * vdd, out_rising, t_in);
+  if (t_out < 0.0) return -1.0;
+  return t_out - t_in;
+}
+
+}  // namespace taf::spice

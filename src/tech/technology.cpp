@@ -1,0 +1,106 @@
+#include "tech/technology.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace taf::tech {
+
+Technology ptm22() {
+  Technology t;
+  t.vdd = 0.8;
+  t.vdd_lp = 0.95;
+  t.lmin_um = 0.022;
+
+  // HP logic transistor: moderate temperature sensitivity (~+40% delay
+  // over 0..100 degC when buffer-dominated), matching the switch-block
+  // driver behaviour in Table II.
+  MosfetParams hp;
+  hp.vth0 = 0.35;
+  hp.vth_tc = -5.0e-4;
+  hp.mu_exp = 1.2;
+  hp.alpha = 1.3;
+  hp.k_drive = 1.10;
+  hp.i_off25 = 18.0;
+  hp.lkg_tc = 0.014;
+  hp.c_gate = 0.90;
+  hp.c_drain = 0.55;
+
+  // Pass-gate usage of the HP device: body effect raises the effective
+  // threshold and the roll-off is weaker, so mobility dominates and the
+  // structure is the most temperature sensitive (+~80% for a deep tree).
+  MosfetParams pg = hp;
+  pg.vth0 = 0.37;
+  pg.vth_tc = -2.0e-4;
+  pg.mu_exp = 1.5;
+  pg.k_drive = 0.80;
+  pg.i_off25 = 9.0;
+  pg.lkg_tc = 0.015;
+
+  // LP / high-Vth transistor for the BRAM core (paper uses the PTM
+  // low-power flavor at 0.95 V for the memory).
+  MosfetParams lp = hp;
+  lp.vth0 = 0.48;
+  lp.vth_tc = -3.0e-4;
+  lp.mu_exp = 1.9;
+  lp.k_drive = 0.85;
+  lp.i_off25 = 0.9;
+  lp.lkg_tc = 0.010;
+
+  // Standard-cell transistor (NanGate-like): sized-for-density cells show
+  // higher sensitivity than hand-tuned FPGA drivers (+~80% for the DSP).
+  MosfetParams sc = hp;
+  sc.vth0 = 0.36;
+  sc.vth_tc = -2.5e-4;
+  sc.mu_exp = 2.0;
+  sc.k_drive = 1.00;
+  sc.i_off25 = 14.0;
+  sc.lkg_tc = 0.010;
+
+  t.flavors[static_cast<int>(Flavor::HP)] = hp;
+  t.flavors[static_cast<int>(Flavor::PassGate)] = pg;
+  t.flavors[static_cast<int>(Flavor::LP)] = lp;
+  t.flavors[static_cast<int>(Flavor::StdCell)] = sc;
+
+  t.wire_r_per_um25 = 2.0;
+  t.wire_r_tc = 0.0020;
+  t.wire_c_per_um = 0.20;
+  return t;
+}
+
+double vth_at(const MosfetParams& p, double temp_c) {
+  return p.vth0 + p.vth_tc * (temp_c - 25.0);
+}
+
+double mobility_factor(const MosfetParams& p, double temp_c) {
+  const double tk = temp_c + 273.15;
+  return std::pow(tk / 298.15, -p.mu_exp);
+}
+
+double on_current_ma(const MosfetParams& p, double w_um, double vdd, double temp_c) {
+  assert(w_um > 0.0);
+  const double overdrive = vdd - vth_at(p, temp_c);
+  if (overdrive <= 0.0) return 0.0;
+  return p.k_drive * w_um * mobility_factor(p, temp_c) * std::pow(overdrive, p.alpha);
+}
+
+double effective_resistance_kohm(const MosfetParams& p, double w_um, double vdd,
+                                 double temp_c) {
+  const double ion = on_current_ma(p, w_um, vdd, temp_c);
+  assert(ion > 0.0 && "device does not conduct at this corner");
+  // V / I : [V] / [mA] = [kOhm]
+  return vdd / ion;
+}
+
+double off_current_na(const MosfetParams& p, double w_um, double temp_c) {
+  return p.i_off25 * w_um * std::exp(p.lkg_tc * (temp_c - 25.0));
+}
+
+double wire_resistance_ohm(const Technology& t, double length_um, double temp_c) {
+  return t.wire_r_per_um25 * length_um * (1.0 + t.wire_r_tc * (temp_c - 25.0));
+}
+
+double wire_capacitance_ff(const Technology& t, double length_um) {
+  return t.wire_c_per_um * length_um;
+}
+
+}  // namespace taf::tech

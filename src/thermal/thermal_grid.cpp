@@ -1,0 +1,148 @@
+#include "thermal/thermal_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace taf::thermal {
+
+ThermalGrid::ThermalGrid(const arch::FpgaGrid& grid, ThermalConfig config)
+    : width_(grid.width()), height_(grid.height()), config_(config) {
+  g_lat_ = config_.lateral_g_w_per_k();
+  const int n = width_ * height_;
+  assert(n > 0);
+  // The package resistance is shared by all tiles in parallel.
+  g_vert_ = 1.0 / (config_.package_r_k_per_w * n);
+  const double tile_vol_m3 = config_.tile_edge_um * config_.tile_edge_um *
+                             config_.die_thickness_um * 1e-18;
+  c_tile_ = config_.volumetric_c_j_m3k * tile_vol_m3;
+}
+
+void ThermalGrid::apply(const std::vector<double>& x, std::vector<double>& y) const {
+  for (int j = 0; j < height_; ++j) {
+    for (int i = 0; i < width_; ++i) {
+      const int idx = j * width_ + i;
+      double acc = g_vert_ * x[static_cast<size_t>(idx)];
+      const double xi = x[static_cast<size_t>(idx)];
+      if (i > 0) acc += g_lat_ * (xi - x[static_cast<size_t>(idx - 1)]);
+      if (i < width_ - 1) acc += g_lat_ * (xi - x[static_cast<size_t>(idx + 1)]);
+      if (j > 0) acc += g_lat_ * (xi - x[static_cast<size_t>(idx - width_)]);
+      if (j < height_ - 1) acc += g_lat_ * (xi - x[static_cast<size_t>(idx + width_)]);
+      y[static_cast<size_t>(idx)] = acc;
+    }
+  }
+}
+
+std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w) const {
+  const int n = width_ * height_;
+  assert(static_cast<int>(power_w.size()) == n);
+
+  // Conjugate gradients on A * dT = P, dT = T - Tamb.
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  std::vector<double> r = power_w;
+  std::vector<double> p = r;
+  std::vector<double> ap(static_cast<size_t>(n));
+
+  auto dot = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  };
+
+  double rr = dot(r, r);
+  const double tol = std::max(rr * 1e-20, 1e-30);
+  for (int it = 0; it < 4 * n && rr > tol; ++it) {
+    apply(p, ap);
+    const double alpha = rr / dot(p, ap);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_new = dot(r, r);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
+  }
+
+  for (double& t : x) t += config_.ambient_c;
+  return x;
+}
+
+void ThermalGrid::step(const std::vector<double>& power_w, double dt_s,
+                       std::vector<double>& temps) const {
+  const int n = width_ * height_;
+  assert(static_cast<int>(power_w.size()) == n);
+  assert(static_cast<int>(temps.size()) == n);
+  // Backward Euler: (C/dt + A) dT_next = P + (C/dt) dT_now. The system
+  // stays SPD, so the same CG machinery applies with an extra diagonal.
+  const double g_c = c_tile_ / dt_s;
+
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    x[static_cast<std::size_t>(i)] = temps[static_cast<std::size_t>(i)] - config_.ambient_c;
+
+  auto apply_aug = [&](const std::vector<double>& v, std::vector<double>& out) {
+    apply(v, out);
+    for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] += g_c * v[static_cast<std::size_t>(i)];
+  };
+
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    rhs[static_cast<std::size_t>(i)] = power_w[static_cast<std::size_t>(i)] + g_c * x[static_cast<std::size_t>(i)];
+
+  // CG from the current state.
+  std::vector<double> r(static_cast<std::size_t>(n)), p(static_cast<std::size_t>(n)),
+      ap(static_cast<std::size_t>(n));
+  apply_aug(x, ap);
+  for (int i = 0; i < n; ++i) r[static_cast<std::size_t>(i)] = rhs[static_cast<std::size_t>(i)] - ap[static_cast<std::size_t>(i)];
+  p = r;
+  auto dot = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  };
+  double rr = dot(r, r);
+  const double tol = std::max(rr * 1e-20, 1e-30);
+  for (int it = 0; it < 4 * n && rr > tol; ++it) {
+    apply_aug(p, ap);
+    const double alpha = rr / dot(p, ap);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_new = dot(r, r);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
+  }
+  for (int i = 0; i < n; ++i)
+    temps[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)] + config_.ambient_c;
+}
+
+double ThermalGrid::tile_time_constant_s() const { return c_tile_ / g_vert_; }
+
+double ThermalGrid::peak_c(const std::vector<double>& temps) {
+  return *std::max_element(temps.begin(), temps.end());
+}
+
+std::string ThermalGrid::ascii_heatmap(const std::vector<double>& temps, int width,
+                                       int height) {
+  static const char kRamp[] = " .:-=+*#%@";
+  const double lo = *std::min_element(temps.begin(), temps.end());
+  const double hi = *std::max_element(temps.begin(), temps.end());
+  const double span = std::max(hi - lo, 1e-9);
+  std::string out;
+  for (int j = height - 1; j >= 0; --j) {  // y grows upward
+    for (int i = 0; i < width; ++i) {
+      const double t = temps[static_cast<size_t>(j * width + i)];
+      const int level =
+          std::min(9, static_cast<int>(std::floor((t - lo) / span * 9.999)));
+      out += kRamp[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace taf::thermal

@@ -1,0 +1,84 @@
+#pragma once
+// Steady-state grid thermal model (the HotSpot role in the paper's flow).
+//
+// One thermal node per FPGA tile. Lateral conduction couples adjacent
+// tiles through the silicon; a lumped vertical resistance (die + TIM +
+// spreader + sink) connects every tile to ambient. Solving
+//   (G_lateral + G_vertical) * (T - Tamb) = P
+// gives the per-tile temperature map Algorithm 1 iterates on. The system
+// is symmetric positive definite, solved matrix-free with conjugate
+// gradients.
+
+#include <string>
+#include <vector>
+
+#include "arch/fpga_grid.hpp"
+
+namespace taf::thermal {
+
+struct ThermalConfig {
+  double ambient_c = 25.0;
+  /// Silicon thermal conductivity [W/(m K)].
+  double silicon_k_w_mk = 140.0;
+  /// Die thickness [um]; lateral conductance between neighbouring tiles is
+  /// k * thickness (edge lengths cancel for square tiles).
+  double die_thickness_um = 300.0;
+  /// Tile edge [um] (from the architecture).
+  double tile_edge_um = 34.6;
+  /// Junction-to-ambient thermal resistance of the whole package [K/W];
+  /// distributed uniformly over the tiles. Calibrated so that a typical
+  /// routed benchmark warms ~2 degC over ambient, matching the paper's
+  /// convergence observation and its dT ~= 0.7 p_design/p_base rule of
+  /// thumb against the XPE spreadsheet.
+  double package_r_k_per_w = 12.0;
+  /// Volumetric heat capacity of silicon [J/(m^3 K)] for transients.
+  double volumetric_c_j_m3k = 1.63e6;
+
+  double lateral_g_w_per_k() const {
+    return silicon_k_w_mk * die_thickness_um * 1e-6;
+  }
+};
+
+class ThermalGrid {
+ public:
+  ThermalGrid(const arch::FpgaGrid& grid, ThermalConfig config);
+
+  /// Steady-state tile temperatures [degC] for the given per-tile power
+  /// map [W]. power.size() must equal the grid tile count.
+  std::vector<double> solve(const std::vector<double>& power_w) const;
+
+  /// Transient step: advance the temperature field by dt under constant
+  /// power (backward Euler on C dT/dt + A (T - Tamb) = P). `temps` is
+  /// updated in place. Used to study warm-up after a frequency change.
+  void step(const std::vector<double>& power_w, double dt_s,
+            std::vector<double>& temps) const;
+
+  /// Thermal time constant of one tile [s] (C_tile / G_vertical-ish),
+  /// useful to pick transient step sizes.
+  double tile_time_constant_s() const;
+
+  /// Peak temperature of a solve result.
+  static double peak_c(const std::vector<double>& temps);
+
+  const ThermalConfig& config() const { return config_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Render the temperature map as a coarse ASCII heat map (for the
+  /// thermal_profile example and debugging).
+  static std::string ascii_heatmap(const std::vector<double>& temps, int width,
+                                   int height);
+
+ private:
+  /// y = A x where A is the conductance matrix.
+  void apply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  int width_;
+  int height_;
+  ThermalConfig config_;
+  double g_lat_;   ///< lateral conductance between adjacent tiles [W/K]
+  double g_vert_;  ///< per-tile vertical conductance to ambient [W/K]
+  double c_tile_;  ///< heat capacity of one tile [J/K]
+};
+
+}  // namespace taf::thermal

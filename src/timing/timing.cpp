@@ -1,0 +1,250 @@
+#include "timing/timing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace taf::timing {
+
+namespace {
+
+using coffe::ResourceKind;
+using netlist::kNoNet;
+using netlist::NetId;
+using netlist::PrimId;
+using netlist::PrimKind;
+
+/// Per-arc delay decomposition used both for arrival propagation and for
+/// critical-path breakdown reporting.
+struct ArcDelay {
+  double total = 0.0;
+  std::array<double, coffe::kNumResourceKinds> by_kind{};
+
+  void add(ResourceKind k, double ps) {
+    total += ps;
+    by_kind[static_cast<std::size_t>(k)] += ps;
+  }
+};
+
+}  // namespace
+
+TimingAnalyzer::TimingAnalyzer(const netlist::Netlist& nl,
+                               const pack::PackedNetlist& packed,
+                               const place::Placement& pl, const route::RrGraph& rr,
+                               const route::RouteResult& routes,
+                               const arch::FpgaGrid& grid, TimingOptions opt)
+    : nl_(&nl), packed_(&packed), pl_(&pl), grid_(&grid), opt_(opt) {
+  topo_ = nl.topo_order();
+
+  // Map netlist net -> block-net index for routed path lookup.
+  std::unordered_map<NetId, int> block_net_of;
+  for (int i = 0; i < static_cast<int>(packed.block_nets.size()); ++i) {
+    block_net_of[packed.block_nets[static_cast<std::size_t>(i)].net] = i;
+  }
+
+  for (NetId n = 0; n < static_cast<NetId>(nl.nets().size()); ++n) {
+    const auto& net = nl.net(n);
+    const int src_block = packed.block_of_prim[static_cast<std::size_t>(net.driver)];
+
+    // Parent map of the routed tree (if this net leaves its block).
+    const route::NetRoute* nr = nullptr;
+    std::unordered_map<route::RrNodeId, route::RrNodeId> parent;
+    auto it = block_net_of.find(n);
+    if (it != block_net_of.end()) {
+      nr = &routes.routes[static_cast<std::size_t>(it->second)];
+      parent.reserve(nr->parents.size());
+      for (const auto& [node, par] : nr->parents) parent[node] = par;
+    }
+
+    for (const auto& sink : net.sinks) {
+      Connection c;
+      c.src = net.driver;
+      c.dst = sink.prim;
+      c.dst_pin = sink.pin;
+      const int dst_block = packed.block_of_prim[static_cast<std::size_t>(sink.prim)];
+      c.same_block = dst_block == src_block;
+      if (!c.same_block && nr != nullptr && !nr->nodes.empty()) {
+        // Walk the routed tree from the sink IPIN back to the source.
+        const arch::TilePos dst_pos = pl.pos[static_cast<std::size_t>(dst_block)];
+        route::RrNodeId cur = rr.ipin_at(dst_pos.x, dst_pos.y);
+        int guard = 0;
+        while (true) {
+          auto pit = parent.find(cur);
+          if (pit == parent.end() || pit->second < 0) break;
+          cur = pit->second;
+          const route::RrNode& node = rr.node(cur);
+          if (node.kind == route::RrKind::WireH || node.kind == route::RrKind::WireV) {
+            c.wire_tiles.push_back(node.tile);
+          }
+          if (++guard > rr.num_nodes()) {
+            util::log_warn("timing: cyclic route parents on net %d", n);
+            break;
+          }
+        }
+      } else if (!c.same_block) {
+        // Unrouted fallback: straight-line SB hop estimate.
+        const arch::TilePos a = pl.pos[static_cast<std::size_t>(src_block)];
+        const arch::TilePos b = pl.pos[static_cast<std::size_t>(dst_block)];
+        const int dist = std::abs(a.x - b.x) + std::abs(a.y - b.y);
+        const int hops = std::max(1, (dist + 3) / 4);
+        for (int h = 0; h < hops; ++h) c.wire_tiles.push_back(a);
+      }
+      connections_.push_back(std::move(c));
+    }
+  }
+}
+
+TimingResult TimingAnalyzer::analyze(const coffe::DeviceModel& dev,
+                                     const std::vector<double>& tile_temp_c) const {
+  assert(static_cast<int>(tile_temp_c.size()) == grid_->num_tiles());
+
+  auto temp_at = [&](arch::TilePos p) {
+    return tile_temp_c[static_cast<std::size_t>(grid_->index_of(p))];
+  };
+  auto block_tile = [&](PrimId prim) {
+    const int b = packed_->block_of_prim[static_cast<std::size_t>(prim)];
+    return pl_->pos[static_cast<std::size_t>(b)];
+  };
+
+  // Connection delays.
+  auto conn_delay = [&](const Connection& c) {
+    ArcDelay d;
+    const arch::TilePos src_tile = block_tile(c.src);
+    if (c.same_block) {
+      d.add(ResourceKind::FeedbackMux, dev.delay_ps(ResourceKind::FeedbackMux,
+                                                    temp_at(src_tile)));
+    } else {
+      d.add(ResourceKind::OutputMux,
+            dev.delay_ps(ResourceKind::OutputMux, temp_at(src_tile)));
+      for (const arch::TilePos& wt : c.wire_tiles) {
+        d.add(ResourceKind::SbMux, dev.delay_ps(ResourceKind::SbMux, temp_at(wt)));
+      }
+      d.add(ResourceKind::CbMux,
+            dev.delay_ps(ResourceKind::CbMux, temp_at(block_tile(c.dst))));
+    }
+    return d;
+  };
+
+  // Per-connection lists by destination primitive.
+  std::vector<std::vector<int>> conns_into(nl_->prims().size());
+  for (int i = 0; i < static_cast<int>(connections_.size()); ++i) {
+    conns_into[static_cast<std::size_t>(connections_[static_cast<std::size_t>(i)].dst)]
+        .push_back(i);
+  }
+
+  const auto n_prims = nl_->prims().size();
+  std::vector<double> arrival(n_prims, 0.0);
+  std::vector<int> crit_conn(n_prims, -1);  // critical incoming connection
+
+  // Launch times for sequential sources.
+  for (PrimId id = 0; id < static_cast<PrimId>(n_prims); ++id) {
+    const auto& p = nl_->prim(id);
+    switch (p.kind) {
+      case PrimKind::Input: arrival[static_cast<std::size_t>(id)] = opt_.io_delay_ps; break;
+      case PrimKind::Ff: arrival[static_cast<std::size_t>(id)] = opt_.ff_clk_to_q_ps; break;
+      case PrimKind::Bram:
+        arrival[static_cast<std::size_t>(id)] =
+            dev.delay_ps(ResourceKind::Bram, temp_at(block_tile(id)));
+        break;
+      default: break;
+    }
+  }
+
+  // Propagate through combinational elements in topological order.
+  for (PrimId id : topo_) {
+    const auto& p = nl_->prim(id);
+    if (p.kind != PrimKind::Lut && p.kind != PrimKind::Dsp && p.kind != PrimKind::Output)
+      continue;
+    double worst = 0.0;
+    int worst_conn = -1;
+    for (int ci : conns_into[static_cast<std::size_t>(id)]) {
+      const Connection& c = connections_[static_cast<std::size_t>(ci)];
+      const double t = arrival[static_cast<std::size_t>(c.src)] + conn_delay(c).total;
+      if (t > worst) {
+        worst = t;
+        worst_conn = ci;
+      }
+    }
+    crit_conn[static_cast<std::size_t>(id)] = worst_conn;
+    const double temp = temp_at(block_tile(id));
+    if (p.kind == PrimKind::Lut) {
+      worst += dev.delay_ps(ResourceKind::LocalMux, temp) +
+               dev.delay_ps(ResourceKind::Lut, temp);
+    } else if (p.kind == PrimKind::Dsp) {
+      worst += dev.delay_ps(ResourceKind::Dsp, temp);
+    }
+    arrival[static_cast<std::size_t>(id)] = worst;
+  }
+
+  // Capture: FF data / BRAM and DSP inputs (setup), primary outputs.
+  double cp = 0.0;
+  PrimId cp_end = -1;
+  int cp_end_conn = -1;
+  auto consider = [&](PrimId prim, int ci, double t) {
+    if (t > cp) {
+      cp = t;
+      cp_end = prim;
+      cp_end_conn = ci;
+    }
+  };
+  for (PrimId id = 0; id < static_cast<PrimId>(n_prims); ++id) {
+    const auto& p = nl_->prim(id);
+    if (p.kind == PrimKind::Output) {
+      consider(id, crit_conn[static_cast<std::size_t>(id)], arrival[static_cast<std::size_t>(id)]);
+    } else if (p.kind == PrimKind::Ff || p.kind == PrimKind::Bram) {
+      const double setup = p.kind == PrimKind::Ff ? opt_.ff_setup_ps : opt_.bram_setup_ps;
+      for (int ci : conns_into[static_cast<std::size_t>(id)]) {
+        const Connection& c = connections_[static_cast<std::size_t>(ci)];
+        consider(id, ci, arrival[static_cast<std::size_t>(c.src)] + conn_delay(c).total + setup);
+      }
+    }
+  }
+
+  TimingResult result;
+  result.critical_path_ps = cp;
+  result.fmax_mhz = cp > 0.0 ? 1e6 / cp : 0.0;
+
+  // Reconstruct the critical path and its resource breakdown.
+  if (cp_end >= 0) {
+    PrimId cur = cp_end;
+    int ci = cp_end_conn;
+    result.cp_prims.push_back(cur);
+    int guard = 0;
+    while (ci >= 0 && guard++ < static_cast<int>(n_prims)) {
+      const Connection& c = connections_[static_cast<std::size_t>(ci)];
+      const ArcDelay d = conn_delay(c);
+      for (std::size_t k = 0; k < d.by_kind.size(); ++k)
+        result.cp_breakdown[k] += d.by_kind[k];
+      cur = c.src;
+      result.cp_prims.push_back(cur);
+      const auto& p = nl_->prim(cur);
+      const double temp = temp_at(block_tile(cur));
+      if (p.kind == PrimKind::Lut) {
+        result.cp_breakdown[static_cast<std::size_t>(ResourceKind::Lut)] +=
+            dev.delay_ps(ResourceKind::Lut, temp);
+        result.cp_breakdown[static_cast<std::size_t>(ResourceKind::LocalMux)] +=
+            dev.delay_ps(ResourceKind::LocalMux, temp);
+      } else if (p.kind == PrimKind::Dsp) {
+        result.cp_breakdown[static_cast<std::size_t>(ResourceKind::Dsp)] +=
+            dev.delay_ps(ResourceKind::Dsp, temp);
+      } else if (p.kind == PrimKind::Bram) {
+        result.cp_breakdown[static_cast<std::size_t>(ResourceKind::Bram)] +=
+            dev.delay_ps(ResourceKind::Bram, temp);
+      }
+      ci = crit_conn[static_cast<std::size_t>(cur)];
+    }
+    std::reverse(result.cp_prims.begin(), result.cp_prims.end());
+  }
+  return result;
+}
+
+TimingResult TimingAnalyzer::analyze_uniform(const coffe::DeviceModel& dev,
+                                             double temp_c) const {
+  const std::vector<double> temps(static_cast<std::size_t>(grid_->num_tiles()), temp_c);
+  return analyze(dev, temps);
+}
+
+}  // namespace taf::timing

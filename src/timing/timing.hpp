@@ -1,0 +1,84 @@
+#pragma once
+// Block-level static timing analysis with per-tile temperatures.
+//
+// This is the paper's modified VPR timing analyzer: every delay element
+// (LUT, mux, wire SB driver, BRAM, DSP) is evaluated from the
+// characterized DeviceModel at the temperature of the tile it physically
+// occupies, so the same netlist yields different critical paths at
+// different temperature maps — the paper stresses that the entire
+// netlist must be re-probed because the critical path itself moves.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "arch/fpga_grid.hpp"
+#include "coffe/device_model.hpp"
+#include "netlist/netlist.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/router.hpp"
+#include "route/rr_graph.hpp"
+
+namespace taf::timing {
+
+struct TimingOptions {
+  double ff_setup_ps = 30.0;
+  double ff_clk_to_q_ps = 45.0;
+  double bram_setup_ps = 60.0;
+  double io_delay_ps = 0.0;
+};
+
+/// Result of one STA pass.
+struct TimingResult {
+  double critical_path_ps = 0.0;
+  double fmax_mhz = 0.0;
+  /// Delay contribution of each resource kind on the critical path [ps]
+  /// (indexed by coffe::ResourceKind).
+  std::array<double, coffe::kNumResourceKinds> cp_breakdown{};
+  /// Primitives on the critical path, launch to capture.
+  std::vector<netlist::PrimId> cp_prims;
+
+  /// Share of the critical path spent in a resource kind.
+  double cp_share(coffe::ResourceKind k) const {
+    return critical_path_ps > 0.0
+               ? cp_breakdown[static_cast<std::size_t>(k)] / critical_path_ps
+               : 0.0;
+  }
+};
+
+/// Bound view of a fully implemented design (netlist through routing).
+class TimingAnalyzer {
+ public:
+  TimingAnalyzer(const netlist::Netlist& nl, const pack::PackedNetlist& packed,
+                 const place::Placement& pl, const route::RrGraph& rr,
+                 const route::RouteResult& routes, const arch::FpgaGrid& grid,
+                 TimingOptions opt = {});
+
+  /// STA with one temperature per tile (indexed by FpgaGrid::index_of).
+  TimingResult analyze(const coffe::DeviceModel& dev,
+                       const std::vector<double>& tile_temp_c) const;
+
+  /// STA with a uniform junction temperature (the conventional corner).
+  TimingResult analyze_uniform(const coffe::DeviceModel& dev, double temp_c) const;
+
+ private:
+  struct Connection {
+    netlist::PrimId src;
+    netlist::PrimId dst;
+    int dst_pin;
+    bool same_block;
+    /// Anchor tiles of the wires on the routed path (SB hops).
+    std::vector<arch::TilePos> wire_tiles;
+  };
+
+  const netlist::Netlist* nl_;
+  const pack::PackedNetlist* packed_;
+  const place::Placement* pl_;
+  const arch::FpgaGrid* grid_;
+  TimingOptions opt_;
+  std::vector<Connection> connections_;
+  std::vector<netlist::PrimId> topo_;
+};
+
+}  // namespace taf::timing

@@ -1,0 +1,38 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+
+namespace taf::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "[debug] ";
+    case LogLevel::Info: return "[info ] ";
+    case LogLevel::Warn: return "[warn ] ";
+    case LogLevel::Error: return "[error] ";
+    case LogLevel::Silent: return "";
+  }
+  return "";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  std::fputs(prefix(level), stderr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace taf::util

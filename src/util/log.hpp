@@ -1,0 +1,52 @@
+#pragma once
+// Lightweight leveled logger used across the library.
+//
+// The flow binaries (benches, examples) print their results through the
+// table printer; the logger is for diagnostics and progress only, so it
+// writes to stderr and can be silenced globally.
+
+#include <cstdio>
+#include <string>
+
+namespace taf::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const char* fmt, Args... args) {
+  detail::vlog(LogLevel::Debug, fmt, args...);
+}
+template <typename... Args>
+void log_info(const char* fmt, Args... args) {
+  detail::vlog(LogLevel::Info, fmt, args...);
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args... args) {
+  detail::vlog(LogLevel::Warn, fmt, args...);
+}
+template <typename... Args>
+void log_error(const char* fmt, Args... args) {
+  detail::vlog(LogLevel::Error, fmt, args...);
+}
+
+/// RAII guard that silences logging for the current scope (used in tests).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : prev_(log_level()) { set_log_level(level); }
+  ~ScopedLogLevel() { set_log_level(prev_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel prev_;
+};
+
+}  // namespace taf::util

@@ -1,0 +1,65 @@
+#pragma once
+// Deterministic PCG32 random number generator.
+//
+// Every stochastic stage of the flow (benchmark generation, placement
+// annealing, Monte-Carlo Vth sampling) takes an explicit Rng so that runs
+// are reproducible from a seed and independent of std:: library versions.
+
+#include <cstdint>
+#include <cmath>
+
+namespace taf::util {
+
+/// PCG32 (O'Neill 2014): small, fast, statistically solid generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0U;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  std::uint32_t next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  std::uint32_t next_below(std::uint32_t bound) {
+    const std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return next_u32() * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Standard normal via Box–Muller (one value per call; no caching for simplicity).
+  double normal() {
+    double u1 = next_double();
+    while (u1 <= 1e-12) u1 = next_double();
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+}  // namespace taf::util

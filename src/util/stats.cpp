@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace taf::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double ExpFit::operator()(double x) const noexcept { return scale * std::exp(rate * x); }
+
+namespace {
+/// Core least squares on (x, y); returns {intercept, slope, r2}.
+LinearFit least_squares(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  LinearFit fit;
+  const std::size_t n = x.size();
+  if (n < 2) {
+    fit.intercept = n == 1 ? y[0] : 0.0;
+    return fit;
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::fabs(denom) < std::numeric_limits<double>::min()) {
+    fit.intercept = sy / dn;
+    return fit;
+  }
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+
+  const double ymean = sy / dn;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = fit.intercept + fit.slope * x[i];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ymean) * (y[i] - ymean);
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+}  // namespace
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  return least_squares(x, y);
+}
+
+ExpFit fit_exponential(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  std::vector<double> logy(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    assert(y[i] > 0.0 && "exponential fit requires positive samples");
+    logy[i] = std::log(y[i]);
+  }
+  const LinearFit lf = least_squares(x, logy);
+  ExpFit fit;
+  fit.scale = std::exp(lf.intercept);
+  fit.rate = lf.slope;
+  fit.r2 = lf.r2;
+  return fit;
+}
+
+double integrate_trapezoid(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double area = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    area += 0.5 * (y[i] + y[i - 1]) * (x[i] - x[i - 1]);
+  }
+  return area;
+}
+
+double mean_of(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double geomean_of(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) {
+    assert(x > 0.0);
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+}  // namespace taf::util

@@ -1,0 +1,64 @@
+#pragma once
+// Small statistics helpers: streaming accumulator, least-squares fits.
+//
+// The characterization flow measures delay/leakage on a 1 degC grid and then
+// reports best-fit models (Table II of the paper uses a linear fit for delay
+// and an exponential fit for leakage), so fitting lives here in util.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace taf::util {
+
+/// Streaming mean/min/max/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double variance() const noexcept;  ///< population variance
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// y ~= intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination of the fit
+
+  double operator()(double x) const noexcept { return intercept + slope * x; }
+};
+
+/// y ~= scale * exp(rate * x). Fitted by linear regression in log space,
+/// so all y must be > 0.
+struct ExpFit {
+  double scale = 1.0;
+  double rate = 0.0;
+  double r2 = 0.0;
+
+  double operator()(double x) const noexcept;
+};
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+ExpFit fit_exponential(std::span<const double> x, std::span<const double> y);
+
+/// Trapezoidal integration of samples y(x) over monotonically increasing x.
+double integrate_trapezoid(std::span<const double> x, std::span<const double> y);
+
+/// Arithmetic mean of a vector (0 for empty).
+double mean_of(std::span<const double> v);
+
+/// Geometric mean of a vector of positive values (0 for empty).
+double geomean_of(std::span<const double> v);
+
+}  // namespace taf::util

@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace taf::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += " ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(widths[c] + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void Table::print(FILE* out) const { std::fputs(to_string().c_str(), out); }
+
+}  // namespace taf::util

@@ -1,0 +1,118 @@
+// Tests for the ACE-like activity estimator: exact LUT probabilities,
+// Boolean-difference densities, FF filtering, and bounds.
+
+#include <gtest/gtest.h>
+
+#include "activity/activity.hpp"
+#include "netlist/benchmarks.hpp"
+
+namespace {
+
+using namespace taf;
+using namespace taf::netlist;
+using activity::ActivityOptions;
+using activity::estimate;
+
+/// Two-input LUT driven by fresh primary inputs with the given truth.
+struct LutFixture {
+  Netlist nl{"fix"};
+  NetId out;
+
+  explicit LutFixture(std::uint64_t truth, int k = 2) {
+    const PrimId l = nl.add_primitive({PrimKind::Lut, "l", {}, kNoNet, truth});
+    for (int i = 0; i < k; ++i) {
+      const PrimId in = nl.add_primitive({PrimKind::Input, "i", {}, kNoNet, 0});
+      const NetId n = nl.add_net(in);
+      nl.connect(n, l, i);
+    }
+    out = nl.add_net(l);
+  }
+};
+
+TEST(Activity, AndGateProbability) {
+  LutFixture f(0b1000);  // AND
+  const auto stats = estimate(f.nl);
+  EXPECT_NEAR(stats[static_cast<std::size_t>(f.out)].prob, 0.25, 1e-12);
+}
+
+TEST(Activity, OrGateProbability) {
+  LutFixture f(0b1110);  // OR
+  const auto stats = estimate(f.nl);
+  EXPECT_NEAR(stats[static_cast<std::size_t>(f.out)].prob, 0.75, 1e-12);
+}
+
+TEST(Activity, XorGateProbabilityAndDensity) {
+  LutFixture f(0b0110);  // XOR
+  ActivityOptions opt;
+  opt.input_density = 0.5;
+  const auto stats = estimate(f.nl, opt);
+  EXPECT_NEAR(stats[static_cast<std::size_t>(f.out)].prob, 0.5, 1e-12);
+  // XOR: both Boolean differences are 1 -> D = d1 + d2 = 1.0, capped at
+  // 4 p (1-p) + 0.02 = 1.02.
+  EXPECT_NEAR(stats[static_cast<std::size_t>(f.out)].density, 1.0, 1e-9);
+}
+
+TEST(Activity, AndGateDensity) {
+  LutFixture f(0b1000);
+  const auto stats = estimate(f.nl);
+  // P(df/dx) = p(other input = 1) = 0.5 per input -> D = 0.5*0.5*2 = 0.5.
+  EXPECT_NEAR(stats[static_cast<std::size_t>(f.out)].density, 0.5, 1e-9);
+}
+
+TEST(Activity, BiasedInputsShiftProbability) {
+  LutFixture f(0b1000);
+  ActivityOptions opt;
+  opt.input_prob = 0.9;
+  const auto stats = estimate(f.nl, opt);
+  EXPECT_NEAR(stats[static_cast<std::size_t>(f.out)].prob, 0.81, 1e-12);
+}
+
+TEST(Activity, FfPreservesProbabilityAndFiltersDensity) {
+  Netlist nl("ff");
+  const PrimId in = nl.add_primitive({PrimKind::Input, "i", {}, kNoNet, 0});
+  const NetId nin = nl.add_net(in);
+  const PrimId ff = nl.add_primitive({PrimKind::Ff, "f", {}, kNoNet, 0});
+  nl.connect(nin, ff, 0);
+  const NetId nout = nl.add_net(ff);
+  ActivityOptions opt;
+  opt.input_prob = 0.3;
+  opt.input_density = 0.9;
+  const auto stats = estimate(nl, opt);
+  EXPECT_NEAR(stats[static_cast<std::size_t>(nout)].prob, 0.3, 1e-12);
+  // Lag-one bound: 2 * 0.3 * 0.7 = 0.42 < 0.9.
+  EXPECT_NEAR(stats[static_cast<std::size_t>(nout)].density, 0.42, 1e-12);
+}
+
+TEST(Activity, AllSignalsWithinBounds) {
+  util::Rng rng(5);
+  const Netlist nl = generate(scaled(vtr_suite()[1], 0.1), rng);
+  const auto stats = estimate(nl);
+  for (const auto& s : stats) {
+    EXPECT_GE(s.prob, 0.0);
+    EXPECT_LE(s.prob, 1.0);
+    EXPECT_GE(s.density, 0.0);
+    EXPECT_LE(s.density, 2.0);
+  }
+  const double avg = activity::average_density(stats);
+  EXPECT_GT(avg, 0.01);
+  EXPECT_LT(avg, 1.0);
+}
+
+TEST(Activity, DensityDecaysThroughDeepLogic) {
+  // Through an AND chain the transition density attenuates.
+  Netlist nl("chain");
+  const PrimId in0 = nl.add_primitive({PrimKind::Input, "a", {}, kNoNet, 0});
+  NetId cur = nl.add_net(in0);
+  for (int i = 0; i < 6; ++i) {
+    const PrimId side = nl.add_primitive({PrimKind::Input, "s", {}, kNoNet, 0});
+    const NetId ns = nl.add_net(side);
+    const PrimId l = nl.add_primitive({PrimKind::Lut, "l", {}, kNoNet, 0b1000});
+    nl.connect(cur, l, 0);
+    nl.connect(ns, l, 1);
+    cur = nl.add_net(l);
+  }
+  const auto stats = estimate(nl);
+  EXPECT_LT(stats[static_cast<std::size_t>(cur)].density, 0.2);
+}
+
+}  // namespace

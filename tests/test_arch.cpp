@@ -1,0 +1,91 @@
+// Tests for the FPGA grid: perimeter IO, hard-block column pattern,
+// capacity-driven sizing, and index round-trips.
+
+#include <gtest/gtest.h>
+
+#include "arch/fpga_grid.hpp"
+
+namespace {
+
+using namespace taf::arch;
+
+TEST(FpgaGrid, PerimeterIsIo) {
+  FpgaGrid g(10, 8);
+  for (int x = 0; x < g.width(); ++x) {
+    EXPECT_EQ(g.at(x, 0), TileKind::Io);
+    EXPECT_EQ(g.at(x, g.height() - 1), TileKind::Io);
+  }
+  for (int y = 0; y < g.height(); ++y) {
+    EXPECT_EQ(g.at(0, y), TileKind::Io);
+    EXPECT_EQ(g.at(g.width() - 1, y), TileKind::Io);
+  }
+}
+
+TEST(FpgaGrid, HardColumnPattern) {
+  FpgaGrid g(20, 12);
+  for (int y = 1; y < g.height() - 1; ++y) {
+    EXPECT_EQ(g.at(4, y), TileKind::Bram);  // x % 8 == 4
+    EXPECT_EQ(g.at(12, y), TileKind::Bram);
+    EXPECT_EQ(g.at(8, y), TileKind::Dsp);   // x % 8 == 0 (interior)
+    EXPECT_EQ(g.at(16, y), TileKind::Dsp);
+    EXPECT_EQ(g.at(2, y), TileKind::Clb);
+  }
+}
+
+TEST(FpgaGrid, IndexRoundTrip) {
+  FpgaGrid g(13, 9);
+  for (int i = 0; i < g.num_tiles(); ++i) {
+    const TilePos p = g.pos_of(i);
+    EXPECT_EQ(g.index_of(p), i);
+  }
+}
+
+TEST(FpgaGrid, CapacityCountsAreConsistent) {
+  FpgaGrid g(16, 10);
+  int total = 0;
+  for (TileKind k : {TileKind::Clb, TileKind::Bram, TileKind::Dsp, TileKind::Io}) {
+    total += g.capacity(k);
+  }
+  EXPECT_EQ(total, g.num_tiles());
+}
+
+TEST(FpgaGrid, FitCoversDemand) {
+  const FpgaGrid g = FpgaGrid::fit(200, 6, 4);
+  EXPECT_GE(g.capacity(TileKind::Clb), 240);  // 20% slack
+  EXPECT_GE(g.capacity(TileKind::Bram), 6);
+  EXPECT_GE(g.capacity(TileKind::Dsp), 4);
+}
+
+TEST(FpgaGrid, FitIsMinimal) {
+  // Shrinking the fitted grid by one must violate some capacity (the fit
+  // targets 45% placement slack for routability).
+  const FpgaGrid g = FpgaGrid::fit(200, 6, 4);
+  const FpgaGrid smaller(g.width() - 1, g.height() - 1);
+  const bool still_fits = smaller.capacity(TileKind::Clb) >= 290 &&
+                          smaller.capacity(TileKind::Bram) >= 6 &&
+                          smaller.capacity(TileKind::Dsp) >= 4;
+  EXPECT_FALSE(still_fits);
+}
+
+TEST(FpgaGrid, TileKindNames) {
+  EXPECT_STREQ(tile_kind_name(TileKind::Clb), "CLB");
+  EXPECT_STREQ(tile_kind_name(TileKind::Bram), "BRAM");
+  EXPECT_STREQ(tile_kind_name(TileKind::Dsp), "DSP");
+  EXPECT_STREQ(tile_kind_name(TileKind::Io), "IO");
+}
+
+TEST(ArchParams, PaperTableOneDefaults) {
+  const ArchParams a = paper_arch();
+  EXPECT_EQ(a.lut_k, 6);
+  EXPECT_EQ(a.cluster_n, 10);
+  EXPECT_EQ(a.channel_tracks, 320);
+  EXPECT_EQ(a.wire_segment_length, 4);
+  EXPECT_EQ(a.sb_mux_size, 12);
+  EXPECT_EQ(a.cb_mux_size, 64);
+  EXPECT_EQ(a.local_mux_size, 25);
+  EXPECT_DOUBLE_EQ(a.vdd, 0.8);
+  EXPECT_DOUBLE_EQ(a.vdd_low_power, 0.95);
+  EXPECT_EQ(a.bram_words * a.bram_width, 1024 * 32);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Tests for BLIF serialization: round trips, don't-care expansion, and
+// error handling.
+
+#include <gtest/gtest.h>
+
+#include "netlist/benchmarks.hpp"
+#include "netlist/blif.hpp"
+
+namespace {
+
+using namespace taf;
+using namespace taf::netlist;
+
+TEST(Blif, RoundTripPreservesStructure) {
+  util::Rng rng(21);
+  const Netlist original = generate(scaled(vtr_suite()[4], 0.25), rng);  // diffeq1
+  const Netlist back = from_blif_string(to_blif_string(original));
+  EXPECT_EQ(back.validate(), "");
+  EXPECT_EQ(back.count(PrimKind::Input), original.count(PrimKind::Input));
+  EXPECT_EQ(back.count(PrimKind::Output), original.count(PrimKind::Output));
+  // Writer adds one buffer LUT per primary output to bind the name.
+  EXPECT_EQ(back.count(PrimKind::Lut),
+            original.count(PrimKind::Lut) + original.count(PrimKind::Output));
+  EXPECT_EQ(back.count(PrimKind::Ff), original.count(PrimKind::Ff));
+  EXPECT_EQ(back.count(PrimKind::Bram), original.count(PrimKind::Bram));
+  EXPECT_EQ(back.count(PrimKind::Dsp), original.count(PrimKind::Dsp));
+}
+
+TEST(Blif, TruthTablesSurviveRoundTrip) {
+  util::Rng rng(9);
+  const Netlist original = generate(scaled(vtr_suite()[14], 0.1), rng);  // sha
+  const Netlist back = from_blif_string(to_blif_string(original));
+  // Match by primitive name (names are unique in the generator).
+  for (const Primitive& p : original.prims()) {
+    if (p.kind != PrimKind::Lut) continue;
+    bool found = false;
+    for (const Primitive& q : back.prims()) {
+      if (q.kind == PrimKind::Lut && q.name == p.name) {
+        EXPECT_EQ(q.truth, p.truth) << p.name;
+        EXPECT_EQ(q.inputs.size(), p.inputs.size()) << p.name;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << p.name;
+  }
+}
+
+TEST(Blif, ParsesHandWrittenWithDontCares) {
+  const std::string text = R"(
+.model mini
+.inputs a b c
+.outputs y
+# 2-input OR via don't cares
+.names a b t
+1- 1
+-1 1
+.names t c y
+11 1
+.end
+)";
+  const Netlist nl = from_blif_string(text);
+  EXPECT_EQ(nl.validate(), "");
+  EXPECT_EQ(nl.count(PrimKind::Lut), 2);
+  // OR truth over 2 inputs: minterms 01,10,11 -> 0b1110.
+  for (const Primitive& p : nl.prims()) {
+    if (p.kind == PrimKind::Lut && p.name == "t") {
+      EXPECT_EQ(p.truth, 0b1110ULL);
+    }
+  }
+}
+
+TEST(Blif, ParsesLatchAndSubckt) {
+  const std::string text = R"(
+.model seq
+.inputs d a0 a1
+.outputs q
+.latch d r re clk 0
+.subckt bram in0=r in1=a0 in2=a1 out=m
+.names m q
+1 1
+.end
+)";
+  const Netlist nl = from_blif_string(text);
+  EXPECT_EQ(nl.validate(), "");
+  EXPECT_EQ(nl.count(PrimKind::Ff), 1);
+  EXPECT_EQ(nl.count(PrimKind::Bram), 1);
+}
+
+TEST(Blif, RejectsUndrivenNet) {
+  const std::string text = ".model bad\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n";
+  EXPECT_THROW(from_blif_string(text), std::runtime_error);
+}
+
+TEST(Blif, RejectsDoubleDriver) {
+  const std::string text =
+      ".model bad\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n";
+  EXPECT_THROW(from_blif_string(text), std::runtime_error);
+}
+
+TEST(Blif, RejectsWideLut) {
+  const std::string text =
+      ".model bad\n.inputs a b c d e f g\n.outputs y\n.names a b c d e f g y\n1111111 1\n.end\n";
+  EXPECT_THROW(from_blif_string(text), std::runtime_error);
+}
+
+TEST(Blif, RoundTrippedNetlistStillImplements) {
+  // The re-read netlist must survive the whole CAD flow.
+  util::Rng rng(2);
+  const Netlist original = generate(scaled(vtr_suite()[18], 1.0), rng);  // stereovision3
+  const Netlist back = from_blif_string(to_blif_string(original));
+  EXPECT_EQ(back.validate(), "");
+  EXPECT_EQ(back.topo_order().size(), back.prims().size());
+}
+
+}  // namespace

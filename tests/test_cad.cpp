@@ -1,0 +1,342 @@
+// Integration tests for the CAD substrate: pack, place, route, and the
+// temperature-aware STA, on generated benchmarks.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "arch/arch_params.hpp"
+#include "coffe/device_model.hpp"
+#include "netlist/benchmarks.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/router.hpp"
+#include "route/rr_graph.hpp"
+#include "timing/timing.hpp"
+
+namespace {
+
+using namespace taf;
+
+const arch::ArchParams& test_arch() {
+  static const arch::ArchParams a = arch::scaled_arch();
+  return a;
+}
+
+/// A mid-size benchmark shared by the heavier tests.
+struct Design {
+  netlist::Netlist nl;
+  pack::PackedNetlist packed;
+  arch::FpgaGrid grid;
+  place::Placement pl;
+  route::RrGraph rr;
+  route::RouteResult routes;
+
+  explicit Design(const char* name, double scale) : nl("tmp"), grid(6, 6), rr(grid, test_arch()) {
+    for (const auto& s : netlist::vtr_suite()) {
+      if (s.name != name) continue;
+      util::Rng rng(11);
+      nl = netlist::generate(netlist::scaled(s, scale), rng);
+      break;
+    }
+    packed = pack::pack(nl, test_arch());
+    grid = arch::FpgaGrid::fit(packed.count(pack::BlockKind::Clb),
+                               packed.count(pack::BlockKind::Bram),
+                               packed.count(pack::BlockKind::Dsp));
+    place::PlaceOptions popt;
+    popt.effort = 0.5;
+    pl = place::place(packed, grid, popt);
+    rr = route::RrGraph(grid, test_arch());
+    routes = route::route(rr, packed, pl);
+  }
+};
+
+const Design& sha_design() {
+  static const Design d("sha", 1.0 / 16);
+  return d;
+}
+
+// ---------- pack ----------
+
+TEST(Pack, EveryPrimitiveAssigned) {
+  const auto& d = sha_design();
+  for (netlist::PrimId p = 0; p < static_cast<netlist::PrimId>(d.nl.prims().size()); ++p) {
+    EXPECT_GE(d.packed.block_of_prim[static_cast<std::size_t>(p)], 0) << "prim " << p;
+  }
+}
+
+TEST(Pack, ClusterCapacityRespected) {
+  const auto& d = sha_design();
+  for (const auto& b : d.packed.blocks) {
+    if (b.kind != pack::BlockKind::Clb) continue;
+    EXPECT_LE(static_cast<int>(b.bles.size()), test_arch().cluster_n);
+  }
+}
+
+TEST(Pack, ClusterInputLimitRespected) {
+  const auto& d = sha_design();
+  for (const auto& b : d.packed.blocks) {
+    if (b.kind != pack::BlockKind::Clb) continue;
+    std::set<netlist::NetId> outputs, inputs;
+    for (netlist::PrimId p : b.prims) {
+      if (d.nl.prim(p).output != netlist::kNoNet) outputs.insert(d.nl.prim(p).output);
+    }
+    for (netlist::PrimId p : b.prims) {
+      for (netlist::NetId in : d.nl.prim(p).inputs) {
+        if (in != netlist::kNoNet && !outputs.count(in)) inputs.insert(in);
+      }
+    }
+    EXPECT_LE(static_cast<int>(inputs.size()), test_arch().cluster_inputs);
+  }
+}
+
+TEST(Pack, RegisteredBlePairsFfWithLut) {
+  const auto& d = sha_design();
+  int paired = 0;
+  for (const auto& b : d.packed.blocks) {
+    for (const auto& ble : b.bles) {
+      if (ble.lut >= 0 && ble.ff >= 0) {
+        ++paired;
+        // The FF's data input must be the LUT's output net.
+        EXPECT_EQ(d.nl.prim(ble.ff).inputs[0], d.nl.prim(ble.lut).output);
+      }
+    }
+  }
+  EXPECT_GT(paired, 0);
+}
+
+TEST(Pack, BlockNetsExcludeInternalSinks) {
+  const auto& d = sha_design();
+  for (const auto& bn : d.packed.block_nets) {
+    for (int s : bn.sink_blocks) EXPECT_NE(s, bn.driver_block);
+  }
+}
+
+TEST(Pack, HardBlocksAreSingletons) {
+  const Design d("mkPktMerge", 1.0 / 16);  // BRAM-rich
+  int brams = 0;
+  for (const auto& b : d.packed.blocks) {
+    if (b.kind == pack::BlockKind::Bram) {
+      ++brams;
+      EXPECT_EQ(b.prims.size(), 1u);
+    }
+  }
+  EXPECT_EQ(brams, d.nl.count(netlist::PrimKind::Bram));
+}
+
+// ---------- place ----------
+
+TEST(Place, AllBlocksOnLegalTiles) {
+  const auto& d = sha_design();
+  for (std::size_t b = 0; b < d.packed.blocks.size(); ++b) {
+    const arch::TilePos p = d.pl.pos[b];
+    const arch::TileKind tk = d.grid.at(p);
+    switch (d.packed.blocks[b].kind) {
+      case pack::BlockKind::Clb: EXPECT_EQ(tk, arch::TileKind::Clb); break;
+      case pack::BlockKind::Bram: EXPECT_EQ(tk, arch::TileKind::Bram); break;
+      case pack::BlockKind::Dsp: EXPECT_EQ(tk, arch::TileKind::Dsp); break;
+      case pack::BlockKind::Io: EXPECT_EQ(tk, arch::TileKind::Io); break;
+    }
+  }
+}
+
+TEST(Place, NoTileOverCapacity) {
+  const auto& d = sha_design();
+  std::unordered_map<int, int> count;
+  for (std::size_t b = 0; b < d.packed.blocks.size(); ++b) {
+    count[d.grid.index_of(d.pl.pos[b])]++;
+  }
+  for (const auto& [tile, n] : count) {
+    const arch::TileKind tk = d.grid.at(d.grid.pos_of(tile));
+    EXPECT_LE(n, tk == arch::TileKind::Io ? 8 : 1);
+  }
+}
+
+TEST(Place, AnnealingImprovesOverRandom) {
+  const Design& d = sha_design();
+  // A fresh random placement (effort ~ 0 moves) must be worse.
+  place::PlaceOptions rand_opt;
+  rand_opt.seed = 77;
+  rand_opt.effort = 0.0;
+  // effort=0 still runs a minimal anneal; compare against a pure random
+  // placement cost sampled via a different seed's initial state: use the
+  // final cost vs 2x margin instead.
+  const double annealed = place::wirelength_cost(d.packed, d.pl);
+  place::Placement random_pl = place::place(d.packed, d.grid, rand_opt);
+  const double quick = place::wirelength_cost(d.packed, random_pl);
+  EXPECT_LT(annealed, quick * 1.05);
+  EXPECT_GT(annealed, 0.0);
+}
+
+TEST(Place, DeterministicForSeed) {
+  const auto& d = sha_design();
+  place::PlaceOptions o;
+  o.seed = 5;
+  o.effort = 0.2;
+  const auto p1 = place::place(d.packed, d.grid, o);
+  const auto p2 = place::place(d.packed, d.grid, o);
+  EXPECT_EQ(p1.cost, p2.cost);
+  for (std::size_t i = 0; i < p1.pos.size(); ++i) EXPECT_EQ(p1.pos[i], p2.pos[i]);
+}
+
+// ---------- rr graph / route ----------
+
+TEST(RrGraph, PinLookupsAreConsistent) {
+  const auto& d = sha_design();
+  for (int y = 0; y < d.grid.height(); ++y) {
+    for (int x = 0; x < d.grid.width(); ++x) {
+      const auto op = d.rr.node(d.rr.opin_at(x, y));
+      EXPECT_EQ(op.kind, route::RrKind::Opin);
+      EXPECT_EQ(op.tile.x, x);
+      EXPECT_EQ(op.tile.y, y);
+      const auto ip = d.rr.node(d.rr.ipin_at(x, y));
+      EXPECT_EQ(ip.kind, route::RrKind::Ipin);
+    }
+  }
+}
+
+TEST(RrGraph, WiresHaveBoundedSpan) {
+  const auto& d = sha_design();
+  const int seg = test_arch().wire_segment_length;
+  int wires = 0;
+  for (route::RrNodeId n = 0; n < d.rr.num_nodes(); ++n) {
+    const auto& node = d.rr.node(n);
+    if (node.kind != route::RrKind::WireH && node.kind != route::RrKind::WireV) continue;
+    ++wires;
+    EXPECT_GE(node.span, 1);
+    EXPECT_LE(node.span, seg);
+  }
+  EXPECT_EQ(wires, d.rr.num_wires());
+}
+
+TEST(RrGraph, OpinsReachWiresAndWiresReachIpins) {
+  const auto& d = sha_design();
+  // Interior tile: its OPIN must have wire fanout; some wire must feed
+  // its IPIN (checked via reverse scan).
+  const int x = d.grid.width() / 2, y = d.grid.height() / 2;
+  EXPECT_FALSE(d.rr.fanout(d.rr.opin_at(x, y)).empty());
+  bool ipin_reachable = false;
+  const route::RrNodeId ip = d.rr.ipin_at(x, y);
+  for (route::RrNodeId n = 0; n < d.rr.num_nodes() && !ipin_reachable; ++n) {
+    for (route::RrNodeId to : d.rr.fanout(n)) {
+      if (to == ip) {
+        ipin_reachable = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(ipin_reachable);
+}
+
+TEST(Route, ConvergesWithoutOveruse) {
+  const auto& d = sha_design();
+  EXPECT_TRUE(d.routes.success);
+  EXPECT_EQ(d.routes.overused_nodes, 0);
+  EXPECT_GT(d.routes.wire_utilization, 0.0);
+}
+
+TEST(Route, OccupancyWithinCapacity) {
+  const auto& d = sha_design();
+  std::vector<int> occ(static_cast<std::size_t>(d.rr.num_nodes()), 0);
+  for (const auto& r : d.routes.routes) {
+    for (route::RrNodeId n : r.nodes) occ[static_cast<std::size_t>(n)]++;
+  }
+  for (route::RrNodeId n = 0; n < d.rr.num_nodes(); ++n) {
+    EXPECT_LE(occ[static_cast<std::size_t>(n)], d.rr.node(n).capacity) << "node " << n;
+  }
+}
+
+TEST(Route, EveryNetFullyRouted) {
+  const auto& d = sha_design();
+  ASSERT_EQ(d.routes.routes.size(), d.packed.block_nets.size());
+  for (std::size_t i = 0; i < d.routes.routes.size(); ++i) {
+    const auto& nr = d.routes.routes[i];
+    EXPECT_FALSE(nr.nodes.empty()) << "net " << i;
+    ASSERT_EQ(nr.paths.size(), d.packed.block_nets[i].sink_blocks.size());
+    for (std::size_t s = 0; s < nr.paths.size(); ++s) {
+      ASSERT_FALSE(nr.paths[s].empty());
+      // The path must end at the sink block's IPIN.
+      const int sink = d.packed.block_nets[i].sink_blocks[s];
+      const arch::TilePos p = d.pl.pos[static_cast<std::size_t>(sink)];
+      EXPECT_EQ(nr.paths[s].back(), d.rr.ipin_at(p.x, p.y));
+    }
+  }
+}
+
+TEST(Route, ParentChainsReachTheSource) {
+  const auto& d = sha_design();
+  for (std::size_t i = 0; i < d.routes.routes.size(); ++i) {
+    const auto& nr = d.routes.routes[i];
+    std::unordered_map<route::RrNodeId, route::RrNodeId> parent;
+    for (const auto& [n, p] : nr.parents) parent[n] = p;
+    const auto& bn = d.packed.block_nets[i];
+    const arch::TilePos sp = d.pl.pos[static_cast<std::size_t>(bn.driver_block)];
+    const route::RrNodeId source = d.rr.opin_at(sp.x, sp.y);
+    for (std::size_t s = 0; s < nr.paths.size(); ++s) {
+      route::RrNodeId cur = nr.paths[s].back();
+      int guard = 0;
+      while (cur != source && guard++ < d.rr.num_nodes()) {
+        auto it = parent.find(cur);
+        ASSERT_NE(it, parent.end()) << "broken parent chain on net " << i;
+        cur = it->second;
+      }
+      EXPECT_EQ(cur, source);
+    }
+  }
+}
+
+// ---------- timing ----------
+
+TEST(Timing, HotterIsSlower) {
+  const auto& d = sha_design();
+  const timing::TimingAnalyzer sta(d.nl, d.packed, d.pl, d.rr, d.routes, d.grid);
+  static const coffe::Characterizer ch(tech::ptm22(), test_arch());
+  const auto dev = ch.characterize(25.0);
+  const auto cold = sta.analyze_uniform(dev, 0.0);
+  const auto hot = sta.analyze_uniform(dev, 100.0);
+  EXPECT_GT(hot.critical_path_ps, cold.critical_path_ps * 1.2);
+  EXPECT_LT(hot.fmax_mhz, cold.fmax_mhz);
+}
+
+TEST(Timing, BreakdownSumsToCriticalPath) {
+  const auto& d = sha_design();
+  const timing::TimingAnalyzer sta(d.nl, d.packed, d.pl, d.rr, d.routes, d.grid);
+  static const coffe::Characterizer ch(tech::ptm22(), test_arch());
+  const auto dev = ch.characterize(25.0);
+  const auto r = sta.analyze_uniform(dev, 25.0);
+  double sum = 0.0;
+  for (double v : r.cp_breakdown) sum += v;
+  // Breakdown excludes only the constant FF launch/setup terms.
+  EXPECT_GT(sum, 0.7 * r.critical_path_ps);
+  EXPECT_LE(sum, r.critical_path_ps + 1e-6);
+  EXPECT_FALSE(r.cp_prims.empty());
+}
+
+TEST(Timing, PerTileTemperatureMatters) {
+  const auto& d = sha_design();
+  const timing::TimingAnalyzer sta(d.nl, d.packed, d.pl, d.rr, d.routes, d.grid);
+  static const coffe::Characterizer ch(tech::ptm22(), test_arch());
+  const auto dev = ch.characterize(25.0);
+  // Uniform 25C vs a map that is 25C except one very hot column.
+  std::vector<double> temps(static_cast<std::size_t>(d.grid.num_tiles()), 25.0);
+  const auto base = sta.analyze(dev, temps);
+  for (int y = 0; y < d.grid.height(); ++y) {
+    temps[static_cast<std::size_t>(d.grid.index_of(d.grid.width() / 2, y))] = 100.0;
+  }
+  const auto hot_col = sta.analyze(dev, temps);
+  EXPECT_GE(hot_col.critical_path_ps, base.critical_path_ps);
+  EXPECT_LT(hot_col.critical_path_ps,
+            sta.analyze_uniform(dev, 100.0).critical_path_ps);
+}
+
+TEST(Timing, DspHeavyDesignHasDspOnCriticalPath) {
+  const Design d("stereovision1", 1.0 / 16);  // DSP-heavy (152 full-size)
+  const timing::TimingAnalyzer sta(d.nl, d.packed, d.pl, d.rr, d.routes, d.grid);
+  static const coffe::Characterizer ch(tech::ptm22(), test_arch());
+  const auto dev = ch.characterize(25.0);
+  const auto r = sta.analyze_uniform(dev, 25.0);
+  EXPECT_GT(r.cp_share(coffe::ResourceKind::Dsp), 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Tests for the core contribution: the guardbanding flow (Algorithm 1),
+// the power model, and Eq. (1) grade selection.
+
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+
+namespace {
+
+using namespace taf;
+
+const arch::ArchParams& test_arch() {
+  static const arch::ArchParams a = arch::scaled_arch();
+  return a;
+}
+
+const coffe::Characterizer& characterizer() {
+  static const coffe::Characterizer ch(tech::ptm22(), test_arch());
+  return ch;
+}
+
+const core::Implementation& sha_impl() {
+  static const auto impl = [] {
+    netlist::BenchmarkSpec spec;
+    for (const auto& s : netlist::vtr_suite()) {
+      if (s.name == "sha") spec = netlist::scaled(s, 1.0 / 16);
+    }
+    return core::implement(spec, test_arch());
+  }();
+  return *impl;
+}
+
+TEST(Power, LeakageGrowsWithTemperature) {
+  const auto dev = characterizer().characterize(25.0);
+  const double cold =
+      power::tile_leakage_uw(dev, arch::TileKind::Clb, test_arch(), 0.0);
+  const double hot =
+      power::tile_leakage_uw(dev, arch::TileKind::Clb, test_arch(), 100.0);
+  EXPECT_GT(hot, 2.0 * cold);
+}
+
+TEST(Power, FabricTilesLeakMoreThanIoTiles) {
+  // IO tiles carry only the routing inventory; logic and hard-block
+  // tiles add their cores on top.
+  const auto dev = characterizer().characterize(25.0);
+  const double io = power::tile_leakage_uw(dev, arch::TileKind::Io, test_arch(), 25.0);
+  EXPECT_GT(io, 0.0);
+  for (auto k : {arch::TileKind::Clb, arch::TileKind::Bram, arch::TileKind::Dsp}) {
+    EXPECT_GT(power::tile_leakage_uw(dev, k, test_arch(), 25.0), io);
+  }
+}
+
+TEST(Power, DynamicScalesWithFrequency) {
+  const auto& impl = sha_impl();
+  const auto dev = characterizer().characterize(25.0);
+  const std::vector<double> temps(static_cast<std::size_t>(impl.grid.num_tiles()), 25.0);
+  const auto p100 =
+      power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
+                           impl.routes, impl.activity, 100.0, temps, impl.grid);
+  const auto p200 =
+      power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
+                           impl.routes, impl.activity, 200.0, temps, impl.grid);
+  EXPECT_NEAR(p200.dynamic_w, 2.0 * p100.dynamic_w, 1e-9);
+  EXPECT_NEAR(p200.leakage_w, p100.leakage_w, 1e-12);  // leakage is f-independent
+}
+
+TEST(Power, TilePowersSumToTotals) {
+  const auto& impl = sha_impl();
+  const auto dev = characterizer().characterize(25.0);
+  const std::vector<double> temps(static_cast<std::size_t>(impl.grid.num_tiles()), 25.0);
+  const auto p =
+      power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
+                           impl.routes, impl.activity, 150.0, temps, impl.grid);
+  double sum = 0.0;
+  for (double w : p.tile_w) sum += w;
+  EXPECT_NEAR(sum, p.total_w(), 1e-9);
+  EXPECT_GT(p.leakage_w, 0.0);
+  EXPECT_GT(p.dynamic_w, 0.0);
+}
+
+TEST(Guardband, GainIsPositiveAtRoomAmbient) {
+  const auto dev = characterizer().characterize(25.0);
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 25.0;
+  const auto r = core::guardband(sha_impl(), dev, opt);
+  EXPECT_GT(r.fmax_mhz, r.baseline_fmax_mhz);
+  // Paper Fig. 6: gains in the 30..52% band at 25C ambient.
+  EXPECT_GT(r.gain(), 0.25);
+  EXPECT_LT(r.gain(), 0.65);
+}
+
+TEST(Guardband, HotterAmbientShrinksGain) {
+  const auto dev = characterizer().characterize(25.0);
+  core::GuardbandOptions cool;
+  cool.t_amb_c = 25.0;
+  core::GuardbandOptions warm;
+  warm.t_amb_c = 70.0;
+  const auto r25 = core::guardband(sha_impl(), dev, cool);
+  const auto r70 = core::guardband(sha_impl(), dev, warm);
+  EXPECT_GT(r70.gain(), 0.0);
+  EXPECT_LT(r70.gain(), r25.gain());
+  // Paper Fig. 7: ~14% average at 70C ambient.
+  EXPECT_LT(r70.gain(), 0.30);
+}
+
+TEST(Guardband, ConvergesWithinTenIterations) {
+  const auto dev = characterizer().characterize(25.0);
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 25.0;
+  opt.delta_t_c = 0.2;  // stricter than default to exercise the loop
+  const auto r = core::guardband(sha_impl(), dev, opt);
+  EXPECT_LE(r.iterations, 10);
+  EXPECT_GE(r.iterations, 1);
+}
+
+TEST(Guardband, TemperaturesStayAboveAmbientAndBelowWorst) {
+  const auto dev = characterizer().characterize(25.0);
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 25.0;
+  const auto r = core::guardband(sha_impl(), dev, opt);
+  EXPECT_GE(r.peak_temp_c, 25.0);
+  EXPECT_LT(r.peak_temp_c, 100.0);
+  EXPECT_GE(r.mean_temp_c, 25.0);
+  EXPECT_LE(r.mean_temp_c, r.peak_temp_c);
+  // Paper: temperature converged after ~2C rise at these activity levels.
+  EXPECT_LT(r.peak_temp_c - 25.0, 12.0);
+}
+
+TEST(Guardband, BaselineMatchesWorstCaseSta) {
+  const auto dev = characterizer().characterize(25.0);
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 25.0;
+  const auto r = core::guardband(sha_impl(), dev, opt);
+  const auto sta100 = sha_impl().sta->analyze_uniform(dev, 100.0);
+  EXPECT_NEAR(r.baseline_fmax_mhz, sta100.fmax_mhz, 1e-9);
+}
+
+TEST(Guardband, MarginReducesFrequency) {
+  // A larger delta-T margin must never increase the reported frequency.
+  const auto dev = characterizer().characterize(25.0);
+  core::GuardbandOptions tight;
+  tight.t_amb_c = 25.0;
+  tight.delta_t_c = 0.5;
+  core::GuardbandOptions loose;
+  loose.t_amb_c = 25.0;
+  loose.delta_t_c = 5.0;
+  const auto rt = core::guardband(sha_impl(), dev, tight);
+  const auto rl = core::guardband(sha_impl(), dev, loose);
+  EXPECT_LE(rl.fmax_mhz, rt.fmax_mhz);
+}
+
+TEST(Grade, SelectionFollowsFieldRange) {
+  std::vector<coffe::DeviceModel> devices;
+  for (double t : {0.0, 25.0, 70.0, 100.0}) {
+    devices.push_back(characterizer().characterize(t));
+  }
+  // Cold field -> cold-corner device wins; hot field -> hot corner wins.
+  const int cold = core::select_grade(devices, 0.0, 20.0);
+  const int hot = core::select_grade(devices, 80.0, 100.0);
+  EXPECT_LT(devices[static_cast<std::size_t>(cold)].t_opt_c,
+            devices[static_cast<std::size_t>(hot)].t_opt_c);
+}
+
+TEST(Grade, ThrowsOnEmptyDeviceList) {
+  EXPECT_THROW(core::select_grade({}, 0.0, 100.0), std::invalid_argument);
+}
+
+TEST(Implement, ReportsRoutedDesign) {
+  const auto& impl = sha_impl();
+  EXPECT_TRUE(impl.routes.success);
+  EXPECT_TRUE(impl.sta != nullptr);
+  EXPECT_EQ(impl.activity.size(), impl.nl.nets().size());
+  EXPECT_EQ(impl.nl.validate(), "");
+}
+
+TEST(Implement, Fig8ArchOptimizationDirection) {
+  // The paper's Fig. 8 experiment in miniature: at a 70C field, the
+  // 70C-optimized device must clock at least as fast as the 25C device
+  // (both thermally guardbanded). ~6.7% average in the paper.
+  const auto d25 = characterizer().characterize(25.0);
+  const auto d70 = characterizer().characterize(70.0);
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 70.0;
+  const auto r25 = core::guardband(sha_impl(), d25, opt);
+  const auto r70 = core::guardband(sha_impl(), d70, opt);
+  EXPECT_GE(r70.fmax_mhz, r25.fmax_mhz * 0.995);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Tests for the netlist model and the synthetic VTR-like benchmark
+// generator: structural validity, spec conformance, determinism.
+
+#include <gtest/gtest.h>
+
+#include "netlist/benchmarks.hpp"
+#include "netlist/netlist.hpp"
+
+namespace {
+
+using namespace taf;
+using namespace taf::netlist;
+
+Netlist tiny_example() {
+  // pi0, pi1 -> lut -> ff -> po
+  Netlist nl("tiny");
+  const PrimId a = nl.add_primitive({PrimKind::Input, "a", {}, kNoNet, 0});
+  const NetId na = nl.add_net(a);
+  const PrimId b = nl.add_primitive({PrimKind::Input, "b", {}, kNoNet, 0});
+  const NetId nb = nl.add_net(b);
+  const PrimId l = nl.add_primitive({PrimKind::Lut, "l", {}, kNoNet, 0b0110});  // XOR
+  nl.connect(na, l, 0);
+  nl.connect(nb, l, 1);
+  const NetId nlen = nl.add_net(l);
+  const PrimId f = nl.add_primitive({PrimKind::Ff, "f", {}, kNoNet, 0});
+  nl.connect(nlen, f, 0);
+  const NetId nf = nl.add_net(f);
+  const PrimId o = nl.add_primitive({PrimKind::Output, "o", {}, kNoNet, 0});
+  nl.connect(nf, o, 0);
+  return nl;
+}
+
+TEST(Netlist, TinyExampleValidates) {
+  const Netlist nl = tiny_example();
+  EXPECT_EQ(nl.validate(), "");
+  EXPECT_EQ(nl.count(PrimKind::Lut), 1);
+  EXPECT_EQ(nl.count(PrimKind::Ff), 1);
+  EXPECT_EQ(nl.count(PrimKind::Input), 2);
+}
+
+TEST(Netlist, TopoOrderRespectsCombinationalEdges) {
+  const Netlist nl = tiny_example();
+  const auto order = nl.topo_order();
+  ASSERT_EQ(order.size(), nl.prims().size());
+  std::vector<int> position(nl.prims().size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  // LUT l (id 2) must come after both inputs (0, 1).
+  EXPECT_GT(position[2], position[0]);
+  EXPECT_GT(position[2], position[1]);
+}
+
+TEST(Benchmarks, SuiteHasNineteenCircuits) {
+  const auto suite = vtr_suite();
+  EXPECT_EQ(suite.size(), 19u);
+  // Headline statistics from the paper: max 89K LUTs, max 334 BRAM,
+  // max 213 DSP.
+  int max_luts = 0, max_brams = 0, max_dsps = 0;
+  long total = 0;
+  for (const auto& s : suite) {
+    max_luts = std::max(max_luts, s.num_luts);
+    max_brams = std::max(max_brams, s.num_brams);
+    max_dsps = std::max(max_dsps, s.num_dsps);
+    total += s.num_luts;
+  }
+  EXPECT_EQ(max_luts, 89000);
+  EXPECT_EQ(max_brams, 334);
+  EXPECT_EQ(max_dsps, 213);
+  // Paper: average 17K 6-LUTs.
+  EXPECT_NEAR(static_cast<double>(total) / 19.0, 17000.0, 3000.0);
+}
+
+TEST(Benchmarks, ScalingKeepsNonzeroResources) {
+  auto spec = vtr_suite()[3];  // ch_intrinsics: 1 BRAM
+  ASSERT_EQ(spec.num_brams, 1);
+  const auto s = scaled(spec, 1.0 / 16);
+  EXPECT_EQ(s.num_brams, 1);  // never scaled to zero
+  EXPECT_LT(s.num_luts, spec.num_luts);
+  EXPECT_GE(s.num_luts, 8);
+}
+
+TEST(Benchmarks, GeneratedNetlistIsValid) {
+  util::Rng rng(42);
+  const auto spec = scaled(vtr_suite()[4], 0.25);  // diffeq1
+  const Netlist nl = generate(spec, rng);
+  EXPECT_EQ(nl.validate(), "");
+}
+
+TEST(Benchmarks, GeneratedCountsMatchSpec) {
+  util::Rng rng(42);
+  auto spec = scaled(vtr_suite()[4], 0.25);
+  const Netlist nl = generate(spec, rng);
+  EXPECT_EQ(nl.count(PrimKind::Lut), spec.num_luts);
+  EXPECT_EQ(nl.count(PrimKind::Bram), spec.num_brams);
+  EXPECT_EQ(nl.count(PrimKind::Dsp), spec.num_dsps);
+  EXPECT_EQ(nl.count(PrimKind::Input), spec.num_inputs);
+  EXPECT_EQ(nl.count(PrimKind::Output), spec.num_outputs);
+  EXPECT_LE(nl.count(PrimKind::Ff), spec.num_ffs);
+}
+
+TEST(Benchmarks, GenerationIsDeterministic) {
+  const auto spec = scaled(vtr_suite()[14], 0.25);  // sha
+  util::Rng a(7), b(7);
+  const Netlist n1 = generate(spec, a);
+  const Netlist n2 = generate(spec, b);
+  ASSERT_EQ(n1.prims().size(), n2.prims().size());
+  ASSERT_EQ(n1.nets().size(), n2.nets().size());
+  for (std::size_t i = 0; i < n1.prims().size(); ++i) {
+    EXPECT_EQ(n1.prims()[i].truth, n2.prims()[i].truth);
+    EXPECT_EQ(n1.prims()[i].inputs, n2.prims()[i].inputs);
+  }
+}
+
+TEST(Benchmarks, LutsHaveBoundedFanin) {
+  util::Rng rng(1);
+  const Netlist nl = generate(scaled(vtr_suite()[1], 0.1), rng);
+  for (const auto& p : nl.prims()) {
+    if (p.kind != PrimKind::Lut) continue;
+    EXPECT_GE(p.inputs.size(), 2u);
+    EXPECT_LE(p.inputs.size(), 6u);
+    // Truth table must not be constant.
+    const std::uint64_t mask =
+        p.inputs.size() >= 6 ? ~0ULL : ((1ULL << (1 << p.inputs.size())) - 1);
+    EXPECT_NE(p.truth & mask, 0ULL);
+    EXPECT_NE(p.truth & mask, mask);
+  }
+}
+
+TEST(Benchmarks, DepthIsRoughlyAsRequested) {
+  // Walk the longest combinational LUT chain; it should be within a
+  // couple of levels of the requested logic depth.
+  util::Rng rng(3);
+  auto spec = scaled(vtr_suite()[14], 0.25);  // sha, depth 11
+  const Netlist nl = generate(spec, rng);
+  std::vector<int> level(nl.prims().size(), 0);
+  int max_level = 0;
+  for (PrimId id : nl.topo_order()) {
+    const auto& p = nl.prim(id);
+    if (p.kind != PrimKind::Lut) continue;
+    int lvl = 1;
+    for (NetId in : p.inputs) {
+      if (in == kNoNet) continue;
+      lvl = std::max(lvl, level[static_cast<std::size_t>(nl.net(in).driver)] + 1);
+    }
+    level[static_cast<std::size_t>(id)] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  EXPECT_GE(max_level, spec.logic_depth - 2);
+  EXPECT_LE(max_level, spec.logic_depth + 2);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Cross-module property tests: determinism of the full flow, scaling
+// invariants, and physical sanity checks that span several layers.
+
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+
+namespace {
+
+using namespace taf;
+
+netlist::BenchmarkSpec spec_named(const char* name, double scale) {
+  for (const auto& s : netlist::vtr_suite()) {
+    if (s.name == name) return netlist::scaled(s, scale);
+  }
+  ADD_FAILURE() << "unknown benchmark " << name;
+  return {};
+}
+
+TEST(Property, FullFlowIsDeterministic) {
+  const auto spec = spec_named("mkSMAdapter4B", 1.0 / 16);
+  const auto a = core::implement(spec, arch::scaled_arch());
+  const auto b = core::implement(spec, arch::scaled_arch());
+  ASSERT_EQ(a->placement.pos.size(), b->placement.pos.size());
+  for (std::size_t i = 0; i < a->placement.pos.size(); ++i) {
+    EXPECT_EQ(a->placement.pos[i], b->placement.pos[i]);
+  }
+  ASSERT_EQ(a->routes.routes.size(), b->routes.routes.size());
+  for (std::size_t i = 0; i < a->routes.routes.size(); ++i) {
+    EXPECT_EQ(a->routes.routes[i].nodes, b->routes.routes[i].nodes);
+  }
+}
+
+TEST(Property, SeedChangesPlacementButNotLegality) {
+  const auto spec = spec_named("raygentop", 1.0 / 16);
+  core::ImplementOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  const auto a = core::implement(spec, arch::scaled_arch(), o1);
+  const auto b = core::implement(spec, arch::scaled_arch(), o2);
+  EXPECT_TRUE(a->routes.success);
+  EXPECT_TRUE(b->routes.success);
+  int moved = 0;
+  for (std::size_t i = 0; i < a->placement.pos.size(); ++i) {
+    moved += !(a->placement.pos[i] == b->placement.pos[i]);
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(Property, GainDependsOnlyWeaklyOnSeed) {
+  // The headline metric must be a property of the circuit, not of the
+  // annealing seed: gains across seeds stay within a few points.
+  const auto spec = spec_named("sha", 1.0 / 16);
+  const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
+  const auto dev = ch.characterize(25.0);
+  util::Accumulator gains;
+  for (unsigned seed : {1u, 7u, 23u}) {
+    core::ImplementOptions io;
+    io.seed = seed;
+    const auto impl = core::implement(spec, arch::scaled_arch(), io);
+    core::GuardbandOptions go;
+    go.t_amb_c = 25.0;
+    gains.add(core::guardband(*impl, dev, go).gain());
+  }
+  EXPECT_LT(gains.max() - gains.min(), 0.05);
+}
+
+TEST(Property, CriticalPathDelaysScaleWithFits) {
+  // Uniform-temperature STA at T must sit between STA at T-10 and T+10.
+  const auto spec = spec_named("diffeq1", 1.0 / 4);
+  const auto impl = core::implement(spec, arch::scaled_arch());
+  const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
+  const auto dev = ch.characterize(25.0);
+  double prev = 0.0;
+  for (double t = 0.0; t <= 100.0; t += 10.0) {
+    const double cp = impl->sta->analyze_uniform(dev, t).critical_path_ps;
+    EXPECT_GT(cp, prev);
+    prev = cp;
+  }
+}
+
+TEST(Property, WireUtilizationGrowsWithSize) {
+  const auto small = core::implement(spec_named("stereovision3", 1.0 / 16),
+                                     arch::scaled_arch());
+  const auto big = core::implement(spec_named("sha", 1.0 / 16), arch::scaled_arch());
+  EXPECT_GT(big->routes.wire_utilization, 0.0);
+  EXPECT_GT(big->rr.num_wires(), 0);
+  // Bigger designs on fitted grids still keep utilization sane (< 60%).
+  EXPECT_LT(big->routes.wire_utilization, 0.6);
+  EXPECT_LT(small->routes.wire_utilization, 0.6);
+}
+
+TEST(Property, GuardbandGainShrinksMonotonicallyWithAmbient) {
+  const auto impl = core::implement(spec_named("or1200", 1.0 / 16), arch::scaled_arch());
+  const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
+  const auto dev = ch.characterize(25.0);
+  double prev_gain = 1e9;
+  for (double amb : {0.0, 25.0, 50.0, 70.0, 90.0}) {
+    core::GuardbandOptions opt;
+    opt.t_amb_c = amb;
+    const double g = core::guardband(*impl, dev, opt).gain();
+    EXPECT_LT(g, prev_gain) << "ambient " << amb;
+    EXPECT_GE(g, -1e-9);
+    prev_gain = g;
+  }
+}
+
+TEST(Property, HotterDeviceLeaksMoreEverywhere) {
+  const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
+  const auto dev = ch.characterize(25.0);
+  for (coffe::ResourceKind k : coffe::all_resource_kinds()) {
+    double prev = 0.0;
+    for (double t = 0.0; t <= 100.0; t += 20.0) {
+      const double lkg = dev.leakage_uw(k, t);
+      EXPECT_GT(lkg, prev) << coffe::resource_name(k) << " at " << t;
+      prev = lkg;
+    }
+  }
+}
+
+}  // namespace

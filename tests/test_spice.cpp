@@ -1,0 +1,187 @@
+// Tests for the SPICE-like simulator: DC operating points, RC transients
+// against analytic solutions, inverter switching, and temperature behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/circuit.hpp"
+#include "spice/mosfet_model.hpp"
+#include "spice/solver.hpp"
+
+namespace {
+
+using namespace taf::spice;
+using taf::tech::Flavor;
+using taf::tech::Technology;
+using taf::tech::ptm22;
+
+SolverOptions opts_at(double temp_c) {
+  SolverOptions o;
+  o.temp_c = temp_c;
+  return o;
+}
+
+TEST(Dc, ResistorDividerHalvesVoltage) {
+  const Technology tech = ptm22();
+  Circuit c;
+  const NodeId vdd = c.add_node("vdd");
+  const NodeId mid = c.add_node("mid");
+  c.drive(vdd, dc_waveform(0.8));
+  c.add_resistor(vdd, mid, 10.0);
+  c.add_resistor(mid, kGround, 10.0);
+  const auto v = solve_dc(c, tech, opts_at(25.0));
+  EXPECT_NEAR(v[static_cast<size_t>(mid)], 0.4, 1e-3);
+}
+
+TEST(Dc, UnequalDividerRatio) {
+  const Technology tech = ptm22();
+  Circuit c;
+  const NodeId vdd = c.add_node("vdd");
+  const NodeId mid = c.add_node("mid");
+  c.drive(vdd, dc_waveform(1.0));
+  c.add_resistor(vdd, mid, 30.0);
+  c.add_resistor(mid, kGround, 10.0);
+  const auto v = solve_dc(c, tech, opts_at(25.0));
+  EXPECT_NEAR(v[static_cast<size_t>(mid)], 0.25, 1e-3);
+}
+
+TEST(Dc, InverterRailsAreCorrect) {
+  const Technology tech = ptm22();
+  for (const bool input_high : {false, true}) {
+    Circuit c;
+    const NodeId vdd = c.add_node("vdd");
+    const NodeId in = c.add_node("in");
+    const NodeId out = c.add_node("out");
+    c.drive(vdd, dc_waveform(tech.vdd));
+    c.drive(in, dc_waveform(input_high ? tech.vdd : 0.0));
+    c.add_mosfet(MosType::Nmos, Flavor::HP, out, in, kGround, 1.0);
+    c.add_mosfet(MosType::Pmos, Flavor::HP, out, in, vdd, 2.0);
+    const auto v = solve_dc(c, tech, opts_at(25.0));
+    const double expected = input_high ? 0.0 : tech.vdd;
+    EXPECT_NEAR(v[static_cast<size_t>(out)], expected, 0.02)
+        << "input_high=" << input_high;
+  }
+}
+
+TEST(Transient, RcChargeMatchesAnalytic) {
+  // R = 1 kOhm, C = 50 fF -> tau = 50 ps. Drive a step and compare the
+  // capacitor voltage to the exponential solution at several times.
+  const Technology tech = ptm22();
+  Circuit c;
+  const NodeId src = c.add_node("src");
+  const NodeId cap = c.add_node("cap");
+  c.drive(src, step_waveform(0.0, 1.0, 0.0, 1e-3));
+  c.add_resistor(src, cap, 1.0);
+  c.add_capacitor(cap, kGround, 50.0);
+  SolverOptions o = opts_at(25.0);
+  o.dt_ps = 0.5;
+  const auto r = solve_transient(c, tech, o, 300.0);
+  for (std::size_t i = 0; i < r.time_ps.size(); i += 100) {
+    const double t = r.time_ps[i];
+    const double expected = 1.0 - std::exp(-t / 50.0);
+    EXPECT_NEAR(r.value_at(cap, i), expected, 0.03) << "t=" << t;
+  }
+}
+
+TEST(Transient, InverterPropagationDelayPositive) {
+  const Technology tech = ptm22();
+  Circuit c;
+  const NodeId vdd = c.add_node("vdd");
+  const NodeId in = c.add_node("in");
+  const NodeId out = c.add_node("out");
+  c.drive(vdd, dc_waveform(tech.vdd));
+  c.drive(in, step_waveform(0.0, tech.vdd, 50.0));
+  c.add_mosfet(MosType::Nmos, Flavor::HP, out, in, kGround, 1.0);
+  c.add_mosfet(MosType::Pmos, Flavor::HP, out, in, vdd, 2.0);
+  c.add_capacitor(out, kGround, 5.0);
+  SolverOptions o = opts_at(25.0);
+  o.dt_ps = 0.5;
+  const auto r = solve_transient(c, tech, o, 400.0);
+  const double d = propagation_delay_ps(r, in, out, tech.vdd, /*in_rising=*/true,
+                                        /*out_rising=*/false);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 100.0);
+}
+
+TEST(Transient, InverterSlowsWithTemperature) {
+  // The core physical effect behind the whole paper: the same circuit is
+  // slower at 100 degC than at 0 degC.
+  const Technology tech = ptm22();
+  auto delay_at = [&](double temp) {
+    Circuit c;
+    const NodeId vdd = c.add_node("vdd");
+    const NodeId in = c.add_node("in");
+    const NodeId out = c.add_node("out");
+    c.drive(vdd, dc_waveform(tech.vdd));
+    c.drive(in, step_waveform(0.0, tech.vdd, 50.0));
+    c.add_mosfet(MosType::Nmos, Flavor::HP, out, in, kGround, 1.0);
+    c.add_mosfet(MosType::Pmos, Flavor::HP, out, in, vdd, 2.0);
+    c.add_capacitor(out, kGround, 10.0);
+    SolverOptions o = opts_at(temp);
+    o.dt_ps = 0.5;
+    const auto r = solve_transient(c, tech, o, 600.0);
+    return propagation_delay_ps(r, in, out, tech.vdd, true, false);
+  };
+  const double d0 = delay_at(0.0);
+  const double d100 = delay_at(100.0);
+  ASSERT_GT(d0, 0.0);
+  ASSERT_GT(d100, 0.0);
+  EXPECT_GT(d100 / d0, 1.2);
+  EXPECT_LT(d100 / d0, 1.7);
+}
+
+TEST(Transient, PassGateSlowerAndMoreSensitive) {
+  // A pass-gate stage driven through an NMOS-only switch must be more
+  // temperature sensitive than the plain inverter (Fig. 1: LUT vs SB).
+  const Technology tech = ptm22();
+  auto delay_at = [&](double temp) {
+    Circuit c;
+    const NodeId vdd = c.add_node("vdd");
+    const NodeId in = c.add_node("in");
+    const NodeId mid = c.add_node("mid");
+    const NodeId out = c.add_node("out");
+    c.drive(vdd, dc_waveform(tech.vdd));
+    c.drive(in, step_waveform(0.0, tech.vdd, 50.0));
+    // inverter -> pass transistor (gate tied high) -> load
+    c.add_mosfet(MosType::Nmos, Flavor::HP, mid, in, kGround, 1.0);
+    c.add_mosfet(MosType::Pmos, Flavor::HP, mid, in, vdd, 2.0);
+    c.add_mosfet(MosType::Nmos, Flavor::PassGate, out, vdd, mid, 1.0);
+    c.add_capacitor(out, kGround, 8.0);
+    SolverOptions o = opts_at(temp);
+    o.dt_ps = 0.5;
+    const auto r = solve_transient(c, tech, o, 2000.0);
+    return propagation_delay_ps(r, in, out, tech.vdd, true, false);
+  };
+  const double d0 = delay_at(0.0);
+  const double d100 = delay_at(100.0);
+  ASSERT_GT(d0, 0.0);
+  ASSERT_GT(d100, 0.0);
+  EXPECT_GT(d100 / d0, 1.3);
+}
+
+TEST(Mosfet, CutoffCurrentTiny) {
+  const Technology tech = ptm22();
+  Mosfet m{MosType::Nmos, Flavor::HP, 1, 2, 0, 1.0};
+  const double i = mosfet_current_ma(m, tech, 25.0, 0.8, 0.0, 0.0);
+  EXPECT_GT(i, 0.0);          // subthreshold, not exactly zero
+  EXPECT_LT(i, 1e-3);         // but far below on-current
+}
+
+TEST(Mosfet, SymmetricWhenTerminalsSwap) {
+  const Technology tech = ptm22();
+  Mosfet m{MosType::Nmos, Flavor::HP, 1, 2, 3, 1.0};
+  const double fwd = mosfet_current_ma(m, tech, 25.0, 0.8, 0.8, 0.0);
+  const double rev = mosfet_current_ma(m, tech, 25.0, 0.0, 0.8, 0.8);
+  EXPECT_NEAR(fwd, -rev, 1e-9);
+}
+
+TEST(Mosfet, LeakageGrowsWithTemperature) {
+  const Technology tech = ptm22();
+  Mosfet m{MosType::Nmos, Flavor::HP, 1, 2, 0, 1.0};
+  const double i25 = mosfet_current_ma(m, tech, 25.0, 0.8, 0.0, 0.0);
+  const double i100 = mosfet_current_ma(m, tech, 100.0, 0.8, 0.0, 0.0);
+  EXPECT_GT(i100, 2.0 * i25);
+}
+
+}  // namespace

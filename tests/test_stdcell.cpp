@@ -1,0 +1,102 @@
+// Tests for the std-cell liberty characterization flow (the paper's
+// SiliconSmart + Design Compiler substitute for the DSP block).
+
+#include <gtest/gtest.h>
+
+#include "coffe/stdcell.hpp"
+
+namespace {
+
+using namespace taf;
+using namespace taf::coffe::stdcell;
+
+const tech::Technology& test_tech() {
+  static const tech::Technology t = tech::ptm22();
+  return t;
+}
+
+const Liberty& lib25() {
+  static const Liberty lib = characterize_library(test_tech(), 25.0);
+  return lib;
+}
+
+class CellTypeTest : public ::testing::TestWithParam<CellType> {};
+
+TEST_P(CellTypeTest, ArcIsPhysical) {
+  const CellTiming& a = lib25().arc(GetParam(), 0);
+  EXPECT_GT(a.intrinsic_ps, 0.0);
+  EXPECT_GT(a.slope_ps_per_ff, 0.0);
+  EXPECT_GT(a.input_cap_ff, 0.0);
+  EXPECT_GT(a.leakage_nw, 0.0);
+}
+
+TEST_P(CellTypeTest, StrongerDrivesAreFasterUnderLoad) {
+  // At a heavy load the X4 cell must beat the X1 cell.
+  const double load = 20.0;
+  const double x1 = lib25().arc(GetParam(), 0).delay_ps(load);
+  const double x4 = lib25().arc(GetParam(), 2).delay_ps(load);
+  EXPECT_LT(x4, x1);
+}
+
+TEST_P(CellTypeTest, StrongerDrivesCostInputCap) {
+  EXPECT_GT(lib25().arc(GetParam(), 2).input_cap_ff,
+            lib25().arc(GetParam(), 0).input_cap_ff);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, CellTypeTest,
+                         ::testing::Values(CellType::Inv, CellType::Nand2,
+                                           CellType::Nor2, CellType::And3,
+                                           CellType::Xor2, CellType::FaCarry));
+
+TEST(StdCell, ComplexityOrderingAtFixedLoad) {
+  // INV < NAND2 < AND3 and NAND2 < XOR2: stack depth and compound
+  // structure must show up in the intrinsic delay.
+  const double load = 6.0;
+  const double inv = lib25().arc(CellType::Inv, 0).delay_ps(load);
+  const double nand2 = lib25().arc(CellType::Nand2, 0).delay_ps(load);
+  const double and3 = lib25().arc(CellType::And3, 0).delay_ps(load);
+  const double xor2 = lib25().arc(CellType::Xor2, 0).delay_ps(load);
+  EXPECT_LT(inv, nand2);
+  EXPECT_LT(nand2, and3);
+  EXPECT_LT(nand2, xor2);
+}
+
+TEST(StdCell, HotterLibraryIsSlower) {
+  const Liberty hot = characterize_library(test_tech(), 100.0);
+  for (int t = 0; t < kNumCellTypes; ++t) {
+    const auto type = static_cast<CellType>(t);
+    EXPECT_GT(hot.arc(type, 0).delay_ps(6.0), lib25().arc(type, 0).delay_ps(6.0) * 1.2)
+        << cell_name(type);
+  }
+}
+
+TEST(StdCell, MacPathDelayIsSumOfArcs) {
+  const auto path = mac27_critical_path();
+  const double total = sta_path_delay_ps(path, lib25());
+  EXPECT_GT(total, 100.0);
+  EXPECT_LT(total, 2000.0);
+  // Removing a gate must reduce the delay.
+  auto shorter = path;
+  shorter.pop_back();
+  EXPECT_LT(sta_path_delay_ps(shorter, lib25()), total);
+}
+
+TEST(StdCell, SynthesisImprovesOnUnitDrives) {
+  const auto unit = mac27_critical_path();
+  const auto synth = synthesize_mac(test_tech(), 25.0);
+  EXPECT_LE(sta_path_delay_ps(synth, lib25()), sta_path_delay_ps(unit, lib25()) + 1e-9);
+}
+
+TEST(StdCell, TemperatureSensitivityMatchesDspRow) {
+  // The liberty sweep over the synthesized MAC must land near Table II's
+  // DSP temperature sensitivity (+81% over 0..100C).
+  const auto path = synthesize_mac(test_tech(), 25.0);
+  const Liberty lib0 = characterize_library(test_tech(), 0.0);
+  const Liberty lib100 = characterize_library(test_tech(), 100.0);
+  const double ratio =
+      sta_path_delay_ps(path, lib100) / sta_path_delay_ps(path, lib0);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.1);
+}
+
+}  // namespace

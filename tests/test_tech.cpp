@@ -1,0 +1,111 @@
+// Unit tests for the technology model: temperature dependences of the
+// transistor parameters must have the signs and magnitudes the paper's
+// characterization relies on.
+
+#include <gtest/gtest.h>
+
+#include "tech/technology.hpp"
+
+namespace {
+
+using namespace taf::tech;
+
+class FlavorTest : public ::testing::TestWithParam<Flavor> {};
+
+TEST_P(FlavorTest, VthDecreasesWithTemperature) {
+  const Technology t = ptm22();
+  const auto& p = t.flavor(GetParam());
+  EXPECT_GT(vth_at(p, 0.0), vth_at(p, 100.0));
+}
+
+TEST_P(FlavorTest, MobilityDegradesWithTemperature) {
+  const Technology t = ptm22();
+  const auto& p = t.flavor(GetParam());
+  EXPECT_GT(mobility_factor(p, 0.0), 1.0);
+  EXPECT_LT(mobility_factor(p, 100.0), 1.0);
+  EXPECT_NEAR(mobility_factor(p, 25.0), 1.0, 1e-12);
+}
+
+TEST_P(FlavorTest, OnCurrentDecreasesWithTemperature) {
+  // Above ~0.6V supply our flavors are all mobility-dominated, so Ion must
+  // fall monotonically with T — this is the physical origin of Fig. 1.
+  const Technology t = ptm22();
+  const auto& p = t.flavor(GetParam());
+  double prev = on_current_ma(p, 1.0, t.vdd, -10.0);
+  for (double temp = 0.0; temp <= 100.0; temp += 10.0) {
+    const double ion = on_current_ma(p, 1.0, t.vdd, temp);
+    EXPECT_LT(ion, prev) << "at T=" << temp;
+    prev = ion;
+  }
+}
+
+TEST_P(FlavorTest, OffCurrentGrowsExponentially) {
+  const Technology t = ptm22();
+  const auto& p = t.flavor(GetParam());
+  const double i0 = off_current_na(p, 1.0, 0.0);
+  const double i50 = off_current_na(p, 1.0, 50.0);
+  const double i100 = off_current_na(p, 1.0, 100.0);
+  EXPECT_GT(i50, i0);
+  EXPECT_GT(i100, i50);
+  // Exponential: equal ratios over equal intervals.
+  EXPECT_NEAR(i50 / i0, i100 / i50, 1e-9);
+}
+
+TEST_P(FlavorTest, OnCurrentScalesLinearlyWithWidth) {
+  const Technology t = ptm22();
+  const auto& p = t.flavor(GetParam());
+  const double i1 = on_current_ma(p, 1.0, t.vdd, 25.0);
+  const double i3 = on_current_ma(p, 3.0, t.vdd, 25.0);
+  EXPECT_NEAR(i3, 3.0 * i1, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlavors, FlavorTest,
+                         ::testing::Values(Flavor::HP, Flavor::PassGate, Flavor::LP,
+                                           Flavor::StdCell));
+
+TEST(Technology, EffectiveResistanceIncreasesWithTemperature) {
+  const Technology t = ptm22();
+  const auto& p = t.flavor(Flavor::HP);
+  EXPECT_LT(effective_resistance_kohm(p, 1.0, t.vdd, 0.0),
+            effective_resistance_kohm(p, 1.0, t.vdd, 100.0));
+}
+
+TEST(Technology, HpDelaySensitivityModerate) {
+  // Buffer R degradation is the floor of resource temperature
+  // sensitivity; with keeper effects on top, buffer-dominated resources
+  // land near Table II's ~+40-50% (SB mux: 166 + 0.67 T). The bare R_eff
+  // ratio must therefore sit in the +20..45% band.
+  const Technology t = ptm22();
+  const auto& p = t.flavor(Flavor::HP);
+  const double ratio = effective_resistance_kohm(p, 1.0, t.vdd, 100.0) /
+                       effective_resistance_kohm(p, 1.0, t.vdd, 0.0);
+  EXPECT_GT(ratio, 1.20);
+  EXPECT_LT(ratio, 1.45);
+}
+
+TEST(Technology, PassGateMoreSensitiveThanHp) {
+  const Technology t = ptm22();
+  const auto& hp = t.flavor(Flavor::HP);
+  const auto& pg = t.flavor(Flavor::PassGate);
+  const double r_hp = effective_resistance_kohm(hp, 1.0, t.vdd, 100.0) /
+                      effective_resistance_kohm(hp, 1.0, t.vdd, 0.0);
+  const double r_pg = effective_resistance_kohm(pg, 1.0, t.vdd, 100.0) /
+                      effective_resistance_kohm(pg, 1.0, t.vdd, 0.0);
+  EXPECT_GT(r_pg, r_hp + 0.15);  // LUT tree slows much more than SB driver
+}
+
+TEST(Technology, WireResistanceTemperatureCoefficient) {
+  const Technology t = ptm22();
+  const double r25 = wire_resistance_ohm(t, 100.0, 25.0);
+  const double r100 = wire_resistance_ohm(t, 100.0, 100.0);
+  EXPECT_NEAR(r100 / r25, 1.0 + t.wire_r_tc * 75.0, 1e-12);
+  EXPECT_GT(wire_capacitance_ff(t, 100.0), 0.0);
+}
+
+TEST(Technology, LpFlavorLeaksLessThanHp) {
+  const Technology t = ptm22();
+  EXPECT_LT(off_current_na(t.flavor(Flavor::LP), 1.0, 25.0),
+            off_current_na(t.flavor(Flavor::HP), 1.0, 25.0));
+}
+
+}  // namespace

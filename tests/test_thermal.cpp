@@ -1,0 +1,211 @@
+// Tests for the HotSpot-like thermal solver: conservation, superposition,
+// symmetry, lateral diffusion, and the paper's cross-validation relation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "thermal/thermal_grid.hpp"
+
+namespace {
+
+using namespace taf;
+using thermal::ThermalConfig;
+using thermal::ThermalGrid;
+
+ThermalGrid make_grid(int w = 12, int h = 12, double tamb = 25.0) {
+  ThermalConfig cfg;
+  cfg.ambient_c = tamb;
+  return ThermalGrid(arch::FpgaGrid(w, h), cfg);
+}
+
+TEST(Thermal, ZeroPowerGivesAmbient) {
+  const ThermalGrid g = make_grid(10, 10, 42.0);
+  const auto t = g.solve(std::vector<double>(100, 0.0));
+  for (double v : t) EXPECT_NEAR(v, 42.0, 1e-9);
+}
+
+TEST(Thermal, UniformPowerGivesUniformRise) {
+  // With uniform power, no lateral flow occurs: dT = P_total * R_package.
+  const ThermalGrid g = make_grid(10, 10);
+  const double p_tile = 5e-3;  // 5 mW per tile -> 0.5 W total
+  const auto t = g.solve(std::vector<double>(100, p_tile));
+  const double expected = 25.0 + 0.5 * g.config().package_r_k_per_w;
+  for (double v : t) EXPECT_NEAR(v, expected, 1e-6);
+}
+
+TEST(Thermal, HotspotIsAtThePowerSource) {
+  const ThermalGrid g = make_grid(11, 11);
+  std::vector<double> p(121, 0.0);
+  const int center = 5 * 11 + 5;
+  p[center] = 0.2;
+  const auto t = g.solve(p);
+  for (int i = 0; i < 121; ++i) {
+    if (i == center) continue;
+    EXPECT_LT(t[static_cast<size_t>(i)], t[center]);
+  }
+}
+
+TEST(Thermal, TemperatureDecaysWithDistance) {
+  const ThermalGrid g = make_grid(15, 15);
+  std::vector<double> p(225, 0.0);
+  p[7 * 15 + 7] = 0.2;
+  const auto t = g.solve(p);
+  // Walk right from the hotspot: monotone decay.
+  for (int i = 8; i < 14; ++i) {
+    EXPECT_GT(t[static_cast<size_t>(7 * 15 + i - 1)], t[static_cast<size_t>(7 * 15 + i)]);
+  }
+}
+
+TEST(Thermal, Superposition) {
+  // The system is linear: solve(p1 + p2) - Tamb == (solve(p1) - Tamb) +
+  // (solve(p2) - Tamb).
+  const ThermalGrid g = make_grid(9, 9);
+  std::vector<double> p1(81, 0.0), p2(81, 0.0), sum(81, 0.0);
+  p1[10] = 0.05;
+  p2[70] = 0.08;
+  for (int i = 0; i < 81; ++i) sum[static_cast<size_t>(i)] = p1[static_cast<size_t>(i)] + p2[static_cast<size_t>(i)];
+  const auto t1 = g.solve(p1);
+  const auto t2 = g.solve(p2);
+  const auto ts = g.solve(sum);
+  for (int i = 0; i < 81; ++i) {
+    EXPECT_NEAR(ts[static_cast<size_t>(i)] - 25.0,
+                (t1[static_cast<size_t>(i)] - 25.0) + (t2[static_cast<size_t>(i)] - 25.0), 1e-6);
+  }
+}
+
+TEST(Thermal, MirrorSymmetry) {
+  const ThermalGrid g = make_grid(9, 9);
+  std::vector<double> p(81, 0.0);
+  p[4 * 9 + 4] = 0.1;  // exact center
+  const auto t = g.solve(p);
+  for (int j = 0; j < 9; ++j) {
+    for (int i = 0; i < 9; ++i) {
+      EXPECT_NEAR(t[static_cast<size_t>(j * 9 + i)], t[static_cast<size_t>(j * 9 + (8 - i))], 1e-6);
+      EXPECT_NEAR(t[static_cast<size_t>(j * 9 + i)], t[static_cast<size_t>((8 - j) * 9 + i)], 1e-6);
+    }
+  }
+}
+
+TEST(Thermal, EnergyBalance) {
+  // Total heat leaving through the vertical path equals injected power:
+  // sum(g_vert * dT) == sum(P). With uniform g_vert this is mean(dT) =
+  // P_total * R_package.
+  const ThermalGrid g = make_grid(12, 12);
+  std::vector<double> p(144, 0.0);
+  p[5] = 0.03;
+  p[100] = 0.07;
+  const auto t = g.solve(p);
+  double mean_dt = 0.0;
+  for (double v : t) mean_dt += v - 25.0;
+  mean_dt /= 144.0;
+  EXPECT_NEAR(mean_dt, 0.1 * g.config().package_r_k_per_w, 1e-6);
+}
+
+TEST(Thermal, PaperValidationRelation) {
+  // Section IV-A: dT ~= 0.7 * p_design / p_base, the cross-check against
+  // the Xilinx XPE spreadsheet. Our package resistance is calibrated so a
+  // design drawing ~3x the base (leakage) power warms by ~2C, matching
+  // the paper's observation that temperature converged after ~2C.
+  const ThermalGrid g = make_grid(20, 20);
+  const int n = 400;
+  // Base (leakage) power chosen so p_base * R_package ~= 0.7, the point
+  // the paper's rule of thumb is anchored at.
+  const double p_base_tile = 0.7 / (g.config().package_r_k_per_w * n);
+  std::vector<double> base(n, p_base_tile);
+  std::vector<double> design(n, p_base_tile * 3.0);
+  const auto t = g.solve(design);
+  double mean = 0.0;
+  for (double v : t) mean += v;
+  mean /= n;
+  const double p_design = p_base_tile * 3.0 * n;
+  const double p_base = p_base_tile * n;
+  const double predicted = 0.7 * p_design / p_base;
+  EXPECT_NEAR(mean - 25.0, predicted, 1.2);
+}
+
+TEST(Thermal, HigherPackageResistanceRunsHotter) {
+  ThermalConfig cold;
+  cold.package_r_k_per_w = 2.0;
+  ThermalConfig hot;
+  hot.package_r_k_per_w = 8.0;
+  const arch::FpgaGrid fg(10, 10);
+  std::vector<double> p(100, 2e-3);
+  const auto tc = ThermalGrid(fg, cold).solve(p);
+  const auto th = ThermalGrid(fg, hot).solve(p);
+  EXPECT_GT(ThermalGrid::peak_c(th), ThermalGrid::peak_c(tc));
+}
+
+TEST(Thermal, AsciiHeatmapDimensions) {
+  const ThermalGrid g = make_grid(8, 6);
+  std::vector<double> p(48, 0.0);
+  p[20] = 0.1;
+  const auto t = g.solve(p);
+  const std::string map = ThermalGrid::ascii_heatmap(t, 8, 6);
+  EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 6);
+  EXPECT_EQ(map.size(), static_cast<size_t>((8 + 1) * 6));
+  EXPECT_NE(map.find('@'), std::string::npos);  // hotspot present
+}
+
+}  // namespace
+
+namespace {
+
+TEST(ThermalTransient, ConvergesToSteadyState) {
+  const ThermalGrid g = make_grid(10, 10);
+  std::vector<double> p(100, 0.0);
+  p[45] = 0.05;
+  const auto steady = g.solve(p);
+  std::vector<double> t(100, 25.0);
+  const double tau = g.tile_time_constant_s();
+  for (int i = 0; i < 400; ++i) g.step(p, tau, t);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(t[static_cast<size_t>(i)], steady[static_cast<size_t>(i)], 0.05);
+  }
+}
+
+TEST(ThermalTransient, MonotonicWarmup) {
+  const ThermalGrid g = make_grid(8, 8);
+  std::vector<double> p(64, 2e-3);
+  std::vector<double> t(64, 25.0);
+  double prev = 25.0;
+  const double tau = g.tile_time_constant_s();
+  for (int i = 0; i < 20; ++i) {
+    g.step(p, tau, t);
+    const double now = ThermalGrid::peak_c(t);
+    EXPECT_GE(now, prev - 1e-9);
+    prev = now;
+  }
+  EXPECT_GT(prev, 25.0);
+}
+
+TEST(ThermalTransient, CoolsBackToAmbient) {
+  const ThermalGrid g = make_grid(8, 8);
+  std::vector<double> hot_p(64, 2e-3);
+  std::vector<double> t(64, 25.0);
+  const double tau = g.tile_time_constant_s();
+  for (int i = 0; i < 200; ++i) g.step(hot_p, tau, t);
+  ASSERT_GT(ThermalGrid::peak_c(t), 25.5);
+  const std::vector<double> zero(64, 0.0);
+  for (int i = 0; i < 800; ++i) g.step(zero, tau, t);
+  EXPECT_NEAR(ThermalGrid::peak_c(t), 25.0, 0.05);
+}
+
+TEST(ThermalTransient, SmallStepTracksExponential) {
+  // Uniform power on a grid behaves as one RC: dT(t) = dT_inf (1 - e^{-t/tau_pkg}).
+  const ThermalGrid g = make_grid(6, 6);
+  const int n = 36;
+  std::vector<double> p(n, 1e-3);
+  std::vector<double> t(n, 25.0);
+  const double dt_inf = 1e-3 * n * g.config().package_r_k_per_w;
+  // Package time constant: C_total * R_package = (n * c_tile) * R.
+  const double tau = g.tile_time_constant_s();  // = c_tile / g_vert = c_tile * R * n
+  const int steps = 50;
+  for (int i = 0; i < steps; ++i) g.step(p, tau / steps, t);
+  // After one time constant: 1 - 1/e of the final rise (BE slightly under).
+  const double expected = 25.0 + dt_inf * (1.0 - std::exp(-1.0));
+  EXPECT_NEAR(t[0], expected, dt_inf * 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Unit tests for the util module: RNG determinism, statistics, fitting,
+// integration, and the table printer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using taf::util::Accumulator;
+using taf::util::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u32() == b.next_u32());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(13), 13u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(7);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) seen[r.next_below(8)]++;
+  for (int count : seen) EXPECT_GT(count, 300);  // roughly uniform
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng r(11);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(r.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.03);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.03);
+}
+
+TEST(Accumulator, TracksMinMaxMean) {
+  Accumulator acc;
+  for (double x : {3.0, -1.0, 7.0, 5.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+}
+
+TEST(Accumulator, EmptyIsSafe) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 100; ++i) {
+    x.push_back(i);
+    y.push_back(166.0 + 0.67 * i);  // the paper's SB mux delay fit
+  }
+  const auto fit = taf::util::fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 166.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 0.67, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, HandlesDegenerateInputs) {
+  std::vector<double> x{5.0}, y{2.0};
+  const auto fit = taf::util::fit_linear(x, y);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(ExpFit, RecoversExactExponential) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 100; i += 5) {
+    x.push_back(i);
+    y.push_back(0.28 * std::exp(0.014 * i));  // the paper's SB mux leakage fit
+  }
+  const auto fit = taf::util::fit_exponential(x, y);
+  EXPECT_NEAR(fit.scale, 0.28, 1e-9);
+  EXPECT_NEAR(fit.rate, 0.014, 1e-12);
+}
+
+TEST(Integrate, TrapezoidMatchesAnalyticLinear) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 10; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 1.0);
+  }
+  // integral of 2x+1 over [0,10] = 110
+  EXPECT_NEAR(taf::util::integrate_trapezoid(x, y), 110.0, 1e-9);
+}
+
+TEST(Means, ArithmeticAndGeometric) {
+  std::vector<double> v{1.0, 2.0, 4.0};
+  EXPECT_NEAR(taf::util::mean_of(v), 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(taf::util::geomean_of(v), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(taf::util::mean_of({}), 0.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+  taf::util::Table t({"name", "value"});
+  t.add_row({"alpha", taf::util::Table::num(1.5)});
+  t.add_row({"beta", taf::util::Table::pct(0.123)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("12.3%"), std::string::npos);
+  // Header separator present
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+}  // namespace
