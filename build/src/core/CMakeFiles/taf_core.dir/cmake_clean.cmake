@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_core.dir/flow.cpp.o"
+  "CMakeFiles/taf_core.dir/flow.cpp.o.d"
+  "libtaf_core.a"
+  "libtaf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_tech[1]_include.cmake")
+include("/root/repo/build/tests/test_spice[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_coffe[1]_include.cmake")
+include("/root/repo/build/tests/test_thermal[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_activity[1]_include.cmake")
+include("/root/repo/build/tests/test_cad[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_stdcell[1]_include.cmake")
+include("/root/repo/build/tests/test_blif[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
