@@ -3,30 +3,36 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(ablation_channel_width) {
   using namespace taf;
   using util::Table;
   bench::print_header("Ablation — guardbanding gain vs channel width",
                       "gains are a property of delay-temperature physics, not of "
                       "routing supply, as long as the design routes");
 
-  Table t({"W", "routed", "route iters", "baseline MHz", "gain @25C"});
-  for (int w : {64, 96, 128, 192}) {
+  const int widths[] = {64, 96, 128, 192};
+  const netlist::BenchmarkSpec spec = bench::suite_spec("stereovision0");
+  // Characterization is independent of W except for per-tile leakage
+  // counts; reuse the shared device model. Only the implementations vary,
+  // one flow per width, fanned out over the pool (the FlowCache keys on
+  // the arch hash, so the widths never alias).
+  const auto& dev = bench::device_at(25.0);
+  std::vector<core::GuardbandResult> results(std::size(widths));
+  std::vector<const core::Implementation*> impls(std::size(widths));
+  bench::pool().parallel_for(std::size(widths), [&](std::size_t i) {
     arch::ArchParams a = bench::bench_arch();
-    a.channel_tracks = w;
-    netlist::BenchmarkSpec spec;
-    for (const auto& s : netlist::vtr_suite()) {
-      if (s.name == "stereovision0") spec = netlist::scaled(s, bench::kSuiteScale);
-    }
-    const auto impl = core::implement(spec, a);
-    // Characterization is independent of W except for per-tile leakage
-    // counts; reuse the shared device model.
+    a.channel_tracks = widths[i];
+    impls[i] = &runner::FlowCache::global().implementation(spec, a, bench::kSuiteScale);
     core::GuardbandOptions opt;
     opt.t_amb_c = 25.0;
-    const auto r = core::guardband(*impl, bench::device_at(25.0), opt);
-    t.add_row({std::to_string(w), impl->routes.success ? "yes" : "no",
-               std::to_string(impl->routes.iterations),
-               Table::num(r.baseline_fmax_mhz, 1), Table::pct(r.gain())});
+    results[i] = core::guardband(*impls[i], dev, opt);
+  });
+
+  Table t({"W", "routed", "route iters", "baseline MHz", "gain @25C"});
+  for (std::size_t i = 0; i < std::size(widths); ++i) {
+    t.add_row({std::to_string(widths[i]), impls[i]->routes.success ? "yes" : "no",
+               std::to_string(impls[i]->routes.iterations),
+               Table::num(results[i].baseline_fmax_mhz, 1), Table::pct(results[i].gain())});
   }
   t.print();
   return 0;

@@ -4,22 +4,36 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(ablation_convergence) {
   using namespace taf;
   using util::Table;
   bench::print_header("Ablation — Algorithm 1 convergence vs delta-T threshold",
                       "converges in < 10 iterations; ~2C rise at these activities");
 
-  const auto& dev = taf::bench::device_at(25.0);
+  const char* names[] = {"sha", "stereovision0", "LU8PEEng"};
+  const double thresholds[] = {2.0, 1.0, 0.5, 0.1, 0.02};
+
+  std::vector<runner::SweepPoint> points;
+  for (const char* name : names) {
+    for (double dt : thresholds) {
+      runner::SweepPoint p;
+      p.spec = bench::suite_spec(name);
+      p.scale = bench::kSuiteScale;
+      p.arch = bench::bench_arch();
+      p.t_opt_c = 25.0;
+      p.guardband.t_amb_c = 25.0;
+      p.guardband.delta_t_c = dt;
+      p.guardband.max_iterations = 15;
+      points.push_back(std::move(p));
+    }
+  }
+  const auto cells = bench::run_sweep(points);
+
   Table t({"Benchmark", "deltaT (C)", "iterations", "peak rise (C)", "fmax (MHz)"});
-  for (const char* name : {"sha", "stereovision0", "LU8PEEng"}) {
-    const auto& impl = bench::implementation_of(name);
-    for (double dt : {2.0, 1.0, 0.5, 0.1, 0.02}) {
-      core::GuardbandOptions opt;
-      opt.t_amb_c = 25.0;
-      opt.delta_t_c = dt;
-      opt.max_iterations = 15;
-      const auto r = core::guardband(impl, dev, opt);
+  std::size_t cell = 0;
+  for (const char* name : names) {
+    for (double dt : thresholds) {
+      const auto& r = cells[cell++].guardband;
       t.add_row({name, Table::num(dt, 2), std::to_string(r.iterations),
                  Table::num(r.peak_temp_c - 25.0, 3), Table::num(r.fmax_mhz, 1)});
     }

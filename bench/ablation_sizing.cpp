@@ -6,7 +6,7 @@
 #include "coffe/path_eval.hpp"
 #include "coffe/sizing.hpp"
 
-int main() {
+TAF_EXPERIMENT(ablation_sizing) {
   using namespace taf;
   using util::Table;
   bench::print_header("Ablation — transistor sizing objective sweep",

@@ -2,13 +2,24 @@
 // Shared helpers for the reproduction benches: every bench binary prints
 // the rows/series of one table or figure from the paper (DESIGN.md maps
 // experiment ids to binaries).
+//
+// Each bench defines its body with TAF_EXPERIMENT(name). Compiled on its
+// own, the TU gets an ordinary main(); compiled into the bench_all driver
+// (-DTAF_BENCH_ALL) the body is registered instead, so one process can
+// regenerate every table/figure while sharing flow artifacts through the
+// process-wide runner::FlowCache (thread-safe, unlike the per-binary
+// static caches these helpers used to keep).
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/flow.hpp"
+#include "runner/flow_cache.hpp"
+#include "runner/sweep.hpp"
+#include "runner/thread_pool.hpp"
 #include "util/table.hpp"
 
 namespace taf::bench {
@@ -21,42 +32,83 @@ inline const arch::ArchParams& bench_arch() {
   return a;
 }
 
+inline const tech::Technology& bench_tech() {
+  static const tech::Technology t = tech::ptm22();
+  return t;
+}
+
 inline const coffe::Characterizer& characterizer() {
-  static const coffe::Characterizer ch(tech::ptm22(), bench_arch());
-  return ch;
+  return runner::FlowCache::global().characterizer(bench_tech(), bench_arch());
 }
 
-/// Characterized device cache (sizing + sweep is deterministic). Entries
-/// are heap-pinned so returned references survive later insertions.
+/// Characterized device cache (sizing + sweep is deterministic). Corners
+/// are matched at millidegree granularity, never by raw double equality.
 inline const coffe::DeviceModel& device_at(double t_opt_c) {
-  static std::vector<std::unique_ptr<coffe::DeviceModel>> cache;
-  for (const auto& d : cache) {
-    if (d->t_opt_c == t_opt_c) return *d;
-  }
-  cache.push_back(
-      std::make_unique<coffe::DeviceModel>(characterizer().characterize(t_opt_c)));
-  return *cache.back();
+  return runner::FlowCache::global().device(bench_tech(), bench_arch(), t_opt_c);
 }
 
-/// Implemented (packed/placed/routed) benchmark cache keyed by name.
-inline const core::Implementation& implementation_of(const std::string& name,
-                                                     double scale = kSuiteScale) {
-  struct Entry {
-    std::string key;
-    std::unique_ptr<core::Implementation> impl;
-  };
-  static std::vector<Entry> cache;
-  const std::string key = name + "@" + std::to_string(scale);
-  for (const auto& e : cache) {
-    if (e.key == key) return *e.impl;
-  }
+/// Benchmark spec lookup in the VTR suite; aborts on unknown names.
+inline netlist::BenchmarkSpec suite_spec(const std::string& name) {
   for (const auto& spec : netlist::vtr_suite()) {
-    if (spec.name != name) continue;
-    cache.push_back({key, core::implement(netlist::scaled(spec, scale), bench_arch())});
-    return *cache.back().impl;
+    if (spec.name == name) return spec;
   }
   std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
   std::abort();
+}
+
+/// Implemented (packed/placed/routed) benchmark, shared process-wide.
+inline const core::Implementation& implementation_of(const std::string& name,
+                                                     double scale = kSuiteScale) {
+  return runner::FlowCache::global().implementation(suite_spec(name), bench_arch(),
+                                                    scale);
+}
+
+// ---------------------------------------------------------------------------
+// Shared thread pool. Standalone benches and bench_all fan guardband
+// sweeps out over it; size it with set_pool_threads() before first use
+// (bench_all -j) or the TAF_BENCH_THREADS environment variable.
+
+inline int& pool_threads_setting() {
+  static int n = 0;  // 0 = auto
+  return n;
+}
+
+inline void set_pool_threads(int n) { pool_threads_setting() = n; }
+
+inline runner::ThreadPool& pool() {
+  static runner::ThreadPool p([] {
+    if (pool_threads_setting() > 0) return pool_threads_setting();
+    if (const char* env = std::getenv("TAF_BENCH_THREADS")) {
+      const int n = std::atoi(env);
+      if (n > 0) return n;
+    }
+    return runner::ThreadPool::hardware_default();
+  }());
+  return p;
+}
+
+/// Guardband sweep over the shared cache/pool. Results are indexed like
+/// `points` — identical to running the cells serially, whatever -j is.
+inline std::vector<runner::SweepCellResult> run_sweep(
+    const std::vector<runner::SweepPoint>& points) {
+  return runner::Sweep(runner::FlowCache::global(), pool(), bench_tech()).run(points);
+}
+
+/// Convenience: one sweep point per suite benchmark at the given grade
+/// and ambient (the fig. 6/7/8 row pattern).
+inline std::vector<runner::SweepPoint> suite_points(
+    double t_opt_c, const core::GuardbandOptions& opt) {
+  std::vector<runner::SweepPoint> points;
+  for (const auto& spec : netlist::vtr_suite()) {
+    runner::SweepPoint p;
+    p.spec = spec;
+    p.scale = kSuiteScale;
+    p.arch = bench_arch();
+    p.t_opt_c = t_opt_c;
+    p.guardband = opt;
+    points.push_back(std::move(p));
+  }
+  return points;
 }
 
 inline void print_header(const char* experiment, const char* paper_claim) {
@@ -64,4 +116,39 @@ inline void print_header(const char* experiment, const char* paper_claim) {
   std::printf("paper: %s\n\n", paper_claim);
 }
 
+// ---------------------------------------------------------------------------
+// Experiment registry (bench_all).
+
+using ExperimentFn = int (*)();
+
+struct Experiment {
+  std::string name;
+  ExperimentFn fn = nullptr;
+};
+
+inline std::vector<Experiment>& experiment_registry() {
+  static std::vector<Experiment> experiments;
+  return experiments;
+}
+
+inline int register_experiment(const char* name, ExperimentFn fn) {
+  experiment_registry().push_back({name, fn});
+  return static_cast<int>(experiment_registry().size());
+}
+
 }  // namespace taf::bench
+
+#ifdef TAF_BENCH_ALL
+#define TAF_BENCH_STANDALONE_MAIN(name)
+#else
+#define TAF_BENCH_STANDALONE_MAIN(name) \
+  int main() { return taf_experiment_##name(); }
+#endif
+
+/// Defines one reproduction experiment. The body returns an exit code.
+#define TAF_EXPERIMENT(name)                                          \
+  static int taf_experiment_##name();                                 \
+  [[maybe_unused]] static const int taf_experiment_reg_##name =       \
+      taf::bench::register_experiment(#name, &taf_experiment_##name); \
+  TAF_BENCH_STANDALONE_MAIN(name)                                     \
+  static int taf_experiment_##name()

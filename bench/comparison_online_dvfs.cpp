@@ -7,7 +7,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(comparison_online_dvfs) {
   using namespace taf;
   using util::Table;
   bench::print_header(
@@ -15,18 +15,28 @@ int main() {
       "online schemes need sensor margin and assume uniform temperature "
       "(paper Section II); offline per-tile timing recovers both losses");
 
-  const auto& dev = bench::device_at(25.0);
   const double sensor_margin_c = 5.0;  // RO-sensor inaccuracy + placement offset
+  const char* names[] = {"sha", "or1200", "blob_merge", "stereovision0",
+                         "LU8PEEng", "mcml"};
+  std::vector<runner::SweepPoint> points;
+  for (const char* name : names) {
+    runner::SweepPoint p;
+    p.spec = bench::suite_spec(name);
+    p.scale = bench::kSuiteScale;
+    p.arch = bench::bench_arch();
+    p.t_opt_c = 25.0;
+    p.guardband.t_amb_c = 25.0;
+    points.push_back(std::move(p));
+  }
+  const auto cells = bench::run_sweep(points);
 
+  const auto& dev = bench::device_at(25.0);
   Table t({"Benchmark", "worst-case MHz", "online DVFS MHz", "thermal-aware MHz",
            "DVFS gain", "paper-flow gain"});
   std::vector<double> dvfs_gains, ours_gains;
-  for (const char* name :
-       {"sha", "or1200", "blob_merge", "stereovision0", "LU8PEEng", "mcml"}) {
-    const auto& impl = bench::implementation_of(name);
-    core::GuardbandOptions opt;
-    opt.t_amb_c = 25.0;
-    const auto r = core::guardband(impl, dev, opt);
+  for (std::size_t i = 0; i < std::size(names); ++i) {
+    const auto& impl = bench::implementation_of(names[i]);
+    const auto& r = cells[i].guardband;
 
     // Online DVFS: clock for a uniform temperature equal to the measured
     // peak plus the sensor margin.
@@ -36,7 +46,7 @@ int main() {
     const double dvfs_gain = online_fmax / r.baseline_fmax_mhz - 1.0;
     dvfs_gains.push_back(dvfs_gain);
     ours_gains.push_back(r.gain());
-    t.add_row({name, Table::num(r.baseline_fmax_mhz, 1), Table::num(online_fmax, 1),
+    t.add_row({names[i], Table::num(r.baseline_fmax_mhz, 1), Table::num(online_fmax, 1),
                Table::num(r.fmax_mhz, 1), Table::pct(dvfs_gain), Table::pct(r.gain())});
   }
   t.add_row({"average", "", "", "", Table::pct(util::mean_of(dvfs_gains)),

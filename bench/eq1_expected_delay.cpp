@@ -4,7 +4,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(eq1_expected_delay) {
   using namespace taf;
   using util::Table;
   bench::print_header("Eq. (1) — expected delay over field temperature ranges",

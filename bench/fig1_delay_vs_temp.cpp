@@ -3,7 +3,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(fig1_delay_vs_temp) {
   using namespace taf;
   using util::Table;
   bench::print_header("Fig. 1 — impact of temperature on resource delay",

@@ -5,7 +5,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(fig2_corner_matrix) {
   using namespace taf;
   using util::Table;
   bench::print_header(

@@ -5,7 +5,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(fig3_cp_corner_curves) {
   using namespace taf;
   using util::Table;
   bench::print_header(

@@ -3,7 +3,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(fig6_guardband_tamb25) {
   using namespace taf;
   using util::Table;
   bench::print_header(
@@ -11,19 +11,20 @@ int main() {
       "per-benchmark frequency increase vs. worst-case (100C) guardband; "
       "average ~36.5%, converged after ~2C of self-heating");
 
-  const auto& dev = bench::device_at(25.0);
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 25.0;
+  const auto cells = bench::run_sweep(bench::suite_points(25.0, opt));
+
   Table t({"Benchmark", "baseline MHz", "thermal-aware MHz", "gain", "iters",
            "peak T (C)"});
   std::vector<double> gains;
-  for (const auto& spec : netlist::vtr_suite()) {
-    const auto& impl = bench::implementation_of(spec.name);
-    core::GuardbandOptions opt;
-    opt.t_amb_c = 25.0;
-    const auto r = core::guardband(impl, dev, opt);
+  const auto suite = netlist::vtr_suite();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& r = cells[i].guardband;
     gains.push_back(r.gain());
-    t.add_row({spec.name, Table::num(r.baseline_fmax_mhz, 1), Table::num(r.fmax_mhz, 1),
-               Table::pct(r.gain()), std::to_string(r.iterations),
-               Table::num(r.peak_temp_c, 2)});
+    t.add_row({suite[i].name, Table::num(r.baseline_fmax_mhz, 1),
+               Table::num(r.fmax_mhz, 1), Table::pct(r.gain()),
+               std::to_string(r.iterations), Table::num(r.peak_temp_c, 2)});
   }
   t.add_row({"average", "", "", Table::pct(util::mean_of(gains)), "", ""});
   t.print();

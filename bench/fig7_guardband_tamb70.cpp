@@ -2,24 +2,26 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(fig7_guardband_tamb70) {
   using namespace taf;
   using util::Table;
   bench::print_header(
       "Fig. 7 — thermal-aware guardbanding gain at Tamb = 70C",
       "less headroom before the worst-case corner: average ~14%");
 
-  const auto& dev = bench::device_at(25.0);
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 70.0;
+  const auto cells = bench::run_sweep(bench::suite_points(25.0, opt));
+
   Table t({"Benchmark", "baseline MHz", "thermal-aware MHz", "gain", "peak T (C)"});
   std::vector<double> gains;
-  for (const auto& spec : netlist::vtr_suite()) {
-    const auto& impl = bench::implementation_of(spec.name);
-    core::GuardbandOptions opt;
-    opt.t_amb_c = 70.0;
-    const auto r = core::guardband(impl, dev, opt);
+  const auto suite = netlist::vtr_suite();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& r = cells[i].guardband;
     gains.push_back(r.gain());
-    t.add_row({spec.name, Table::num(r.baseline_fmax_mhz, 1), Table::num(r.fmax_mhz, 1),
-               Table::pct(r.gain()), Table::num(r.peak_temp_c, 2)});
+    t.add_row({suite[i].name, Table::num(r.baseline_fmax_mhz, 1),
+               Table::num(r.fmax_mhz, 1), Table::pct(r.gain()),
+               Table::num(r.peak_temp_c, 2)});
   }
   t.add_row({"average", "", "", Table::pct(util::mean_of(gains)), ""});
   t.print();

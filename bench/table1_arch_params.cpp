@@ -2,7 +2,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(table1_arch_params) {
   using taf::util::Table;
   taf::bench::print_header("Table I — architectural parameters",
                            "K=6, N=10, W=320, L=4, SBmux 12, CBmux 64, localmux 25, "

@@ -3,7 +3,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(table2_characterization) {
   using namespace taf;
   using util::Table;
   bench::print_header(

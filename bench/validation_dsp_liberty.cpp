@@ -7,7 +7,7 @@
 #include "coffe/stdcell.hpp"
 #include "util/stats.hpp"
 
-int main() {
+TAF_EXPERIMENT(validation_dsp_liberty) {
   using namespace taf;
   using util::Table;
   bench::print_header(

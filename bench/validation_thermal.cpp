@@ -5,22 +5,33 @@
 
 #include "bench_common.hpp"
 
-int main() {
+TAF_EXPERIMENT(validation_thermal) {
   using namespace taf;
   using util::Table;
   bench::print_header("Thermal cross-validation — dT vs 0.7 * p_design/p_base",
                       "temperature sensitivity to power density matches the XPE "
                       "spreadsheet rule of thumb");
 
+  const char* names[] = {"sha", "or1200", "stereovision0", "blob_merge",
+                         "LU8PEEng", "mcml"};
+  std::vector<runner::SweepPoint> points;
+  for (const char* name : names) {
+    runner::SweepPoint p;
+    p.spec = bench::suite_spec(name);
+    p.scale = bench::kSuiteScale;
+    p.arch = bench::bench_arch();
+    p.t_opt_c = 25.0;
+    p.guardband.t_amb_c = 25.0;
+    points.push_back(std::move(p));
+  }
+  const auto cells = bench::run_sweep(points);
+
   const auto& dev = bench::device_at(25.0);
   Table t({"Benchmark", "p_design (W)", "p_base (W)", "mean dT (C)",
            "0.7 p/pbase", "ratio"});
-  for (const char* name : {"sha", "or1200", "stereovision0", "blob_merge",
-                           "LU8PEEng", "mcml"}) {
-    const auto& impl = bench::implementation_of(name);
-    core::GuardbandOptions opt;
-    opt.t_amb_c = 25.0;
-    const auto r = core::guardband(impl, dev, opt);
+  for (std::size_t i = 0; i < std::size(names); ++i) {
+    const auto& impl = bench::implementation_of(names[i]);
+    const auto& r = cells[i].guardband;
     // Base power: the unconfigured device's leakage at ambient.
     double p_base = 0.0;
     for (int y = 0; y < impl.grid.height(); ++y) {
@@ -31,8 +42,8 @@ int main() {
     const double p_design = r.power.total_w();
     const double dt = r.mean_temp_c - 25.0;
     const double predicted = 0.7 * p_design / p_base;
-    t.add_row({name, Table::num(p_design, 3), Table::num(p_base, 3), Table::num(dt, 2),
-               Table::num(predicted, 2),
+    t.add_row({names[i], Table::num(p_design, 3), Table::num(p_base, 3),
+               Table::num(dt, 2), Table::num(predicted, 2),
                Table::num(predicted > 0 ? dt / predicted : 0.0, 2)});
   }
   t.print();

@@ -8,12 +8,42 @@
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/timer.hpp"
 
 namespace taf::core {
+
+const char* flow_phase_name(FlowPhase phase) {
+  switch (phase) {
+    case FlowPhase::Pack: return "pack";
+    case FlowPhase::Place: return "place";
+    case FlowPhase::Route: return "route";
+    case FlowPhase::Activity: return "activity";
+    case FlowPhase::StaBuild: return "sta_build";
+    case FlowPhase::Sta: return "sta";
+    case FlowPhase::Power: return "power";
+    case FlowPhase::Thermal: return "thermal";
+  }
+  return "unknown";
+}
+
+namespace {
+/// Forwards phase durations to an observer, if any; all state is local
+/// to the running task, keeping implement()/guardband() re-entrant.
+struct PhaseClock {
+  explicit PhaseClock(const FlowObserver* obs) : obs_(obs) {}
+  void mark(FlowPhase phase) {
+    const double s = watch_.lap();
+    if (obs_ != nullptr && obs_->on_phase) obs_->on_phase(phase, s);
+  }
+  const FlowObserver* obs_;
+  util::Stopwatch watch_;
+};
+}  // namespace
 
 std::unique_ptr<Implementation> implement(const netlist::BenchmarkSpec& spec,
                                           const arch::ArchParams& arch,
                                           const ImplementOptions& opt) {
+  PhaseClock clock(opt.observer);
   util::Rng rng(opt.seed ^ std::hash<std::string>{}(spec.name));
   netlist::Netlist nl = netlist::generate(spec, rng);
 
@@ -25,11 +55,13 @@ std::unique_ptr<Implementation> implement(const netlist::BenchmarkSpec& spec,
   auto impl = std::make_unique<Implementation>(arch, std::move(nl), grid);
   impl->packed = std::move(packed);
   impl->packed.source = &impl->nl;
+  clock.mark(FlowPhase::Pack);
 
   place::PlaceOptions popt;
   popt.seed = opt.seed;
   popt.effort = opt.place_effort;
   impl->placement = place::place(impl->packed, impl->grid, popt);
+  clock.mark(FlowPhase::Place);
 
   impl->routes = route::route(impl->rr, impl->packed, impl->placement, opt.route);
   if (!impl->routes.success) {
@@ -37,16 +69,20 @@ std::unique_ptr<Implementation> implement(const netlist::BenchmarkSpec& spec,
                    spec.name.c_str(), impl->routes.overused_nodes,
                    impl->routes.iterations);
   }
+  clock.mark(FlowPhase::Route);
 
   impl->activity = activity::estimate(impl->nl);
+  clock.mark(FlowPhase::Activity);
   impl->sta = std::make_unique<timing::TimingAnalyzer>(
       impl->nl, impl->packed, impl->placement, impl->rr, impl->routes, impl->grid);
+  clock.mark(FlowPhase::StaBuild);
   return impl;
 }
 
 GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& dev,
                           const GuardbandOptions& opt) {
   GuardbandResult result;
+  PhaseClock clock(opt.observer);
 
   // Conventional baseline: clock for the worst-case corner.
   result.baseline_fmax_mhz =
@@ -62,13 +98,16 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
   std::vector<double> temps(n_tiles, opt.t_amb_c);
   timing::TimingResult sta = impl.sta->analyze(dev, temps);
   double fmax = sta.fmax_mhz;
+  clock.mark(FlowPhase::Sta);
 
-  power::PowerBreakdown power;
   for (int iter = 1; iter <= opt.max_iterations; ++iter) {
     result.iterations = iter;
-    power = power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
-                                 impl.routes, impl.activity, fmax, temps, impl.grid);
+    const power::PowerBreakdown power =
+        power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
+                             impl.routes, impl.activity, fmax, temps, impl.grid);
+    clock.mark(FlowPhase::Power);
     const std::vector<double> new_temps = tgrid.solve(power.tile_w);
+    clock.mark(FlowPhase::Thermal);
     double max_delta = 0.0;
     for (std::size_t i = 0; i < n_tiles; ++i) {
       max_delta = std::max(max_delta, std::fabs(new_temps[i] - temps[i]));
@@ -76,8 +115,12 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
     temps = new_temps;
     sta = impl.sta->analyze(dev, temps);
     fmax = sta.fmax_mhz;
+    clock.mark(FlowPhase::Sta);
     util::log_debug("guardband iter %d: fmax %.1f MHz, max dT %.3f C", iter, fmax,
                     max_delta);
+    if (opt.observer != nullptr && opt.observer->on_iteration) {
+      opt.observer->on_iteration(iter, fmax, max_delta);
+    }
     if (max_delta < opt.delta_t_c) break;
   }
 
@@ -86,8 +129,18 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
   for (double& t : margin_temps) t += opt.delta_t_c;
   result.timing = impl.sta->analyze(dev, margin_temps);
   result.fmax_mhz = result.timing.fmax_mhz;
+  clock.mark(FlowPhase::Sta);
+
+  // Report power at the operating point actually returned: the converged
+  // temperature map and the margin-applied fmax. (The loop's last power
+  // map belongs to the *previous* iterate, and is never computed at all
+  // when max_iterations == 0.)
+  result.power =
+      power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
+                           impl.routes, impl.activity, result.fmax_mhz, temps,
+                           impl.grid);
+  clock.mark(FlowPhase::Power);
   result.tile_temp_c = std::move(temps);
-  result.power = power;
 
   util::Accumulator acc;
   for (double t : result.tile_temp_c) acc.add(t);

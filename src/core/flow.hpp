@@ -3,6 +3,7 @@
 // and thermal-aware device/grade selection, driving the full CAD stack
 // (pack -> place -> route -> activity -> power -> thermal -> STA).
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -42,10 +43,37 @@ struct Implementation {
   Implementation& operator=(const Implementation&) = delete;
 };
 
+/// CAD/analysis phases reported through FlowObserver. The runner's sweep
+/// reports aggregate per-task time under these labels.
+enum class FlowPhase {
+  Pack = 0,
+  Place,
+  Route,
+  Activity,
+  StaBuild,  ///< TimingAnalyzer construction (route-tree walk)
+  Sta,
+  Power,
+  Thermal,
+};
+inline constexpr int kNumFlowPhases = 8;
+const char* flow_phase_name(FlowPhase phase);
+
+/// Optional progress/instrumentation hooks. implement() and guardband()
+/// are re-entrant: all state is task-local, so one observer per task is
+/// safe under concurrent flows (the observer itself is only invoked from
+/// the calling thread).
+struct FlowObserver {
+  /// Called after each phase with its wall-clock duration.
+  std::function<void(FlowPhase, double seconds)> on_phase;
+  /// Called after each Algorithm 1 iteration.
+  std::function<void(int iteration, double fmax_mhz, double max_delta_c)> on_iteration;
+};
+
 struct ImplementOptions {
   unsigned seed = 1;
   double place_effort = 0.5;
   route::RouteOptions route;
+  const FlowObserver* observer = nullptr;  ///< not owned; may be null
 };
 
 /// Run the full implementation flow on a benchmark spec.
@@ -59,6 +87,7 @@ struct GuardbandOptions {
   int max_iterations = 10;        ///< the paper observes < 10 iterations
   double t_worst_c = 100.0;       ///< conventional worst-case corner
   thermal::ThermalConfig thermal; ///< ambient_c is overridden by t_amb_c
+  const FlowObserver* observer = nullptr;  ///< not owned; may be null
 };
 
 struct GuardbandResult {
@@ -69,7 +98,9 @@ struct GuardbandResult {
   double peak_temp_c = 0.0;
   double mean_temp_c = 0.0;
   timing::TimingResult timing;     ///< final thermal-aware STA
-  power::PowerBreakdown power;     ///< power at the converged point
+  /// Power at the reported operating point: the converged temperature map
+  /// and the reported (margin-applied) fmax_mhz.
+  power::PowerBreakdown power;
 
   /// The paper's reported metric: performance improvement over the
   /// worst-case guardband.

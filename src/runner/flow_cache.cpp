@@ -1,0 +1,207 @@
+#include "runner/flow_cache.hpp"
+
+#include <bit>
+#include <cmath>
+#include <string_view>
+
+namespace taf::runner {
+
+namespace {
+
+/// 64-bit FNV-1a, used as an order-sensitive field combiner. With the
+/// handful of distinct corners/specs/arches a process touches, a 64-bit
+/// key makes accidental collisions negligible.
+struct Hasher {
+  std::uint64_t state = 1469598103934665603ull;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state ^= p[i];
+      state *= 1099511628211ull;
+    }
+  }
+  void add(std::uint64_t v) { bytes(&v, sizeof v); }
+  void add(std::int64_t v) { bytes(&v, sizeof v); }
+  void add(int v) { add(static_cast<std::int64_t>(v)); }
+  void add(unsigned v) { add(static_cast<std::uint64_t>(v)); }
+  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+  void add(std::string_view s) {
+    add(static_cast<std::uint64_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+};
+
+std::uint64_t spec_hash(const netlist::BenchmarkSpec& spec) {
+  Hasher h;
+  h.add(std::string_view(spec.name));
+  h.add(spec.num_luts);
+  h.add(spec.num_ffs);
+  h.add(spec.num_brams);
+  h.add(spec.num_dsps);
+  h.add(spec.num_inputs);
+  h.add(spec.num_outputs);
+  h.add(spec.logic_depth);
+  h.add(spec.ff_ratio);
+  return h.state;
+}
+
+}  // namespace
+
+std::uint64_t arch_hash(const arch::ArchParams& arch) {
+  Hasher h;
+  h.add(arch.lut_k);
+  h.add(arch.cluster_n);
+  h.add(arch.channel_tracks);
+  h.add(arch.wire_segment_length);
+  h.add(arch.cluster_inputs);
+  h.add(arch.sb_mux_size);
+  h.add(arch.cb_mux_size);
+  h.add(arch.local_mux_size);
+  h.add(arch.vdd);
+  h.add(arch.vdd_low_power);
+  h.add(arch.bram_words);
+  h.add(arch.bram_width);
+  h.add(arch.tile_edge_um);
+  h.add(arch.max_channel_utilization);
+  return h.state;
+}
+
+std::uint64_t tech_hash(const tech::Technology& tech) {
+  Hasher h;
+  h.add(tech.vdd);
+  h.add(tech.vdd_lp);
+  h.add(tech.lmin_um);
+  for (int f = 0; f < tech::kNumFlavors; ++f) {
+    const tech::MosfetParams& m = tech.flavors[f];
+    h.add(m.vth0);
+    h.add(m.vth_tc);
+    h.add(m.mu_exp);
+    h.add(m.alpha);
+    h.add(m.k_drive);
+    h.add(m.i_off25);
+    h.add(m.lkg_tc);
+    h.add(m.c_gate);
+    h.add(m.c_drain);
+  }
+  h.add(tech.wire_r_per_um25);
+  h.add(tech.wire_r_tc);
+  h.add(tech.wire_c_per_um);
+  return h.state;
+}
+
+std::int64_t FlowCache::quantize_t_opt(double t_opt_c) {
+  return std::llround(t_opt_c * 1000.0);
+}
+
+FlowCache& FlowCache::global() {
+  static FlowCache cache;
+  return cache;
+}
+
+template <typename V, typename Build>
+const V& FlowCache::get_or_build(
+    std::unordered_map<std::uint64_t, std::unique_ptr<Slot<V>>>& map, std::uint64_t key,
+    std::atomic<std::uint64_t>* hits, std::atomic<std::uint64_t>* misses,
+    const Build& build) {
+  Slot<V>* slot = nullptr;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    auto& entry = map[key];
+    if (entry == nullptr) {
+      entry = std::make_unique<Slot<V>>();
+      builder = true;
+    }
+    slot = entry.get();
+  }
+  if (builder) {
+    if (misses != nullptr) misses->fetch_add(1, std::memory_order_relaxed);
+    std::unique_ptr<V> value;
+    std::exception_ptr error;
+    try {
+      value = build();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(slot->mutex);
+      slot->value = std::move(value);
+      slot->error = error;
+      slot->ready = true;
+    }
+    slot->ready_cv.notify_all();
+  } else {
+    if (hits != nullptr) hits->fetch_add(1, std::memory_order_relaxed);
+  }
+  std::unique_lock<std::mutex> lock(slot->mutex);
+  slot->ready_cv.wait(lock, [slot] { return slot->ready; });
+  if (slot->error) std::rethrow_exception(slot->error);
+  return *slot->value;
+}
+
+const coffe::Characterizer& FlowCache::characterizer(const tech::Technology& tech,
+                                                     const arch::ArchParams& arch) {
+  Hasher h;
+  h.add(tech_hash(tech));
+  h.add(arch_hash(arch));
+  return get_or_build(characterizers_, h.state, nullptr, nullptr, [&] {
+    return std::make_unique<coffe::Characterizer>(tech, arch);
+  });
+}
+
+const coffe::DeviceModel& FlowCache::device(const tech::Technology& tech,
+                                            const arch::ArchParams& arch,
+                                            double t_opt_c) {
+  Hasher h;
+  h.add(tech_hash(tech));
+  h.add(arch_hash(arch));
+  h.add(quantize_t_opt(t_opt_c));
+  return get_or_build(devices_, h.state, &device_hits_, &device_misses_, [&] {
+    const coffe::Characterizer& ch = characterizer(tech, arch);
+    return std::make_unique<coffe::DeviceModel>(ch.characterize(t_opt_c));
+  });
+}
+
+const core::Implementation& FlowCache::implementation(const netlist::BenchmarkSpec& spec,
+                                                      const arch::ArchParams& arch,
+                                                      double scale,
+                                                      const core::ImplementOptions& opt) {
+  Hasher h;
+  h.add(spec_hash(spec));
+  h.add(opt.seed);
+  h.add(scale);
+  h.add(arch_hash(arch));
+  // Every option that changes the implementation must be in the key.
+  h.add(opt.place_effort);
+  h.add(opt.route.max_iterations);
+  h.add(opt.route.first_iter_pres_fac);
+  h.add(opt.route.pres_fac_mult);
+  h.add(opt.route.hist_fac);
+  h.add(opt.route.astar_fac);
+  return get_or_build(impls_, h.state, &impl_hits_, &impl_misses_, [&] {
+    return core::implement(netlist::scaled(spec, scale), arch, opt);
+  });
+}
+
+FlowCache::Stats FlowCache::stats() const {
+  Stats s;
+  s.device_hits = device_hits_.load(std::memory_order_relaxed);
+  s.device_misses = device_misses_.load(std::memory_order_relaxed);
+  s.impl_hits = impl_hits_.load(std::memory_order_relaxed);
+  s.impl_misses = impl_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FlowCache::clear() {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  characterizers_.clear();
+  devices_.clear();
+  impls_.clear();
+  device_hits_ = 0;
+  device_misses_ = 0;
+  impl_hits_ = 0;
+  impl_misses_ = 0;
+}
+
+}  // namespace taf::runner

@@ -1,0 +1,56 @@
+#pragma once
+// Structured instrumentation for runner tasks: per-task wall time, CAD
+// phase breakdown (fed by core::FlowObserver), Algorithm 1 iteration
+// counts, and the flow-cache hit/miss counters — serialized as JSON or
+// CSV so sweeps are machine-analysable (EXPERIMENTS.md documents the
+// format).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "runner/flow_cache.hpp"
+
+namespace taf::runner {
+
+/// Accumulated seconds per CAD/analysis phase.
+struct PhaseTimes {
+  std::array<double, core::kNumFlowPhases> seconds{};
+
+  void add(core::FlowPhase phase, double s) {
+    seconds[static_cast<std::size_t>(phase)] += s;
+  }
+  double total() const {
+    double t = 0.0;
+    for (double s : seconds) t += s;
+    return t;
+  }
+};
+
+/// One unit of runner work: an implement/characterize warm-up task, a
+/// guardband sweep cell, or a whole experiment.
+struct TaskMetrics {
+  std::string name;
+  std::string kind;  ///< "implement" | "characterize" | "guardband" | "experiment"
+  double wall_s = 0.0;
+  int iterations = 0;  ///< Algorithm 1 iterations (guardband tasks)
+  PhaseTimes phases;
+};
+
+/// A full runner report: every task plus process-wide cache statistics.
+struct RunReport {
+  int threads = 1;
+  double wall_s = 0.0;
+  std::vector<TaskMetrics> tasks;
+  FlowCache::Stats cache;
+
+  std::string to_json() const;
+  std::string to_csv() const;
+};
+
+/// Wires a FlowObserver into a TaskMetrics (phase times + iterations).
+/// The observer must not outlive the metrics object.
+core::FlowObserver observe_into(TaskMetrics& metrics);
+
+}  // namespace taf::runner

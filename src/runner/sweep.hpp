@@ -1,0 +1,57 @@
+#pragma once
+// Sweep executor: fans a (benchmark x device grade x ambient) grid of
+// guardbanding runs out across a thread pool, sharing implementations and
+// device models through a FlowCache. Results come back indexed exactly
+// like the input points — a deterministic reduction order — and each cell
+// carries its own TaskMetrics, so a parallel sweep reproduces the serial
+// sweep's numbers bit for bit while reporting where the time went.
+
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/benchmarks.hpp"
+#include "runner/flow_cache.hpp"
+#include "runner/metrics.hpp"
+#include "runner/thread_pool.hpp"
+#include "tech/technology.hpp"
+
+namespace taf::runner {
+
+/// One cell of a sweep grid.
+struct SweepPoint {
+  netlist::BenchmarkSpec spec;  ///< unscaled benchmark spec
+  double scale = 1.0;
+  arch::ArchParams arch;
+  double t_opt_c = 25.0;  ///< device grade (design corner)
+  core::GuardbandOptions guardband;
+  std::string label;  ///< report label; derived from the cell if empty
+};
+
+struct SweepCellResult {
+  core::GuardbandResult guardband;
+  TaskMetrics metrics;
+};
+
+class Sweep {
+ public:
+  Sweep(FlowCache& cache, ThreadPool& pool, tech::Technology tech);
+
+  /// Run every point; results[i] corresponds to points[i] regardless of
+  /// the pool size or scheduling order.
+  std::vector<SweepCellResult> run(const std::vector<SweepPoint>& points) const;
+
+  /// Dense grid over specs x grades x ambients, row-major in that order.
+  static std::vector<SweepPoint> grid(const std::vector<netlist::BenchmarkSpec>& specs,
+                                      double scale, const arch::ArchParams& arch,
+                                      const std::vector<double>& grades_t_opt_c,
+                                      const std::vector<double>& ambients_c,
+                                      const core::GuardbandOptions& base = {});
+
+ private:
+  FlowCache* cache_;
+  ThreadPool* pool_;
+  tech::Technology tech_;
+};
+
+}  // namespace taf::runner

@@ -1,0 +1,151 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace taf::runner {
+
+/// Completion state shared by all tasks of one parallel_for call.
+struct ThreadPool::Batch {
+  explicit Batch(std::size_t n) : remaining(n) {}
+
+  std::atomic<std::size_t> remaining;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first error wins; guarded by mutex
+
+  void record_error(std::exception_ptr err) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!error) error = std::move(err);
+  }
+
+  void finish_one() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex);
+      done_cv.notify_all();
+    }
+  }
+
+  bool done() const { return remaining.load(std::memory_order_acquire) == 0; }
+};
+
+struct ThreadPool::Task {
+  std::shared_ptr<Batch> batch;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t index = 0;
+
+  void run() {
+    try {
+      (*body)(index);
+    } catch (...) {
+      batch->record_error(std::current_exception());
+    }
+    batch->finish_one();
+  }
+};
+
+int ThreadPool::hardware_default() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads > 0 ? threads : hardware_default();
+  executors_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) executors_.push_back(std::make_unique<Executor>());
+  // Executor 0 is the caller of parallel_for; the rest get worker threads.
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::push_task(std::size_t executor, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(executors_[executor]->mutex);
+    executors_[executor]->deque.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++tasks_queued_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::run_one(std::size_t self) {
+  Task task;
+  bool found = false;
+  {  // Own deque first, newest task (LIFO keeps caches warm).
+    Executor& mine = *executors_[self];
+    std::lock_guard<std::mutex> lock(mine.mutex);
+    if (!mine.deque.empty()) {
+      task = std::move(mine.deque.back());
+      mine.deque.pop_back();
+      found = true;
+    }
+  }
+  for (std::size_t k = 1; !found && k < executors_.size(); ++k) {
+    // Steal oldest task from a peer (FIFO keeps stolen work coarse).
+    Executor& victim = *executors_[(self + k) % executors_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.deque.empty()) {
+      task = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      found = true;
+    }
+  }
+  if (!found) return false;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    --tasks_queued_;
+  }
+  task.run();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  while (true) {
+    if (run_one(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] { return stop_ || tasks_queued_ > 0; });
+    if (stop_ && tasks_queued_ == 0) return;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (executors_.size() == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    push_task(i % executors_.size(), Task{batch, &body, i});
+  }
+  wake_cv_.notify_all();
+
+  // The caller works too (as executor 0); once no runnable task is left it
+  // waits for in-flight tasks on other executors to drain.
+  while (!batch->done()) {
+    if (run_one(0)) continue;
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->done_cv.wait_for(lock, std::chrono::milliseconds(2),
+                            [&] { return batch->done(); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(batch->mutex);
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+}
+
+}  // namespace taf::runner

@@ -1,0 +1,61 @@
+#pragma once
+// Work-stealing thread pool for the experiment runner.
+//
+// Each executor (the caller plus `threads - 1` workers) owns a deque:
+// owners push/pop at the back, idle executors steal from the front of
+// their peers. parallel_for() blocks until every task of its batch has
+// finished and rethrows the first exception a task raised. The calling
+// thread participates in the work, so ThreadPool(1) spawns no threads at
+// all and runs everything inline — the deterministic serial reference the
+// sweep tests compare against.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace taf::runner {
+
+class ThreadPool {
+ public:
+  /// `threads` executors in total; 0 picks hardware_default().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return static_cast<int>(executors_.size()); }
+
+  /// Run body(i) for every i in [0, n), fanned out over the executors.
+  /// Blocks until all iterations finished; rethrows the first exception.
+  /// Safe to call concurrently from several threads (batches interleave).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  static int hardware_default();
+
+ private:
+  struct Task;
+  struct Batch;
+  struct Executor {
+    std::mutex mutex;
+    std::deque<Task> deque;
+  };
+
+  void push_task(std::size_t executor, Task task);
+  bool run_one(std::size_t self);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<Executor>> executors_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::size_t tasks_queued_ = 0;  // guarded by wake_mutex_
+  bool stop_ = false;             // guarded by wake_mutex_
+};
+
+}  // namespace taf::runner

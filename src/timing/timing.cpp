@@ -59,6 +59,17 @@ TimingAnalyzer::TimingAnalyzer(const netlist::Netlist& nl,
       for (const auto& [node, par] : nr->parents) parent[node] = par;
     }
 
+    // Straight-line SB hop estimate, used for unrouted nets and as the
+    // fallback when a sink is missing from the routed tree.
+    auto estimate_hops = [&pl](Connection& c, int from_block, int to_block) {
+      const arch::TilePos a = pl.pos[static_cast<std::size_t>(from_block)];
+      const arch::TilePos b = pl.pos[static_cast<std::size_t>(to_block)];
+      const int dist = std::abs(a.x - b.x) + std::abs(a.y - b.y);
+      const int hops = std::max(1, (dist + 3) / 4);
+      for (int h = 0; h < hops; ++h) c.wire_tiles.push_back(a);
+    };
+
+    bool warned_missing_sink = false;
     for (const auto& sink : net.sinks) {
       Connection c;
       c.src = net.driver;
@@ -70,6 +81,19 @@ TimingAnalyzer::TimingAnalyzer(const netlist::Netlist& nl,
         // Walk the routed tree from the sink IPIN back to the source.
         const arch::TilePos dst_pos = pl.pos[static_cast<std::size_t>(dst_block)];
         route::RrNodeId cur = rr.ipin_at(dst_pos.x, dst_pos.y);
+        if (parent.find(cur) == parent.end()) {
+          // The sink IPIN never made it into the routed tree (partial or
+          // failed route). Charging zero wire delay here would silently
+          // make the connection look free; estimate it instead.
+          if (!warned_missing_sink) {
+            util::log_warn(
+                "timing: net %d has sinks missing from its routed tree; "
+                "using SB-hop delay estimate",
+                n);
+            warned_missing_sink = true;
+          }
+          estimate_hops(c, src_block, dst_block);
+        }
         int guard = 0;
         while (true) {
           auto pit = parent.find(cur);
@@ -85,12 +109,7 @@ TimingAnalyzer::TimingAnalyzer(const netlist::Netlist& nl,
           }
         }
       } else if (!c.same_block) {
-        // Unrouted fallback: straight-line SB hop estimate.
-        const arch::TilePos a = pl.pos[static_cast<std::size_t>(src_block)];
-        const arch::TilePos b = pl.pos[static_cast<std::size_t>(dst_block)];
-        const int dist = std::abs(a.x - b.x) + std::abs(a.y - b.y);
-        const int hops = std::max(1, (dist + 3) / 4);
-        for (int h = 0; h < hops; ++h) c.wire_tiles.push_back(a);
+        estimate_hops(c, src_block, dst_block);
       }
       connections_.push_back(std::move(c));
     }

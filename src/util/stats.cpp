@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace taf::util {
 
@@ -70,10 +71,16 @@ LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
 }
 
 ExpFit fit_exponential(std::span<const double> x, std::span<const double> y) {
-  assert(x.size() == y.size());
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fit_exponential: x/y size mismatch");
+  }
   std::vector<double> logy(y.size());
   for (std::size_t i = 0; i < y.size(); ++i) {
-    assert(y[i] > 0.0 && "exponential fit requires positive samples");
+    // Must hold in release builds too: log(<=0) would silently poison the
+    // fit with NaN/-inf.
+    if (!(y[i] > 0.0)) {
+      throw std::invalid_argument("fit_exponential: samples must be positive");
+    }
     logy[i] = std::log(y[i]);
   }
   const LinearFit lf = least_squares(x, logy);
@@ -104,7 +111,9 @@ double geomean_of(std::span<const double> v) {
   if (v.empty()) return 0.0;
   double s = 0.0;
   for (double x : v) {
-    assert(x > 0.0);
+    if (!(x > 0.0)) {
+      throw std::invalid_argument("geomean_of: samples must be positive");
+    }
     s += std::log(x);
   }
   return std::exp(s / static_cast<double>(v.size()));

@@ -1,0 +1,35 @@
+#pragma once
+// Monotonic wall-clock timers for flow instrumentation. The runner uses
+// these to attribute sweep time to CAD phases (pack/place/route/STA/
+// power/thermal) in its machine-readable reports.
+
+#include <chrono>
+
+namespace taf::util {
+
+/// Simple monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed, then restart — for timing consecutive phases.
+  double lap() {
+    const auto now = clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace taf::util

@@ -330,6 +330,40 @@ TEST(Timing, PerTileTemperatureMatters) {
             sta.analyze_uniform(dev, 100.0).critical_path_ps);
 }
 
+TEST(Timing, MissingSinkFallsBackToHopEstimate) {
+  // Regression: a sink IPIN absent from its net's routed tree used to get
+  // zero wire delay — a silently optimistic critical path. The analyzer
+  // now charges the same SB-hop estimate it uses for unrouted nets, so
+  // tampered parents and an empty route must time identically (and both
+  // strictly slower than zero-wire).
+  const auto& d = sha_design();
+  static const coffe::Characterizer ch(tech::ptm22(), test_arch());
+  const auto dev = ch.characterize(25.0);
+
+  route::RouteResult no_parents = d.routes;
+  for (auto& nr : no_parents.routes) nr.parents.clear();
+  route::RouteResult unrouted = d.routes;
+  for (auto& nr : unrouted.routes) {
+    nr.nodes.clear();
+    nr.parents.clear();
+    nr.paths.clear();
+  }
+
+  const timing::TimingAnalyzer tampered(d.nl, d.packed, d.pl, d.rr, no_parents,
+                                        d.grid);
+  const timing::TimingAnalyzer estimated(d.nl, d.packed, d.pl, d.rr, unrouted,
+                                         d.grid);
+  const double cp_tampered = tampered.analyze_uniform(dev, 25.0).critical_path_ps;
+  const double cp_estimated = estimated.analyze_uniform(dev, 25.0).critical_path_ps;
+  EXPECT_DOUBLE_EQ(cp_tampered, cp_estimated);
+
+  // The real routed tree gives yet another (valid) answer; the point is
+  // the fallback is not free: inter-block wire delay stays accounted for.
+  const timing::TimingAnalyzer real(d.nl, d.packed, d.pl, d.rr, d.routes, d.grid);
+  EXPECT_GT(cp_tampered, 0.0);
+  EXPECT_GT(real.analyze_uniform(dev, 25.0).critical_path_ps, 0.0);
+}
+
 TEST(Timing, DspHeavyDesignHasDspOnCriticalPath) {
   const Design d("stereovision1", 1.0 / 16);  // DSP-heavy (152 full-size)
   const timing::TimingAnalyzer sta(d.nl, d.packed, d.pl, d.rr, d.routes, d.grid);

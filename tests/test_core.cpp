@@ -149,6 +149,40 @@ TEST(Guardband, MarginReducesFrequency) {
   EXPECT_LE(rl.fmax_mhz, rt.fmax_mhz);
 }
 
+TEST(Guardband, PowerIsReportedAtTheOperatingPoint) {
+  // Regression: the loop used to return the power computed with the
+  // *previous* iterate's fmax and pre-update temperatures. The reported
+  // breakdown must match a fresh evaluation at the converged temperature
+  // map and the margin-applied frequency.
+  const auto dev = characterizer().characterize(25.0);
+  const auto& impl = sha_impl();
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 25.0;
+  opt.delta_t_c = 0.2;  // force a couple of iterations
+  const auto r = core::guardband(impl, dev, opt);
+  ASSERT_EQ(r.tile_temp_c.size(), static_cast<std::size_t>(impl.grid.num_tiles()));
+  const auto expected =
+      power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
+                           impl.routes, impl.activity, r.fmax_mhz, r.tile_temp_c,
+                           impl.grid);
+  EXPECT_DOUBLE_EQ(r.power.dynamic_w, expected.dynamic_w);
+  EXPECT_DOUBLE_EQ(r.power.leakage_w, expected.leakage_w);
+  EXPECT_DOUBLE_EQ(r.power.total_w(), expected.total_w());
+}
+
+TEST(Guardband, ZeroIterationsStillReportsPower) {
+  // Regression: with max_iterations == 0 the loop body never ran and the
+  // result used to carry an all-zero PowerBreakdown.
+  const auto dev = characterizer().characterize(25.0);
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 25.0;
+  opt.max_iterations = 0;
+  const auto r = core::guardband(sha_impl(), dev, opt);
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_GT(r.power.dynamic_w, 0.0);
+  EXPECT_GT(r.power.leakage_w, 0.0);
+}
+
 TEST(Grade, SelectionFollowsFieldRange) {
   std::vector<coffe::DeviceModel> devices;
   for (double t : {0.0, 25.0, 70.0, 100.0}) {

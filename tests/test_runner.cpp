@@ -1,0 +1,253 @@
+// Tests for the experiment runner: the work-stealing thread pool, the
+// build-once FlowCache (quantized corner keys, single-build semantics
+// under contention), sweep determinism (parallel == serial, bit for
+// bit), and the metrics serialization.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runner/flow_cache.hpp"
+#include "runner/metrics.hpp"
+#include "runner/sweep.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace {
+
+using namespace taf;
+
+const arch::ArchParams& test_arch() {
+  static const arch::ArchParams a = arch::scaled_arch();
+  return a;
+}
+
+netlist::BenchmarkSpec spec_of(const char* name) {
+  for (const auto& s : netlist::vtr_suite()) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "unknown benchmark " << name;
+  return {};
+}
+
+// ---------- thread pool ----------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  runner::ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleExecutorRunsInline) {
+  runner::ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.parallel_for(seen.size(), [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, CallerParticipates) {
+  // Even with workers available, n == 1 runs on the caller (no handoff).
+  runner::ThreadPool pool(4);
+  std::thread::id ran_on;
+  pool.parallel_for(1, [&](std::size_t) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, RethrowsTaskException) {
+  runner::ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 13) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  runner::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+// ---------- flow cache ----------
+
+TEST(FlowCache, QuantizesDeviceCorners) {
+  EXPECT_EQ(runner::FlowCache::quantize_t_opt(25.0),
+            runner::FlowCache::quantize_t_opt(25.0000004));
+  EXPECT_NE(runner::FlowCache::quantize_t_opt(25.0),
+            runner::FlowCache::quantize_t_opt(25.001));
+
+  runner::FlowCache cache;
+  const auto& tech = tech::ptm22();
+  const auto& a = cache.device(tech, test_arch(), 25.0);
+  const auto& b = cache.device(tech, test_arch(), 25.0000004);  // same entry
+  EXPECT_EQ(&a, &b);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.device_misses, 1u);
+  EXPECT_EQ(s.device_hits, 1u);
+}
+
+TEST(FlowCache, ConcurrentRequestsBuildOnce) {
+  runner::FlowCache cache;
+  runner::ThreadPool pool(8);
+  const auto spec = spec_of("mkSMAdapter4B");
+  std::vector<const core::Implementation*> got(8, nullptr);
+  pool.parallel_for(got.size(), [&](std::size_t i) {
+    got[i] = &cache.implementation(spec, test_arch(), 1.0 / 16);
+  });
+  for (const auto* p : got) EXPECT_EQ(p, got[0]);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.impl_misses, 1u);
+  EXPECT_EQ(s.impl_hits, got.size() - 1);
+}
+
+TEST(FlowCache, DistinctKeysAreDistinctEntries) {
+  runner::FlowCache cache;
+  const auto spec = spec_of("sha");
+  const auto& base = cache.implementation(spec, test_arch(), 1.0 / 16);
+
+  arch::ArchParams narrow = test_arch();
+  narrow.channel_tracks = test_arch().channel_tracks / 2;
+  EXPECT_NE(&cache.implementation(spec, narrow, 1.0 / 16), &base);
+
+  EXPECT_NE(&cache.implementation(spec, test_arch(), 1.0 / 8), &base);
+
+  core::ImplementOptions seeded;
+  seeded.seed = 7;
+  EXPECT_NE(&cache.implementation(spec, test_arch(), 1.0 / 16, seeded), &base);
+
+  // Same key again: still the original entry.
+  EXPECT_EQ(&cache.implementation(spec, test_arch(), 1.0 / 16), &base);
+  EXPECT_EQ(cache.stats().impl_misses, 4u);
+}
+
+TEST(FlowCache, ImplementationMatchesDirectFlow) {
+  runner::FlowCache cache;
+  const auto spec = spec_of("sha");
+  const auto& cached = cache.implementation(spec, test_arch(), 1.0 / 16);
+  const auto direct = core::implement(netlist::scaled(spec, 1.0 / 16), test_arch());
+  EXPECT_EQ(cached.routes.success, direct->routes.success);
+  EXPECT_EQ(cached.routes.iterations, direct->routes.iterations);
+  EXPECT_EQ(cached.placement.pos, direct->placement.pos);
+}
+
+TEST(FlowCache, ClearResetsEntriesAndCounters) {
+  runner::FlowCache cache;
+  const auto spec = spec_of("sha");
+  cache.implementation(spec, test_arch(), 1.0 / 16);
+  cache.clear();
+  const auto s = cache.stats();
+  EXPECT_EQ(s.impl_hits, 0u);
+  EXPECT_EQ(s.impl_misses, 0u);
+  cache.implementation(spec, test_arch(), 1.0 / 16);
+  EXPECT_EQ(cache.stats().impl_misses, 1u);
+}
+
+// ---------- sweep determinism ----------
+
+std::vector<runner::SweepCellResult> run_grid(int threads) {
+  runner::FlowCache cache;
+  runner::ThreadPool pool(threads);
+  runner::Sweep sweep(cache, pool, tech::ptm22());
+  const std::vector<netlist::BenchmarkSpec> specs = {spec_of("sha"),
+                                                     spec_of("or1200")};
+  const auto points = runner::Sweep::grid(specs, 1.0 / 16, test_arch(),
+                                          /*grades=*/{25.0, 70.0},
+                                          /*ambients=*/{25.0, 70.0});
+  return sweep.run(points);
+}
+
+TEST(Sweep, ParallelMatchesSerialBitForBit) {
+  const auto serial = run_grid(1);
+  const auto parallel = run_grid(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), 8u);  // 2 specs x 2 grades x 2 ambients
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& s = serial[i].guardband;
+    const auto& p = parallel[i].guardband;
+    // Exact double equality, not tolerance: same inputs, same seeds, same
+    // reduction order must give the same bits whatever the scheduling.
+    EXPECT_EQ(s.fmax_mhz, p.fmax_mhz) << "cell " << i;
+    EXPECT_EQ(s.baseline_fmax_mhz, p.baseline_fmax_mhz) << "cell " << i;
+    EXPECT_EQ(s.iterations, p.iterations) << "cell " << i;
+    EXPECT_EQ(s.peak_temp_c, p.peak_temp_c) << "cell " << i;
+    EXPECT_EQ(s.power.total_w(), p.power.total_w()) << "cell " << i;
+    ASSERT_EQ(s.tile_temp_c.size(), p.tile_temp_c.size());
+    EXPECT_EQ(0, std::memcmp(s.tile_temp_c.data(), p.tile_temp_c.data(),
+                             s.tile_temp_c.size() * sizeof(double)))
+        << "cell " << i;
+    EXPECT_EQ(serial[i].metrics.name, parallel[i].metrics.name);
+  }
+}
+
+TEST(Sweep, GridIsRowMajorSpecGradeAmbient) {
+  const std::vector<netlist::BenchmarkSpec> specs = {spec_of("sha"),
+                                                     spec_of("or1200")};
+  const auto points = runner::Sweep::grid(specs, 1.0 / 16, test_arch(),
+                                          {25.0, 70.0}, {25.0, 70.0});
+  ASSERT_EQ(points.size(), 8u);
+  EXPECT_EQ(points[0].spec.name, "sha");
+  EXPECT_EQ(points[0].t_opt_c, 25.0);
+  EXPECT_EQ(points[0].guardband.t_amb_c, 25.0);
+  EXPECT_EQ(points[1].guardband.t_amb_c, 70.0);
+  EXPECT_EQ(points[2].t_opt_c, 70.0);
+  EXPECT_EQ(points[4].spec.name, "or1200");
+}
+
+// ---------- metrics ----------
+
+TEST(Metrics, ObserverAccumulatesPhasesAndIterations) {
+  runner::TaskMetrics m;
+  const core::FlowObserver obs = runner::observe_into(m);
+  obs.on_phase(core::FlowPhase::Route, 0.25);
+  obs.on_phase(core::FlowPhase::Route, 0.25);
+  obs.on_phase(core::FlowPhase::Sta, 0.5);
+  obs.on_iteration(1, 100.0, 3.0);
+  obs.on_iteration(2, 99.0, 0.2);
+  EXPECT_DOUBLE_EQ(m.phases.seconds[static_cast<std::size_t>(core::FlowPhase::Route)],
+                   0.5);
+  EXPECT_DOUBLE_EQ(m.phases.total(), 1.0);
+  EXPECT_EQ(m.iterations, 2);
+}
+
+TEST(Metrics, ReportSerializesJsonAndCsv) {
+  runner::RunReport report;
+  report.threads = 4;
+  report.wall_s = 1.5;
+  report.cache.impl_hits = 3;
+  report.cache.impl_misses = 2;
+  runner::TaskMetrics m;
+  m.name = "sha@D25/amb70";
+  m.kind = "guardband";
+  m.wall_s = 0.25;
+  m.iterations = 3;
+  m.phases.add(core::FlowPhase::Thermal, 0.125);
+  report.tasks.push_back(m);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"impl_hits\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"sha@D25/amb70\""), std::string::npos);
+  EXPECT_NE(json.find("\"thermal\":0.125000"), std::string::npos);
+
+  const std::string csv = report.to_csv();
+  EXPECT_NE(csv.find("name,kind,wall_s,iterations,pack_s"), std::string::npos);
+  EXPECT_NE(csv.find("sha@D25/amb70,guardband,0.250000,3"), std::string::npos);
+}
+
+}  // namespace

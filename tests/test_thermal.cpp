@@ -192,6 +192,38 @@ TEST(ThermalTransient, CoolsBackToAmbient) {
   EXPECT_NEAR(ThermalGrid::peak_c(t), 25.0, 0.05);
 }
 
+TEST(ThermalTransient, ZeroPowerStepStaysAtAmbient) {
+  // With no power and the field at ambient, any step size is a fixed
+  // point — no drift from the backward-Euler solve.
+  const ThermalGrid g = make_grid(9, 9, 31.0);
+  const std::vector<double> zero(81, 0.0);
+  std::vector<double> t(81, 31.0);
+  const double tau = g.tile_time_constant_s();
+  for (double dt : {tau / 100.0, tau, 50.0 * tau}) {
+    g.step(zero, dt, t);
+    for (double v : t) EXPECT_NEAR(v, 31.0, 1e-9);
+  }
+}
+
+TEST(Thermal, OneByOneGridSolveIsPackageRise) {
+  // A single tile has no lateral neighbours: dT = P * R_package exactly.
+  const ThermalGrid g = make_grid(1, 1, 25.0);
+  const double p = 0.125;
+  const auto t = g.solve({p});
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_NEAR(t[0], 25.0 + p * g.config().package_r_k_per_w, 1e-9);
+}
+
+TEST(ThermalTransient, OneByOneGridStepConvergesToSolve) {
+  const ThermalGrid g = make_grid(1, 1, 25.0);
+  const std::vector<double> p = {0.125};
+  const auto steady = g.solve(p);
+  std::vector<double> t = {25.0};
+  const double tau = g.tile_time_constant_s();
+  for (int i = 0; i < 200; ++i) g.step(p, tau, t);
+  EXPECT_NEAR(t[0], steady[0], 1e-3);
+}
+
 TEST(ThermalTransient, SmallStepTracksExponential) {
   // Uniform power on a grid behaves as one RC: dT(t) = dT_inf (1 - e^{-t/tau_pkg}).
   const ThermalGrid g = make_grid(6, 6);

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -100,6 +102,31 @@ TEST(ExpFit, RecoversExactExponential) {
   const auto fit = taf::util::fit_exponential(x, y);
   EXPECT_NEAR(fit.scale, 0.28, 1e-9);
   EXPECT_NEAR(fit.rate, 0.014, 1e-12);
+}
+
+TEST(ExpFit, RejectsNonPositiveSamples) {
+  // Must throw in release builds too: a silent log(<=0) would poison the
+  // characterization fits with NaN (the release-mode trap this guards).
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (double bad : {0.0, -0.5, nan}) {
+    const std::vector<double> y{1.0, bad, 2.0};
+    EXPECT_THROW(taf::util::fit_exponential(x, y), std::invalid_argument);
+  }
+}
+
+TEST(ExpFit, RejectsSizeMismatch) {
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW(taf::util::fit_exponential(x, y), std::invalid_argument);
+}
+
+TEST(Means, GeomeanRejectsNonPositiveSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (double bad : {0.0, -2.0, nan}) {
+    const std::vector<double> v{1.0, bad};
+    EXPECT_THROW(taf::util::geomean_of(v), std::invalid_argument);
+  }
 }
 
 TEST(Integrate, TrapezoidMatchesAnalyticLinear) {
