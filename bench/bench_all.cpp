@@ -126,6 +126,7 @@ int main(int argc, char** argv) {
       runner::TaskMetrics& m = warm_metrics[i];
       m.name = warm[i].kind + ":" + warm[i].name;
       m.kind = warm[i].kind;
+      const runner::SpiceCounterScope spice_scope(m);
       util::Stopwatch sw;
       if (warm[i].spec) {
         core::ImplementOptions iopt;
@@ -152,7 +153,11 @@ int main(int argc, char** argv) {
     m.name = experiments[i].name;
     m.kind = "experiment";
     util::Stopwatch sw;
-    const int code = experiments[i].fn();
+    int code = 0;
+    {
+      const runner::SpiceCounterScope spice_scope(m);
+      code = experiments[i].fn();
+    }
     m.wall_s = sw.seconds();
     report.tasks.push_back(std::move(m));
     if (code != 0) {

@@ -30,6 +30,30 @@ void BM_SpiceTransientLut(benchmark::State& state) {
 }
 BENCHMARK(BM_SpiceTransientLut)->Unit(benchmark::kMillisecond);
 
+/// Same workload with an explicitly pinned linear backend, for
+/// sparse-vs-dense A/B comparisons regardless of TAF_SPICE_BACKEND.
+void BM_SpiceTransientLutBackend(benchmark::State& state, spice::LinearBackend backend) {
+  const auto tech = tech::ptm22();
+  const auto spec = coffe::lut_spec(bench::bench_arch());
+  const auto probe = coffe::build_path_circuit(spec, tech, 45.0);
+  spice::SolverOptions opt;
+  opt.temp_c = 45.0;
+  opt.dt_ps = probe.dt_ps;
+  opt.backend = backend;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spice::solve_transient(probe.circuit, tech, opt, probe.t_stop_ps));
+  }
+}
+void BM_SpiceTransientLutSparse(benchmark::State& state) {
+  BM_SpiceTransientLutBackend(state, spice::LinearBackend::Sparse);
+}
+void BM_SpiceTransientLutDense(benchmark::State& state) {
+  BM_SpiceTransientLutBackend(state, spice::LinearBackend::Dense);
+}
+BENCHMARK(BM_SpiceTransientLutSparse)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpiceTransientLutDense)->Unit(benchmark::kMillisecond);
+
 void BM_ThermalSolve(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   const arch::FpgaGrid grid(n, n);

@@ -125,9 +125,11 @@ double elmore_delay_ps(const PathSpec& spec, const tech::Technology& tech, doubl
   return total_ps;
 }
 
-double spice_delay_ps(const PathSpec& spec, const tech::Technology& tech, double temp_c) {
+PathCircuitProbe build_path_circuit(const PathSpec& spec, const tech::Technology& tech,
+                                    double temp_c) {
   assert(!spec.stages.empty() && spec.stages.front().kind == StageKind::Inverter);
-  spice::Circuit c;
+  PathCircuitProbe probe;
+  spice::Circuit& c = probe.circuit;
   const spice::NodeId vdd = c.add_node("vdd");
   c.drive(vdd, spice::dc_waveform(spec.vdd));
   const spice::NodeId in = c.add_node("in");
@@ -177,16 +179,27 @@ double spice_delay_ps(const PathSpec& spec, const tech::Technology& tech, double
   const double t_edge = 100.0;
   c.drive(in, spice::step_waveform(0.0, spec.vdd, t_edge, 5.0));
 
+  probe.in = in;
+  probe.out = cur;
+  probe.out_rising = spec.output_same_polarity();
+  probe.t_edge_ps = t_edge;
+  // Generous horizon: pass-gate heavy paths at 100C can be several ns.
+  probe.t_stop_ps = 12000.0;
+  probe.dt_ps = 2.0;
+  return probe;
+}
+
+double spice_delay_ps(const PathSpec& spec, const tech::Technology& tech, double temp_c) {
+  const PathCircuitProbe probe = build_path_circuit(spec, tech, temp_c);
+
   spice::SolverOptions opt;
   opt.temp_c = temp_c;
-  opt.dt_ps = 2.0;
-  // Generous horizon: pass-gate heavy paths at 100C can be several ns.
-  const double t_stop = 12000.0;
-  const auto result = spice::solve_transient(c, tech, opt, t_stop);
+  opt.dt_ps = probe.dt_ps;
+  const auto result = spice::solve_transient(probe.circuit, tech, opt, probe.t_stop_ps);
 
-  const bool out_rising = spec.output_same_polarity();
-  const double d = spice::propagation_delay_ps(result, in, cur, spec.vdd,
-                                               /*in_rising=*/true, out_rising, t_edge);
+  const double d =
+      spice::propagation_delay_ps(result, probe.in, probe.out, spec.vdd,
+                                  /*in_rising=*/true, probe.out_rising, probe.t_edge_ps);
   if (d <= 0.0) {
     throw std::runtime_error("spice_delay_ps: output of '" + spec.name +
                              "' did not switch");

@@ -8,6 +8,7 @@
 //    used for the final characterization sweeps (the paper's HSPICE role).
 
 #include "coffe/path_spec.hpp"
+#include "spice/circuit.hpp"
 #include "tech/technology.hpp"
 
 namespace taf::coffe {
@@ -18,6 +19,22 @@ double elmore_delay_ps(const PathSpec& spec, const tech::Technology& tech, doubl
 /// Transient-simulated 50%-to-50% delay of the path [ps]. Throws
 /// std::runtime_error if the output never switches (broken sizing).
 double spice_delay_ps(const PathSpec& spec, const tech::Technology& tech, double temp_c);
+
+/// The netlist spice_delay_ps simulates, plus everything needed to rerun
+/// and re-measure it externally (differential backend tests, benchmarks).
+struct PathCircuitProbe {
+  spice::Circuit circuit;
+  spice::NodeId in = 0;   ///< driven input node
+  spice::NodeId out = 0;  ///< measured output node
+  bool out_rising = true;
+  double t_edge_ps = 0.0;  ///< input edge launch time
+  double t_stop_ps = 0.0;  ///< simulation horizon
+  double dt_ps = 0.0;      ///< solver timestep spice_delay_ps uses
+};
+
+/// Build the transient testbench for a path without simulating it.
+PathCircuitProbe build_path_circuit(const PathSpec& spec, const tech::Technology& tech,
+                                    double temp_c);
 
 /// Total capacitance switched when the resource toggles [fF]
 /// (gate + junction + wire + declared extra dynamic cap).

@@ -93,7 +93,26 @@ std::pair<NodeId, NodeId> build_cell(Circuit& c, NodeId vdd, CellType t, double 
 /// Measure one cell's 50%-to-50% delay at a given output load.
 double measure_cell_delay(const tech::Technology& tech, double temp_c, CellType t,
                           double w_um, double load_ff) {
-  Circuit c;
+  const CellCircuitProbe probe = build_cell_circuit(tech, t, w_um, load_ff);
+
+  spice::SolverOptions opt;
+  opt.temp_c = temp_c;
+  opt.dt_ps = probe.dt_ps;
+  const auto r = spice::solve_transient(probe.circuit, tech, opt, probe.t_stop_ps);
+
+  const double d =
+      spice::propagation_delay_ps(r, probe.in, probe.out, tech.vdd,
+                                  /*in_rising=*/false, probe.out_rising, probe.t_edge_ps);
+  if (d <= 0.0) throw std::runtime_error("stdcell: cell did not switch");
+  return d;
+}
+
+}  // namespace
+
+CellCircuitProbe build_cell_circuit(const tech::Technology& tech, CellType t,
+                                    double w_um, double load_ff) {
+  CellCircuitProbe probe;
+  Circuit& c = probe.circuit;
   const NodeId vdd = c.add_node("vdd");
   c.drive(vdd, spice::dc_waveform(tech.vdd));
   // A small driver inverter shapes a realistic input edge.
@@ -107,22 +126,17 @@ double measure_cell_delay(const tech::Technology& tech, double temp_c, CellType 
   c.add_resistor(edge, in, 1e-3);  // tie the shaped edge to the cell input
   c.add_capacitor(out, kGround, load_ff);
 
-  spice::SolverOptions opt;
-  opt.temp_c = temp_c;
-  opt.dt_ps = 1.5;
-  const auto r = spice::solve_transient(c, tech, opt, 4000.0);
-
   const CellStructure st = structure_of(t);
+  probe.in = edge;
+  probe.out = out;
   // Polarity: the falling input is inverted by the stack and by each
   // extra stage; the output rises when the total inversion count is odd.
-  const bool out_rising = (1 + st.extra_stages) % 2 == 1;
-  const double d = spice::propagation_delay_ps(r, edge, out, tech.vdd,
-                                               /*in_rising=*/false, out_rising, 60.0);
-  if (d <= 0.0) throw std::runtime_error("stdcell: cell did not switch");
-  return d;
+  probe.out_rising = (1 + st.extra_stages) % 2 == 1;
+  probe.t_edge_ps = 60.0;
+  probe.t_stop_ps = 4000.0;
+  probe.dt_ps = 1.5;
+  return probe;
 }
-
-}  // namespace
 
 const char* cell_name(CellType t) { return kCellNames[static_cast<int>(t)]; }
 

@@ -13,6 +13,7 @@
 #include <array>
 #include <vector>
 
+#include "spice/circuit.hpp"
 #include "tech/technology.hpp"
 
 namespace taf::coffe::stdcell {
@@ -62,6 +63,23 @@ class Liberty {
 /// SPICE-characterize the full library at a temperature: each cell's worst
 /// arc is measured at two output loads and reduced to the linear model.
 Liberty characterize_library(const tech::Technology& tech, double temp_c);
+
+/// The testbench one cell arc is measured in (edge-shaping driver, the
+/// cell's worst arc, the output load), plus how to measure it — exposed
+/// so external tests (differential backend harness) can rerun the exact
+/// netlist the characterization uses.
+struct CellCircuitProbe {
+  spice::Circuit circuit;
+  spice::NodeId in = 0;   ///< shaped-edge node the delay is measured from
+  spice::NodeId out = 0;  ///< cell output node
+  bool out_rising = true; ///< output polarity for the falling input edge
+  double t_edge_ps = 0.0;
+  double t_stop_ps = 0.0;
+  double dt_ps = 0.0;
+};
+
+CellCircuitProbe build_cell_circuit(const tech::Technology& tech, CellType t,
+                                    double w_um, double load_ff);
 
 /// A gate on the synthesized critical path.
 struct PathGate {

@@ -61,7 +61,11 @@ std::string RunReport::to_json() const {
     out += "\", \"kind\": \"";
     append_escaped(out, t.kind);
     out += "\", \"wall_s\": " + fmt(t.wall_s) +
-           ", \"iterations\": " + std::to_string(t.iterations) + ", \"phases\": ";
+           ", \"iterations\": " + std::to_string(t.iterations) +
+           ", \"spice_factorizations\": " + std::to_string(t.spice_factorizations) +
+           ", \"spice_pattern_reuses\": " + std::to_string(t.spice_pattern_reuses) +
+           ", \"spice_newton_iters\": " + std::to_string(t.spice_newton_iters) +
+           ", \"phases\": ";
     append_phases_json(out, t.phases);
     out += i + 1 < tasks.size() ? "},\n" : "}\n";
   }
@@ -70,7 +74,9 @@ std::string RunReport::to_json() const {
 }
 
 std::string RunReport::to_csv() const {
-  std::string out = "name,kind,wall_s,iterations";
+  std::string out =
+      "name,kind,wall_s,iterations,spice_factorizations,spice_pattern_reuses,"
+      "spice_newton_iters";
   for (int p = 0; p < core::kNumFlowPhases; ++p) {
     out += ',';
     out += core::flow_phase_name(static_cast<core::FlowPhase>(p));
@@ -79,7 +85,10 @@ std::string RunReport::to_csv() const {
   out += '\n';
   for (const TaskMetrics& t : tasks) {
     out += t.name + ',' + t.kind + ',' + fmt(t.wall_s) + ',' +
-           std::to_string(t.iterations);
+           std::to_string(t.iterations) + ',' +
+           std::to_string(t.spice_factorizations) + ',' +
+           std::to_string(t.spice_pattern_reuses) + ',' +
+           std::to_string(t.spice_newton_iters);
     for (double s : t.phases.seconds) {
       out += ',';
       out += fmt(s);

@@ -6,11 +6,13 @@
 // format).
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/flow.hpp"
 #include "runner/flow_cache.hpp"
+#include "spice/linear.hpp"
 
 namespace taf::runner {
 
@@ -36,6 +38,33 @@ struct TaskMetrics {
   double wall_s = 0.0;
   int iterations = 0;  ///< Algorithm 1 iterations (guardband tasks)
   PhaseTimes phases;
+  /// SPICE linear-solver work performed by this task (see EXPERIMENTS.md):
+  /// numeric factorizations, how many reused a previously analyzed
+  /// sparsity pattern, and total Newton iterations.
+  std::uint64_t spice_factorizations = 0;
+  std::uint64_t spice_pattern_reuses = 0;
+  std::uint64_t spice_newton_iters = 0;
+};
+
+/// RAII capture of the thread-local SPICE solver counters: snapshots at
+/// construction and adds the delta to the task at scope exit. Valid
+/// because a runner task executes on exactly one pool thread.
+class SpiceCounterScope {
+ public:
+  explicit SpiceCounterScope(TaskMetrics& m)
+      : m_(m), before_(spice::thread_counters()) {}
+  ~SpiceCounterScope() {
+    const spice::SolverCounters d = spice::thread_counters() - before_;
+    m_.spice_factorizations += d.factorizations;
+    m_.spice_pattern_reuses += d.pattern_reuses;
+    m_.spice_newton_iters += d.newton_iterations;
+  }
+  SpiceCounterScope(const SpiceCounterScope&) = delete;
+  SpiceCounterScope& operator=(const SpiceCounterScope&) = delete;
+
+ private:
+  TaskMetrics& m_;
+  spice::SolverCounters before_;
 };
 
 /// A full runner report: every task plus process-wide cache statistics.

@@ -1,0 +1,103 @@
+#include "spice/linear.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "spice/sparse.hpp"
+#include "util/log.hpp"
+
+namespace taf::spice {
+
+LinearBackend default_backend() {
+  static const LinearBackend b = [] {
+    if (const char* env = std::getenv("TAF_SPICE_BACKEND")) {
+      if (std::strcmp(env, "dense") == 0) return LinearBackend::Dense;
+      if (std::strcmp(env, "sparse") == 0) return LinearBackend::Sparse;
+      util::log_warn("TAF_SPICE_BACKEND='%s' is not 'dense' or 'sparse'; using sparse",
+                     env);
+    }
+    return LinearBackend::Sparse;
+  }();
+  return b;
+}
+
+const char* backend_name(LinearBackend b) {
+  return b == LinearBackend::Dense ? "dense" : "sparse";
+}
+
+void dense_lu_solve(std::vector<double>& a, std::vector<double>& b, int n) {
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    double best = std::fabs(a[static_cast<size_t>(col) * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a[static_cast<size_t>(r) * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < kPivotFloor) {
+      double& diag = a[static_cast<size_t>(col) * n + col];
+      diag += (diag >= 0.0 ? kPivotNudge : -kPivotNudge);
+      pivot = col;
+    }
+    if (pivot != col) {
+      for (int k = 0; k < n; ++k)
+        std::swap(a[static_cast<size_t>(pivot) * n + k], a[static_cast<size_t>(col) * n + k]);
+      std::swap(b[static_cast<size_t>(pivot)], b[static_cast<size_t>(col)]);
+    }
+    const double diag = a[static_cast<size_t>(col) * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a[static_cast<size_t>(r) * n + col] / diag;
+      if (f == 0.0) continue;
+      a[static_cast<size_t>(r) * n + col] = 0.0;
+      for (int k = col + 1; k < n; ++k)
+        a[static_cast<size_t>(r) * n + k] -= f * a[static_cast<size_t>(col) * n + k];
+      b[static_cast<size_t>(r)] -= f * b[static_cast<size_t>(col)];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[static_cast<size_t>(r)];
+    for (int k = r + 1; k < n; ++k) sum -= a[static_cast<size_t>(r) * n + k] * b[static_cast<size_t>(k)];
+    b[static_cast<size_t>(r)] = sum / a[static_cast<size_t>(r) * n + r];
+  }
+}
+
+SolverCounters& thread_counters() {
+  thread_local SolverCounters counters;
+  return counters;
+}
+
+namespace {
+
+class DenseSystem final : public LinearSystem {
+ public:
+  explicit DenseSystem(int n) : n_(n), a_(static_cast<size_t>(n) * n) {}
+
+  void begin() override { std::fill(a_.begin(), a_.end(), 0.0); }
+  void add(int i, int j, double v) override {
+    a_[static_cast<size_t>(i) * n_ + j] += v;
+  }
+  void factor_solve(std::vector<double>& rhs) override {
+    work_ = a_;
+    dense_lu_solve(work_, rhs, n_);
+    ++thread_counters().factorizations;
+  }
+  LinearBackend backend() const override { return LinearBackend::Dense; }
+
+ private:
+  int n_;
+  std::vector<double> a_;
+  std::vector<double> work_;
+};
+
+}  // namespace
+
+std::unique_ptr<LinearSystem> make_linear_system(LinearBackend backend, int n,
+                                                 const SparsityPattern& pattern) {
+  if (backend == LinearBackend::Dense) return std::make_unique<DenseSystem>(n);
+  return std::make_unique<SparseSystem>(n, pattern);
+}
+
+}  // namespace taf::spice

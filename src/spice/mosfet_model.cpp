@@ -7,57 +7,97 @@ namespace taf::spice {
 
 namespace {
 
-/// NMOS drain current with vd >= vs handled by the caller. [mA]
+/// NMOS drain current and partial derivatives with vds >= 0 guaranteed by
+/// the caller. [mA]
 ///
 /// Single smooth expression covering subthreshold through saturation: the
 /// overdrive is passed through a soft-plus with a thermal-voltage-scaled
 /// knee, which yields an exponential subthreshold characteristic
 /// (~90 mV/decade at 300 K) and the alpha-power law above threshold, with
 /// continuous derivatives everywhere — a requirement for Newton
-/// convergence on long gate chains.
-double nmos_current(const tech::MosfetParams& p, double w_um, double temp_c, double vds,
-                    double vgs) {
-  if (vds <= 0.0) return 0.0;
-  const double vth = tech::vth_at(p, temp_c);
-  const double mu = tech::mobility_factor(p, temp_c);
-  const double tk = temp_c + 273.15;
-  const double knee = 0.045 * tk / 298.15;  // soft-plus width [V]
+/// convergence on long gate chains. The derivatives are analytic, sharing
+/// every transcendental with the current evaluation, so one call replaces
+/// the four evaluations a forward-difference Jacobian needs.
+struct CoreOp {
+  double id;     ///< drain current [mA]
+  double d_vds;  ///< dI/d(vds)
+  double d_vgs;  ///< dI/d(vgs)
+};
 
-  const double od = vgs - vth;
-  const double x = od / knee;
-  double od_eff;
+CoreOp nmos_core(const MosfetTherm& th, double vds, double vgs) {
+  const double od = vgs - th.vth;
+  const double x = od / th.knee;
+  double od_eff, s;  // s = d(od_eff)/d(vgs)
   if (x > 30.0) {
     od_eff = od;
+    s = 1.0;
   } else if (x < -30.0) {
-    od_eff = knee * std::exp(-30.0);  // floor far below threshold
+    od_eff = th.knee * std::exp(-30.0);  // floor far below threshold
+    s = 0.0;
   } else {
-    od_eff = knee * std::log1p(std::exp(x));
+    const double e = std::exp(x);
+    od_eff = th.knee * std::log1p(e);
+    s = e / (1.0 + e);
   }
 
-  const double idsat = p.k_drive * w_um * mu * std::pow(od_eff, p.alpha);
-  const double vdsat = std::max(0.8 * od_eff, 0.03);
-  if (vds >= vdsat) {
-    return idsat * (1.0 + 0.05 * (vds - vdsat));  // mild channel-length modulation
+  const double idsat = th.k_w_mu * std::pow(od_eff, th.alpha);
+  const double didsat = th.alpha * idsat / od_eff * s;
+  double vdsat = 0.8 * od_eff;
+  double dvdsat = 0.8 * s;
+  if (vdsat < 0.03) {
+    vdsat = 0.03;
+    dvdsat = 0.0;
   }
+  if (vds >= vdsat) {
+    // Saturation with mild channel-length modulation.
+    const double clm = 1.0 + 0.05 * (vds - vdsat);
+    return {idsat * clm, idsat * 0.05, didsat * clm - idsat * 0.05 * dvdsat};
+  }
+  // Smooth triode interpolation id = idsat * r * (2 - r), r = vds/vdsat.
   const double r = vds / vdsat;
-  return idsat * r * (2.0 - r);  // smooth triode interpolation
+  const double dr_dvgs = -(r / vdsat) * dvdsat;
+  return {idsat * r * (2.0 - r), idsat * (2.0 - 2.0 * r) / vdsat,
+          didsat * r * (2.0 - r) + idsat * (2.0 - 2.0 * r) * dr_dvgs};
 }
 
 }  // namespace
 
+MosfetTherm mosfet_therm(const Mosfet& m, const tech::Technology& t, double temp_c) {
+  const tech::MosfetParams& p = t.flavor(m.flavor);
+  MosfetTherm th;
+  th.vth = tech::vth_at(p, temp_c);
+  th.k_w_mu = p.k_drive * m.w_um * tech::mobility_factor(p, temp_c);
+  th.knee = 0.045 * (temp_c + 273.15) / 298.15;
+  th.alpha = p.alpha;
+  th.pmos = m.type == MosType::Pmos;
+  return th;
+}
+
+MosfetOp mosfet_eval(const MosfetTherm& th, double vd, double vg, double vs) {
+  // The device is symmetric: when the nominal drain sits below the source
+  // the roles swap and the current flows the other way. PMOS mirrors the
+  // voltages; the returned sign keeps the convention "positive current
+  // leaves the drain node". The derivative mappings follow by the chain
+  // rule from the argument substitutions.
+  if (!th.pmos) {
+    if (vd >= vs) {
+      const CoreOp c = nmos_core(th, vd - vs, vg - vs);
+      return {c.id, c.d_vds, c.d_vgs, -c.d_vds - c.d_vgs};
+    }
+    const CoreOp c = nmos_core(th, vs - vd, vg - vd);
+    return {-c.id, c.d_vds + c.d_vgs, -c.d_vgs, -c.d_vds};
+  }
+  if (vd <= vs) {
+    const CoreOp c = nmos_core(th, vs - vd, vs - vg);
+    return {-c.id, c.d_vds, c.d_vgs, -c.d_vds - c.d_vgs};
+  }
+  const CoreOp c = nmos_core(th, vd - vs, vd - vg);
+  return {c.id, c.d_vds + c.d_vgs, -c.d_vgs, -c.d_vds};
+}
+
 double mosfet_current_ma(const Mosfet& m, const tech::Technology& t, double temp_c,
                          double vd, double vg, double vs) {
-  const tech::MosfetParams& p = t.flavor(m.flavor);
-  if (m.type == MosType::Nmos) {
-    // The device is symmetric: if vd < vs the roles of drain/source swap
-    // and current flows the other way.
-    if (vd >= vs) return nmos_current(p, m.w_um, temp_c, vd - vs, vg - vs);
-    return -nmos_current(p, m.w_um, temp_c, vs - vd, vg - vd);
-  }
-  // PMOS: mirror voltages; returned sign keeps the convention "positive
-  // current leaves the drain node".
-  if (vd <= vs) return -nmos_current(p, m.w_um, temp_c, vs - vd, vs - vg);
-  return nmos_current(p, m.w_um, temp_c, vd - vs, vd - vg);
+  return mosfet_eval(mosfet_therm(m, t, temp_c), vd, vg, vs).id_ma;
 }
 
 double mosfet_cgate_ff(const Mosfet& m, const tech::Technology& t) {

@@ -12,6 +12,32 @@ namespace taf::spice {
 double mosfet_current_ma(const Mosfet& m, const tech::Technology& t, double temp_c,
                          double vd, double vg, double vs);
 
+/// Temperature-dependent device terms, hoisted out of the Newton loop:
+/// the junction temperature is fixed for a whole solve, so Vth, the
+/// mobility factor and the soft-plus knee are computed once per device
+/// per solve instead of once per model evaluation.
+struct MosfetTherm {
+  double vth = 0.0;       ///< |Vth| at the solve temperature [V]
+  double k_w_mu = 0.0;    ///< k_drive * W * mobility(T) [mA at unit overdrive]
+  double knee = 0.045;    ///< soft-plus width [V]
+  double alpha = 1.3;     ///< velocity-saturation exponent
+  bool pmos = false;
+};
+
+MosfetTherm mosfet_therm(const Mosfet& m, const tech::Technology& t, double temp_c);
+
+/// Drain current and its derivatives w.r.t. the three terminal voltages,
+/// from one model evaluation (shared subexpressions; no numeric
+/// differencing). Sign conventions match mosfet_current_ma.
+struct MosfetOp {
+  double id_ma = 0.0;
+  double did_dvd = 0.0;
+  double did_dvg = 0.0;
+  double did_dvs = 0.0;
+};
+
+MosfetOp mosfet_eval(const MosfetTherm& th, double vd, double vg, double vs);
+
 /// Total gate capacitance of the device [fF].
 double mosfet_cgate_ff(const Mosfet& m, const tech::Technology& t);
 

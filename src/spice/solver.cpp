@@ -4,54 +4,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "spice/linear.hpp"
 #include "spice/mosfet_model.hpp"
+#include "spice/sparse.hpp"
 
 namespace taf::spice {
 
 namespace {
-
-/// Dense linear solve A x = b with partial pivoting. A is n x n row-major.
-/// Overwrites A and b. Near-zero pivots are regularized rather than
-/// rejected: open-loop chains of high-gain stages biased at mid-rail have
-/// determinants that underflow even though a damped Newton step in the
-/// regularized direction still makes progress.
-void lu_solve(std::vector<double>& a, std::vector<double>& b, int n) {
-  for (int col = 0; col < n; ++col) {
-    int pivot = col;
-    double best = std::fabs(a[static_cast<size_t>(col) * n + col]);
-    for (int r = col + 1; r < n; ++r) {
-      const double v = std::fabs(a[static_cast<size_t>(r) * n + col]);
-      if (v > best) {
-        best = v;
-        pivot = r;
-      }
-    }
-    if (best < 1e-12) {
-      double& diag = a[static_cast<size_t>(col) * n + col];
-      diag += (diag >= 0.0 ? 1e-9 : -1e-9);
-      pivot = col;
-    }
-    if (pivot != col) {
-      for (int k = 0; k < n; ++k)
-        std::swap(a[static_cast<size_t>(pivot) * n + k], a[static_cast<size_t>(col) * n + k]);
-      std::swap(b[static_cast<size_t>(pivot)], b[static_cast<size_t>(col)]);
-    }
-    const double diag = a[static_cast<size_t>(col) * n + col];
-    for (int r = col + 1; r < n; ++r) {
-      const double f = a[static_cast<size_t>(r) * n + col] / diag;
-      if (f == 0.0) continue;
-      a[static_cast<size_t>(r) * n + col] = 0.0;
-      for (int k = col + 1; k < n; ++k)
-        a[static_cast<size_t>(r) * n + k] -= f * a[static_cast<size_t>(col) * n + k];
-      b[static_cast<size_t>(r)] -= f * b[static_cast<size_t>(col)];
-    }
-  }
-  for (int r = n - 1; r >= 0; --r) {
-    double sum = b[static_cast<size_t>(r)];
-    for (int k = r + 1; k < n; ++k) sum -= a[static_cast<size_t>(r) * n + k] * b[static_cast<size_t>(k)];
-    b[static_cast<size_t>(r)] = sum / a[static_cast<size_t>(r) * n + r];
-  }
-}
 
 /// Maps circuit nodes to unknown indices (driven nodes and ground excluded).
 struct NodeMap {
@@ -68,45 +27,107 @@ struct NodeMap {
     }
   }
   int count() const { return static_cast<int>(unknown_nodes.size()); }
+  int idx(NodeId node) const { return unknown_index[static_cast<size_t>(node)]; }
+};
+
+/// Jacobian sparsity of the MNA system: fixed by the netlist, independent
+/// of voltages, so it is collected once per solve and handed to the
+/// linear backend (the sparse backend computes its symbolic factorization
+/// from it exactly once). The capacitor entries are always included: the
+/// DC pattern is a subset and extra structural zeros are harmless.
+SparsityPattern mna_pattern(const Circuit& c, const NodeMap& map) {
+  SparsityPattern p;
+  auto couple = [&](NodeId a, NodeId b) {
+    const int ia = map.idx(a), ib = map.idx(b);
+    if (ia >= 0) p.emplace_back(ia, ia);
+    if (ib >= 0) p.emplace_back(ib, ib);
+    if (ia >= 0 && ib >= 0) {
+      p.emplace_back(ia, ib);
+      p.emplace_back(ib, ia);
+    }
+  };
+  for (int i = 0; i < map.count(); ++i) p.emplace_back(i, i);  // gmin
+  for (const Resistor& r : c.resistors()) couple(r.a, r.b);
+  for (const Capacitor& cap : c.capacitors()) couple(cap.a, cap.b);
+  for (const Mosfet& m : c.mosfets()) {
+    const int idr = map.idx(m.drain), igt = map.idx(m.gate), isr = map.idx(m.source);
+    for (const int row : {idr, isr}) {
+      if (row < 0) continue;
+      p.emplace_back(row, row);
+      for (const int col : {idr, igt, isr})
+        if (col >= 0) p.emplace_back(row, col);
+    }
+    if (igt >= 0) p.emplace_back(igt, igt);  // intrinsic gate cap to ground
+  }
+  return p;
+}
+
+/// Everything reusable across the Newton iterations and timesteps of one
+/// solve: the node map, the per-device temperature-dependent model terms,
+/// the companion capacitances, and the factorization backend with its
+/// symbolic analysis.
+struct SolveContext {
+  NodeMap map;
+  std::vector<MosfetTherm> therms;  ///< per mosfet, at opt.temp_c
+  std::vector<double> cg_ff;        ///< per mosfet intrinsic gate cap
+  std::vector<double> cd_ff;        ///< per mosfet junction cap
+  std::unique_ptr<LinearSystem> sys;
+  std::vector<double> rhs;
+
+  SolveContext(const Circuit& c, const tech::Technology& tech, const SolverOptions& opt)
+      : map(c) {
+    therms.reserve(c.mosfets().size());
+    cg_ff.reserve(c.mosfets().size());
+    cd_ff.reserve(c.mosfets().size());
+    for (const Mosfet& m : c.mosfets()) {
+      therms.push_back(mosfet_therm(m, tech, opt.temp_c));
+      cg_ff.push_back(mosfet_cgate_ff(m, tech));
+      cd_ff.push_back(mosfet_cdrain_ff(m, tech));
+    }
+    sys = make_linear_system(opt.backend, map.count(), mna_pattern(c, map));
+    rhs.assign(static_cast<size_t>(map.count()), 0.0);
+  }
 };
 
 /// One Newton solve of the (possibly companion-augmented) nonlinear system.
 /// `v` holds all node voltages and is updated in place for unknown nodes;
 /// driven node entries must be pre-set by the caller.
 ///
-/// cap_g / cap_i: per-capacitor companion conductance [mA/V] and per-node
-/// equivalent current injection. Empty cap_g means a pure DC solve
-/// (capacitors open).
-void newton_solve(const Circuit& c, const tech::Technology& tech, const SolverOptions& opt,
-                  const NodeMap& map, std::vector<double>& v, bool with_caps,
-                  double cap_g_scale, const std::vector<double>& v_prev) {
-  const int n = map.count();
-  if (n == 0) return;
-  std::vector<double> a(static_cast<size_t>(n) * n);
-  std::vector<double> rhs(static_cast<size_t>(n));
+/// cap_g_scale: backward-Euler companion conductance scale 1/dt [1/ps];
+/// with_caps=false means a pure DC solve (capacitors open).
+/// Templated on the concrete system type: SparseSystem is final with
+/// inline begin()/add(), so the default backend's assembly — the hottest
+/// loop in a transient solve — compiles down to direct array updates
+/// instead of ~200 virtual calls per Newton iteration.
+template <class Sys>
+void newton_loop(SolveContext& ctx, Sys& sys, const Circuit& c, const SolverOptions& opt,
+                 std::vector<double>& v, bool with_caps, double cap_g_scale,
+                 const std::vector<double>& v_prev) {
+  const int n = ctx.map.count();
+  std::vector<double>& rhs = ctx.rhs;
 
   for (int iter = 0; iter < opt.max_newton_iters; ++iter) {
-    std::fill(a.begin(), a.end(), 0.0);
+    sys.begin();
     std::fill(rhs.begin(), rhs.end(), 0.0);
 
-    auto idx = [&](NodeId node) { return map.unknown_index[static_cast<size_t>(node)]; };
+    auto idx = [&](NodeId node) { return ctx.map.idx(node); };
     // Stamp conductance g between nodes x and y with current source
     // contributions handled by the residual formulation below. We build
     // J * dv = -f directly: accumulate f (KCL residual, current leaving
-    // node) in rhs with a negative sign, and df/dv in `a`.
+    // node) in rhs with a negative sign, and df/dv in the system matrix.
     auto stamp_g = [&](NodeId x, NodeId y, double g) {
       const int ix = idx(x), iy = idx(y);
       const double ivx = v[static_cast<size_t>(x)], ivy = v[static_cast<size_t>(y)];
       const double i_leaving_x = g * (ivx - ivy);
       if (ix >= 0) {
         rhs[static_cast<size_t>(ix)] -= i_leaving_x;
-        a[static_cast<size_t>(ix) * n + ix] += g;
-        if (iy >= 0) a[static_cast<size_t>(ix) * n + iy] -= g;
+        sys.add(ix, ix, g);
+        if (iy >= 0) sys.add(ix, iy, -g);
       }
       if (iy >= 0) {
         rhs[static_cast<size_t>(iy)] += i_leaving_x;
-        a[static_cast<size_t>(iy) * n + iy] += g;
-        if (ix >= 0) a[static_cast<size_t>(iy) * n + ix] -= g;
+        sys.add(iy, iy, g);
+        if (ix >= 0) sys.add(iy, ix, -g);
       }
     };
     auto stamp_current_into = [&](NodeId x, double i_in) {
@@ -115,7 +136,7 @@ void newton_solve(const Circuit& c, const tech::Technology& tech, const SolverOp
     };
 
     // gmin to ground on every unknown node for convergence.
-    for (NodeId node : map.unknown_nodes) stamp_g(node, kGround, opt.gmin);
+    for (NodeId node : ctx.map.unknown_nodes) stamp_g(node, kGround, opt.gmin);
 
     for (const Resistor& r : c.resistors()) stamp_g(r.a, r.b, 1.0 / r.kohm);
 
@@ -130,9 +151,10 @@ void newton_solve(const Circuit& c, const tech::Technology& tech, const SolverOp
         stamp_current_into(cap.b, -hist);
       }
       // MOSFET intrinsic caps: gate and drain/source junction caps to ground.
-      for (const Mosfet& m : c.mosfets()) {
-        const double cg = mosfet_cgate_ff(m, tech) * cap_g_scale;
-        const double cd = mosfet_cdrain_ff(m, tech) * cap_g_scale;
+      for (std::size_t mi = 0; mi < c.mosfets().size(); ++mi) {
+        const Mosfet& m = c.mosfets()[mi];
+        const double cg = ctx.cg_ff[mi] * cap_g_scale;
+        const double cd = ctx.cd_ff[mi] * cap_g_scale;
         auto self_cap = [&](NodeId node, double g) {
           stamp_g(node, kGround, g);
           stamp_current_into(node, g * v_prev[static_cast<size_t>(node)]);
@@ -143,45 +165,37 @@ void newton_solve(const Circuit& c, const tech::Technology& tech, const SolverOp
       }
     }
 
-    // MOSFETs: nonlinear current source drain->source plus numeric Jacobian.
-    for (const Mosfet& m : c.mosfets()) {
-      const double vd = v[static_cast<size_t>(m.drain)];
-      const double vg = v[static_cast<size_t>(m.gate)];
-      const double vs = v[static_cast<size_t>(m.source)];
-      const double id = mosfet_current_ma(m, tech, opt.temp_c, vd, vg, vs);
-      const double h = 1e-5;
-      const double did_dvd =
-          (mosfet_current_ma(m, tech, opt.temp_c, vd + h, vg, vs) - id) / h;
-      const double did_dvg =
-          (mosfet_current_ma(m, tech, opt.temp_c, vd, vg + h, vs) - id) / h;
-      const double did_dvs =
-          (mosfet_current_ma(m, tech, opt.temp_c, vd, vg, vs + h) - id) / h;
-
+    // MOSFETs: nonlinear current source drain->source plus analytic
+    // Jacobian from a single model evaluation.
+    for (std::size_t mi = 0; mi < c.mosfets().size(); ++mi) {
+      const Mosfet& m = c.mosfets()[mi];
+      const MosfetOp op = mosfet_eval(ctx.therms[mi], v[static_cast<size_t>(m.drain)],
+                                      v[static_cast<size_t>(m.gate)],
+                                      v[static_cast<size_t>(m.source)]);
       const int idr = idx(m.drain), isr = idx(m.source), igt = idx(m.gate);
       // Current `id` leaves the drain node and enters the source node.
       if (idr >= 0) {
-        rhs[static_cast<size_t>(idr)] -= id;
-        a[static_cast<size_t>(idr) * n + idr] += did_dvd;
-        if (igt >= 0) a[static_cast<size_t>(idr) * n + igt] += did_dvg;
-        if (isr >= 0) a[static_cast<size_t>(idr) * n + isr] += did_dvs;
+        rhs[static_cast<size_t>(idr)] -= op.id_ma;
+        sys.add(idr, idr, op.did_dvd);
+        if (igt >= 0) sys.add(idr, igt, op.did_dvg);
+        if (isr >= 0) sys.add(idr, isr, op.did_dvs);
       }
       if (isr >= 0) {
-        rhs[static_cast<size_t>(isr)] += id;
-        a[static_cast<size_t>(isr) * n + isr] -= did_dvs;
-        if (igt >= 0) a[static_cast<size_t>(isr) * n + igt] -= did_dvg;
-        if (idr >= 0) a[static_cast<size_t>(isr) * n + idr] -= did_dvd;
+        rhs[static_cast<size_t>(isr)] += op.id_ma;
+        sys.add(isr, isr, -op.did_dvs);
+        if (igt >= 0) sys.add(isr, igt, -op.did_dvg);
+        if (idr >= 0) sys.add(isr, idr, -op.did_dvd);
       }
     }
 
-    std::vector<double> a_copy = a;
-    std::vector<double> dv = rhs;
-    lu_solve(a_copy, dv, n);
+    sys.factor_solve(rhs);
+    ++thread_counters().newton_iterations;
 
     double max_dv = 0.0;
     for (int i = 0; i < n; ++i) {
-      double step = dv[static_cast<size_t>(i)];
+      double step = rhs[static_cast<size_t>(i)];
       step = std::clamp(step, -0.3, 0.3);  // damped Newton
-      v[static_cast<size_t>(map.unknown_nodes[static_cast<size_t>(i)])] += step;
+      v[static_cast<size_t>(ctx.map.unknown_nodes[static_cast<size_t>(i)])] += step;
       max_dv = std::max(max_dv, std::fabs(step));
     }
     if (max_dv < opt.v_tol) return;
@@ -189,15 +203,27 @@ void newton_solve(const Circuit& c, const tech::Technology& tech, const SolverOp
   throw std::runtime_error("spice: Newton iteration did not converge");
 }
 
+/// One Newton solve; dispatches to the statically-typed loop for the
+/// sparse backend and to the virtual interface otherwise.
+void newton_solve(SolveContext& ctx, const Circuit& c, const SolverOptions& opt,
+                  std::vector<double>& v, bool with_caps, double cap_g_scale,
+                  const std::vector<double>& v_prev) {
+  if (ctx.map.count() == 0) return;
+  if (auto* sp = dynamic_cast<SparseSystem*>(ctx.sys.get())) {
+    newton_loop(ctx, *sp, c, opt, v, with_caps, cap_g_scale, v_prev);
+  } else {
+    newton_loop(ctx, *ctx.sys, c, opt, v, with_caps, cap_g_scale, v_prev);
+  }
+}
+
 /// Nonlinear Gauss-Seidel relaxation: solve each node's KCL alone by
 /// bisection with the other nodes frozen. Logic levels propagate down
 /// gate chains in one pass per stage, giving Newton an initial point near
 /// the operating point instead of the degenerate all-mid-rail bias.
-void gauss_seidel_init(const Circuit& c, const tech::Technology& tech,
-                       const SolverOptions& opt, const NodeMap& map,
-                       std::vector<double>& v) {
+void gauss_seidel_init(const Circuit& c, const SolveContext& ctx,
+                       const SolverOptions& opt, double vdd, std::vector<double>& v) {
   const double v_lo = -0.2;
-  const double v_hi = tech.vdd + 0.4;
+  const double v_hi = vdd + 0.4;
 
   auto kcl = [&](NodeId node, double vn) {
     const double saved = v[static_cast<size_t>(node)];
@@ -207,11 +233,13 @@ void gauss_seidel_init(const Circuit& c, const tech::Technology& tech,
       if (r.a == node) i_leaving += (vn - v[static_cast<size_t>(r.b)]) / r.kohm;
       if (r.b == node) i_leaving += (vn - v[static_cast<size_t>(r.a)]) / r.kohm;
     }
-    for (const Mosfet& m : c.mosfets()) {
+    for (std::size_t mi = 0; mi < c.mosfets().size(); ++mi) {
+      const Mosfet& m = c.mosfets()[mi];
       if (m.drain != node && m.source != node) continue;
-      const double id = mosfet_current_ma(m, tech, opt.temp_c, v[static_cast<size_t>(m.drain)],
-                                          v[static_cast<size_t>(m.gate)],
-                                          v[static_cast<size_t>(m.source)]);
+      const double id = mosfet_eval(ctx.therms[mi], v[static_cast<size_t>(m.drain)],
+                                    v[static_cast<size_t>(m.gate)],
+                                    v[static_cast<size_t>(m.source)])
+                            .id_ma;
       if (m.drain == node) i_leaving += id;
       if (m.source == node) i_leaving -= id;
     }
@@ -219,10 +247,10 @@ void gauss_seidel_init(const Circuit& c, const tech::Technology& tech,
     return i_leaving;
   };
 
-  const int passes = std::min(map.count() + 2, 60);
+  const int passes = std::min(ctx.map.count() + 2, 60);
   for (int pass = 0; pass < passes; ++pass) {
     double max_change = 0.0;
-    for (NodeId node : map.unknown_nodes) {
+    for (NodeId node : ctx.map.unknown_nodes) {
       // KCL is monotonically increasing in the node voltage (gmin plus
       // device output conductances), so bisection is safe.
       double lo = v_lo, hi = v_hi;
@@ -239,47 +267,56 @@ void gauss_seidel_init(const Circuit& c, const tech::Technology& tech,
   }
 }
 
-}  // namespace
-
-std::vector<double> solve_dc(const Circuit& c, const tech::Technology& tech,
-                             const SolverOptions& opt) {
-  NodeMap map(c);
+/// DC operating point into an existing context (shared with the transient
+/// entry so the symbolic factorization is computed once per circuit).
+std::vector<double> solve_dc_with(SolveContext& ctx, const Circuit& c,
+                                  const tech::Technology& tech,
+                                  const SolverOptions& opt) {
   std::vector<double> v(static_cast<size_t>(c.num_nodes()), 0.0);
   for (NodeId node = 0; node < c.num_nodes(); ++node) {
     if (c.is_driven(node)) v[static_cast<size_t>(node)] = c.drives()[static_cast<size_t>(node)](0.0);
   }
   // Start unknown nodes at half supply, relax toward logic levels, then
   // polish with full Newton.
-  for (NodeId node : map.unknown_nodes) v[static_cast<size_t>(node)] = 0.5 * tech.vdd;
-  gauss_seidel_init(c, tech, opt, map, v);
+  for (NodeId node : ctx.map.unknown_nodes) v[static_cast<size_t>(node)] = 0.5 * tech.vdd;
+  gauss_seidel_init(c, ctx, opt, tech.vdd, v);
   std::vector<double> dummy;
-  newton_solve(c, tech, opt, map, v, /*with_caps=*/false, 0.0, dummy);
+  newton_solve(ctx, c, opt, v, /*with_caps=*/false, 0.0, dummy);
   return v;
+}
+
+}  // namespace
+
+std::vector<double> solve_dc(const Circuit& c, const tech::Technology& tech,
+                             const SolverOptions& opt) {
+  SolveContext ctx(c, tech, opt);
+  return solve_dc_with(ctx, c, tech, opt);
 }
 
 TransientResult solve_transient(const Circuit& c, const tech::Technology& tech,
                                 const SolverOptions& opt, double t_stop_ps) {
   assert(opt.dt_ps > 0.0);
-  NodeMap map(c);
-  std::vector<double> v = solve_dc(c, tech, opt);
+  SolveContext ctx(c, tech, opt);
+  std::vector<double> v = solve_dc_with(ctx, c, tech, opt);
 
   TransientResult result;
   const auto n_nodes = static_cast<size_t>(c.num_nodes());
   result.waveforms.assign(n_nodes, {});
 
   const double cap_g_scale = 1.0 / opt.dt_ps;  // fF/ps = mA/V
+  std::vector<double> v_prev(n_nodes);
   double t = 0.0;
   while (t <= t_stop_ps + 1e-9) {
     result.time_ps.push_back(t);
     for (size_t i = 0; i < n_nodes; ++i) result.waveforms[i].push_back(v[i]);
 
     const double t_next = t + opt.dt_ps;
-    std::vector<double> v_prev = v;
+    v_prev = v;
     for (NodeId node = 0; node < c.num_nodes(); ++node) {
       if (c.is_driven(node))
         v[static_cast<size_t>(node)] = c.drives()[static_cast<size_t>(node)](t_next);
     }
-    newton_solve(c, tech, opt, map, v, /*with_caps=*/true, cap_g_scale, v_prev);
+    newton_solve(ctx, c, opt, v, /*with_caps=*/true, cap_g_scale, v_prev);
     t = t_next;
   }
   return result;

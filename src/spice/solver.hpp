@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/linear.hpp"
 #include "tech/technology.hpp"
 
 namespace taf::spice {
@@ -14,6 +15,9 @@ struct SolverOptions {
   int max_newton_iters = 120;
   double v_tol = 1e-5;           ///< Newton convergence tolerance [V]
   double dt_ps = 2.0;            ///< transient timestep
+  /// Linear solver backend; defaults from TAF_SPICE_BACKEND (sparse
+  /// when unset). See linear.hpp.
+  LinearBackend backend = default_backend();
 };
 
 struct TransientResult {

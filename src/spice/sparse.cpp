@@ -1,0 +1,244 @@
+#include "spice/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace taf::spice {
+
+CsrMatrix CsrMatrix::from_entries(int n, const SparsityPattern& entries) {
+  std::vector<std::vector<int>> rows(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) rows[static_cast<size_t>(i)].push_back(i);  // diagonal
+  for (const auto& [i, j] : entries) {
+    assert(i >= 0 && i < n && j >= 0 && j < n);
+    rows[static_cast<size_t>(i)].push_back(j);
+  }
+  CsrMatrix m;
+  m.n = n;
+  m.row_ptr.assign(static_cast<size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    auto& r = rows[static_cast<size_t>(i)];
+    std::sort(r.begin(), r.end());
+    r.erase(std::unique(r.begin(), r.end()), r.end());
+    m.row_ptr[static_cast<size_t>(i) + 1] =
+        m.row_ptr[static_cast<size_t>(i)] + static_cast<int>(r.size());
+    m.col.insert(m.col.end(), r.begin(), r.end());
+  }
+  m.val.assign(m.col.size(), 0.0);
+  return m;
+}
+
+void CsrMatrix::multiply(const std::vector<double>& x, std::vector<double>& y) const {
+  y.assign(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int k = row_ptr[static_cast<size_t>(i)]; k < row_ptr[static_cast<size_t>(i) + 1]; ++k)
+      acc += val[static_cast<size_t>(k)] * x[static_cast<size_t>(col[static_cast<size_t>(k)])];
+    y[static_cast<size_t>(i)] = acc;
+  }
+}
+
+int CsrMatrix::slot(int i, int j) const {
+  const auto lo = col.begin() + row_ptr[static_cast<size_t>(i)];
+  const auto hi = col.begin() + row_ptr[static_cast<size_t>(i) + 1];
+  const auto it = std::lower_bound(lo, hi, j);
+  if (it == hi || *it != j) return -1;
+  return static_cast<int>(it - col.begin());
+}
+
+namespace {
+
+/// Greedy minimum-degree ordering on the symmetrized pattern (Markowitz
+/// criterion for a structurally symmetric matrix). Classic elimination
+/// graph: remove the minimum-degree vertex, clique its neighbourhood.
+std::vector<int> min_degree_order(const CsrMatrix& a) {
+  const int n = a.n;
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int k = a.row_ptr[static_cast<size_t>(i)]; k < a.row_ptr[static_cast<size_t>(i) + 1]; ++k) {
+      const int j = a.col[static_cast<size_t>(k)];
+      if (j == i) continue;
+      adj[static_cast<size_t>(i)].push_back(j);
+      adj[static_cast<size_t>(j)].push_back(i);
+    }
+  }
+  for (auto& v : adj) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  std::vector<char> eliminated(static_cast<size_t>(n), 0);
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n));
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    std::size_t best_deg = 0;
+    for (int i = 0; i < n; ++i) {
+      if (eliminated[static_cast<size_t>(i)]) continue;
+      const std::size_t deg = adj[static_cast<size_t>(i)].size();
+      if (best < 0 || deg < best_deg) {
+        best = i;
+        best_deg = deg;
+      }
+    }
+    eliminated[static_cast<size_t>(best)] = 1;
+    order.push_back(best);
+    // Clique the live neighbourhood of `best`.
+    std::vector<int> live;
+    for (int nb : adj[static_cast<size_t>(best)])
+      if (!eliminated[static_cast<size_t>(nb)]) live.push_back(nb);
+    for (int nb : live) {
+      auto& a_nb = adj[static_cast<size_t>(nb)];
+      a_nb.insert(a_nb.end(), live.begin(), live.end());
+      std::sort(a_nb.begin(), a_nb.end());
+      a_nb.erase(std::unique(a_nb.begin(), a_nb.end()), a_nb.end());
+      a_nb.erase(std::remove_if(a_nb.begin(), a_nb.end(),
+                                [&](int x) {
+                                  return x == nb || eliminated[static_cast<size_t>(x)];
+                                }),
+                 a_nb.end());
+    }
+    adj[static_cast<size_t>(best)].clear();
+    adj[static_cast<size_t>(best)].shrink_to_fit();
+  }
+  return order;
+}
+
+}  // namespace
+
+void SparseLu::analyze(const CsrMatrix& a) {
+  n_ = a.n;
+  perm_ = min_degree_order(a);
+  inv_perm_.assign(static_cast<size_t>(n_), 0);
+  for (int k = 0; k < n_; ++k) inv_perm_[static_cast<size_t>(perm_[static_cast<size_t>(k)])] = k;
+
+  l_ptr_.assign(1, 0);
+  u_ptr_.assign(1, 0);
+  l_col_.clear();
+  u_col_.clear();
+
+  // Up-looking symbolic factorization: the pattern of row k of L+U is the
+  // reach of row k of B = P A P^T through the U rows already computed.
+  std::vector<char> in_row(static_cast<size_t>(n_), 0);
+  std::vector<int> members;
+  for (int k = 0; k < n_; ++k) {
+    members.clear();
+    std::priority_queue<int, std::vector<int>, std::greater<int>> todo;
+    const int orig = perm_[static_cast<size_t>(k)];
+    auto insert = [&](int c) {
+      if (in_row[static_cast<size_t>(c)]) return;
+      in_row[static_cast<size_t>(c)] = 1;
+      members.push_back(c);
+      if (c < k) todo.push(c);
+    };
+    for (int s = a.row_ptr[static_cast<size_t>(orig)]; s < a.row_ptr[static_cast<size_t>(orig) + 1]; ++s)
+      insert(inv_perm_[static_cast<size_t>(a.col[static_cast<size_t>(s)])]);
+    insert(k);  // pivot slot always exists
+    while (!todo.empty()) {
+      const int j = todo.top();
+      todo.pop();
+      // Fill: eliminating with U row j touches its columns beyond the diag.
+      for (int s = u_ptr_[static_cast<size_t>(j)] + 1; s < u_ptr_[static_cast<size_t>(j) + 1]; ++s)
+        insert(u_col_[static_cast<size_t>(s)]);
+    }
+    std::sort(members.begin(), members.end());
+    for (int c : members) {
+      in_row[static_cast<size_t>(c)] = 0;
+      (c < k ? l_col_ : u_col_).push_back(c);
+    }
+    l_ptr_.push_back(static_cast<int>(l_col_.size()));
+    u_ptr_.push_back(static_cast<int>(u_col_.size()));
+  }
+  l_val_.assign(l_col_.size(), 0.0);
+  u_val_.assign(u_col_.size(), 0.0);
+  work_.assign(static_cast<size_t>(n_), 0.0);
+  y_.assign(static_cast<size_t>(n_), 0.0);
+  ++thread_counters().symbolic_analyses;
+}
+
+void SparseLu::factor(const CsrMatrix& a) {
+  assert(a.n == n_ && "factor() pattern must match analyze()");
+  for (int k = 0; k < n_; ++k) {
+    // Scatter B row k into the dense work row (pattern entries only).
+    const int orig = perm_[static_cast<size_t>(k)];
+    for (int s = a.row_ptr[static_cast<size_t>(orig)]; s < a.row_ptr[static_cast<size_t>(orig) + 1]; ++s)
+      work_[static_cast<size_t>(inv_perm_[static_cast<size_t>(a.col[static_cast<size_t>(s)])])] =
+          a.val[static_cast<size_t>(s)];
+
+    // Eliminate through the earlier pivots this row reaches (ascending).
+    for (int s = l_ptr_[static_cast<size_t>(k)]; s < l_ptr_[static_cast<size_t>(k) + 1]; ++s) {
+      const int j = l_col_[static_cast<size_t>(s)];
+      const double lkj = work_[static_cast<size_t>(j)] / u_val_[static_cast<size_t>(u_ptr_[static_cast<size_t>(j)])];
+      l_val_[static_cast<size_t>(s)] = lkj;
+      if (lkj != 0.0) {
+        for (int t = u_ptr_[static_cast<size_t>(j)] + 1; t < u_ptr_[static_cast<size_t>(j) + 1]; ++t)
+          work_[static_cast<size_t>(u_col_[static_cast<size_t>(t)])] -=
+              lkj * u_val_[static_cast<size_t>(t)];
+      }
+      work_[static_cast<size_t>(j)] = 0.0;
+    }
+
+    // Gather U row k; regularize a vanishing pivot (same contract as the
+    // dense path: nudge by +/-kPivotNudge instead of failing).
+    const int u_begin = u_ptr_[static_cast<size_t>(k)];
+    double pivot = work_[static_cast<size_t>(k)];
+    if (std::fabs(pivot) < kPivotFloor) pivot += (pivot >= 0.0 ? kPivotNudge : -kPivotNudge);
+    u_val_[static_cast<size_t>(u_begin)] = pivot;
+    work_[static_cast<size_t>(k)] = 0.0;
+    for (int s = u_begin + 1; s < u_ptr_[static_cast<size_t>(k) + 1]; ++s) {
+      const int c = u_col_[static_cast<size_t>(s)];
+      u_val_[static_cast<size_t>(s)] = work_[static_cast<size_t>(c)];
+      work_[static_cast<size_t>(c)] = 0.0;
+    }
+  }
+  ++thread_counters().factorizations;
+}
+
+void SparseLu::solve(std::vector<double>& b) const {
+  assert(static_cast<int>(b.size()) == n_);
+  for (int k = 0; k < n_; ++k) y_[static_cast<size_t>(k)] = b[static_cast<size_t>(perm_[static_cast<size_t>(k)])];
+  // Forward: L y' = y (unit diagonal).
+  for (int k = 0; k < n_; ++k) {
+    double acc = y_[static_cast<size_t>(k)];
+    for (int s = l_ptr_[static_cast<size_t>(k)]; s < l_ptr_[static_cast<size_t>(k) + 1]; ++s)
+      acc -= l_val_[static_cast<size_t>(s)] * y_[static_cast<size_t>(l_col_[static_cast<size_t>(s)])];
+    y_[static_cast<size_t>(k)] = acc;
+  }
+  // Backward: U x = y'.
+  for (int k = n_ - 1; k >= 0; --k) {
+    double acc = y_[static_cast<size_t>(k)];
+    const int u_begin = u_ptr_[static_cast<size_t>(k)];
+    for (int s = u_begin + 1; s < u_ptr_[static_cast<size_t>(k) + 1]; ++s)
+      acc -= u_val_[static_cast<size_t>(s)] * y_[static_cast<size_t>(u_col_[static_cast<size_t>(s)])];
+    y_[static_cast<size_t>(k)] = acc / u_val_[static_cast<size_t>(u_begin)];
+  }
+  for (int k = 0; k < n_; ++k) b[static_cast<size_t>(perm_[static_cast<size_t>(k)])] = y_[static_cast<size_t>(k)];
+}
+
+SparseSystem::SparseSystem(int n, const SparsityPattern& pattern)
+    : a_(CsrMatrix::from_entries(n, pattern)),
+      slot_(static_cast<size_t>(n) * static_cast<size_t>(n), -1) {
+  for (int i = 0; i < n; ++i) {
+    for (int k = a_.row_ptr[static_cast<size_t>(i)]; k < a_.row_ptr[static_cast<size_t>(i) + 1]; ++k)
+      slot_[static_cast<size_t>(i) * n + a_.col[static_cast<size_t>(k)]] = k;
+  }
+  lu_.analyze(a_);
+}
+
+void SparseSystem::factor_solve(std::vector<double>& rhs) {
+  lu_.factor(a_);
+  if (factored_once_) ++thread_counters().pattern_reuses;
+  factored_once_ = true;
+  lu_.solve(rhs);
+}
+
+std::vector<double> sparse_lu_solve(const CsrMatrix& a, std::vector<double> b) {
+  SparseLu lu;
+  lu.analyze(a);
+  lu.factor(a);
+  lu.solve(b);
+  return b;
+}
+
+}  // namespace taf::spice

@@ -34,7 +34,21 @@ void ThermalGrid::apply(const std::vector<double>& x, std::vector<double>& y) co
   }
 }
 
-std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w) const {
+double ThermalGrid::cg_tolerance(double rr0) const {
+  // A per-tile residual of g_vert_ * kTempTolK watts maps to a
+  // temperature error of kTempTolK kelvin through the weakest (vertical)
+  // conductance — far below physical significance, but a hard absolute
+  // floor: the previous relative-only criterion (rr0 * 1e-20) made CG
+  // chase rounding noise for the full 4n iterations whenever the power
+  // map was already near zero.
+  constexpr double kTempTolK = 1e-9;
+  const int n = width_ * height_;
+  const double floor_per_tile = g_vert_ * kTempTolK;
+  return std::max(rr0 * 1e-20, n * floor_per_tile * floor_per_tile);
+}
+
+std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w,
+                                       CgStats* stats) const {
   const int n = width_ * height_;
   assert(static_cast<int>(power_w.size()) == n);
 
@@ -51,8 +65,9 @@ std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w) const
   };
 
   double rr = dot(r, r);
-  const double tol = std::max(rr * 1e-20, 1e-30);
-  for (int it = 0; it < 4 * n && rr > tol; ++it) {
+  const double tol = cg_tolerance(rr);
+  int iters = 0;
+  for (; iters < 4 * n && rr > tol; ++iters) {
     apply(p, ap);
     const double alpha = rr / dot(p, ap);
     for (std::size_t i = 0; i < x.size(); ++i) {
@@ -64,13 +79,17 @@ std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w) const
     rr = rr_new;
     for (std::size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
   }
+  if (stats != nullptr) {
+    stats->iterations = iters;
+    stats->residual_norm_w = std::sqrt(rr);
+  }
 
   for (double& t : x) t += config_.ambient_c;
   return x;
 }
 
 void ThermalGrid::step(const std::vector<double>& power_w, double dt_s,
-                       std::vector<double>& temps) const {
+                       std::vector<double>& temps, CgStats* stats) const {
   const int n = width_ * height_;
   assert(static_cast<int>(power_w.size()) == n);
   assert(static_cast<int>(temps.size()) == n);
@@ -103,8 +122,9 @@ void ThermalGrid::step(const std::vector<double>& power_w, double dt_s,
     return s;
   };
   double rr = dot(r, r);
-  const double tol = std::max(rr * 1e-20, 1e-30);
-  for (int it = 0; it < 4 * n && rr > tol; ++it) {
+  const double tol = cg_tolerance(rr);
+  int iters = 0;
+  for (; iters < 4 * n && rr > tol; ++iters) {
     apply_aug(p, ap);
     const double alpha = rr / dot(p, ap);
     for (std::size_t i = 0; i < x.size(); ++i) {
@@ -115,6 +135,10 @@ void ThermalGrid::step(const std::vector<double>& power_w, double dt_s,
     const double beta = rr_new / rr;
     rr = rr_new;
     for (std::size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
+  }
+  if (stats != nullptr) {
+    stats->iterations = iters;
+    stats->residual_norm_w = std::sqrt(rr);
   }
   for (int i = 0; i < n; ++i)
     temps[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)] + config_.ambient_c;

@@ -39,19 +39,26 @@ struct ThermalConfig {
   }
 };
 
+/// Convergence diagnostics of one conjugate-gradient solve.
+struct CgStats {
+  int iterations = 0;
+  double residual_norm_w = 0.0;  ///< ||P - A dT||_2 at termination [W]
+};
+
 class ThermalGrid {
  public:
   ThermalGrid(const arch::FpgaGrid& grid, ThermalConfig config);
 
   /// Steady-state tile temperatures [degC] for the given per-tile power
   /// map [W]. power.size() must equal the grid tile count.
-  std::vector<double> solve(const std::vector<double>& power_w) const;
+  std::vector<double> solve(const std::vector<double>& power_w,
+                            CgStats* stats = nullptr) const;
 
   /// Transient step: advance the temperature field by dt under constant
   /// power (backward Euler on C dT/dt + A (T - Tamb) = P). `temps` is
   /// updated in place. Used to study warm-up after a frequency change.
   void step(const std::vector<double>& power_w, double dt_s,
-            std::vector<double>& temps) const;
+            std::vector<double>& temps, CgStats* stats = nullptr) const;
 
   /// Thermal time constant of one tile [s] (C_tile / G_vertical-ish),
   /// useful to pick transient step sizes.
@@ -69,9 +76,21 @@ class ThermalGrid {
   static std::string ascii_heatmap(const std::vector<double>& temps, int width,
                                    int height);
 
- private:
-  /// y = A x where A is the conductance matrix.
+  /// y = A x where A is the conductance matrix. Public so tests can
+  /// cross-check the matrix-free operator against an explicitly
+  /// assembled sparse matrix.
   void apply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  double lateral_g() const { return g_lat_; }
+  double vertical_g() const { return g_vert_; }
+
+ private:
+  /// Squared-residual CG termination threshold: relative to the initial
+  /// residual, with an absolute floor at the residual a per-tile
+  /// temperature error of kTempTolK would produce through the vertical
+  /// conductance — without it a near-zero power map (early Algorithm 1
+  /// iterations, idle regions) grinds through 4n iterations of noise.
+  double cg_tolerance(double rr0) const;
 
   int width_;
   int height_;

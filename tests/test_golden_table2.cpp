@@ -1,0 +1,153 @@
+// Golden regression for the characterized Table II: the per-resource
+// area, dynamic power, and delay/leakage values at the five temperature
+// corners are snapshotted in tests/golden/table2.json and must reproduce
+// within 0.5%. This pins the full characterization pipeline (sizing,
+// calibration scales, Elmore sweep, fits) against silent drift.
+//
+// Regenerate the snapshot after an intentional model change with:
+//   TAF_UPDATE_GOLDEN=1 ./test_golden_table2
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coffe/device_model.hpp"
+
+#ifndef TAF_GOLDEN_DIR
+#error "TAF_GOLDEN_DIR must point at the tests/golden source directory"
+#endif
+
+namespace {
+
+using namespace taf;
+
+const double kCorners[] = {0.0, 25.0, 45.0, 70.0, 100.0};
+constexpr double kRelTol = 0.005;  // 0.5%
+
+std::string golden_path() { return std::string(TAF_GOLDEN_DIR) + "/table2.json"; }
+
+/// Flat view of the snapshot: "<resource>.<field>[<index>]" -> value.
+using FlatGolden = std::map<std::string, double>;
+
+FlatGolden flatten(const coffe::DeviceModel& dev) {
+  FlatGolden flat;
+  for (coffe::ResourceKind k : coffe::all_resource_kinds()) {
+    const std::string base = coffe::resource_name(k);
+    const coffe::ResourceChar& rc = dev.at(k);
+    flat[base + ".area_um2"] = rc.area_um2;
+    flat[base + ".pdyn_uw_100mhz"] = rc.pdyn_uw_100mhz;
+    for (std::size_t i = 0; i < std::size(kCorners); ++i) {
+      flat[base + ".delay_ps[" + std::to_string(i) + "]"] = dev.delay_ps(k, kCorners[i]);
+      flat[base + ".plkg_uw[" + std::to_string(i) + "]"] = dev.leakage_uw(k, kCorners[i]);
+    }
+  }
+  return flat;
+}
+
+void write_golden(const coffe::DeviceModel& dev) {
+  std::ofstream out(golden_path());
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+  out.precision(12);
+  out << "{\n  \"t_opt_c\": " << dev.t_opt_c << ",\n  \"corners_c\": [";
+  for (std::size_t i = 0; i < std::size(kCorners); ++i)
+    out << (i ? ", " : "") << kCorners[i];
+  out << "],\n  \"resources\": {\n";
+  const auto kinds = coffe::all_resource_kinds();
+  for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+    const coffe::ResourceKind k = kinds[ki];
+    const coffe::ResourceChar& rc = dev.at(k);
+    out << "    \"" << coffe::resource_name(k) << "\": {\n";
+    out << "      \"area_um2\": " << rc.area_um2 << ",\n";
+    out << "      \"pdyn_uw_100mhz\": " << rc.pdyn_uw_100mhz << ",\n";
+    out << "      \"delay_ps\": [";
+    for (std::size_t i = 0; i < std::size(kCorners); ++i)
+      out << (i ? ", " : "") << dev.delay_ps(k, kCorners[i]);
+    out << "],\n      \"plkg_uw\": [";
+    for (std::size_t i = 0; i < std::size(kCorners); ++i)
+      out << (i ? ", " : "") << dev.leakage_uw(k, kCorners[i]);
+    out << "]\n    }" << (ki + 1 < kinds.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+}
+
+/// Minimal JSON reader for the snapshot's fixed shape: walks the
+/// "resources" object and flattens scalar and array number fields.
+void read_golden(FlatGolden& flat) {
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (regenerate with TAF_UPDATE_GOLDEN=1)";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  // Tokenize: strings, numbers, punctuation.
+  std::size_t pos = text.find("\"resources\"");
+  ASSERT_NE(pos, std::string::npos) << "malformed golden file";
+  std::string resource, field;
+  int depth = 0;       // object depth below "resources"
+  int array_idx = -1;  // inside an array when >= 0
+  while (pos < text.size()) {
+    const char ch = text[pos];
+    if (ch == '"') {
+      const std::size_t end = text.find('"', pos + 1);
+      ASSERT_NE(end, std::string::npos);
+      const std::string name = text.substr(pos + 1, end - pos - 1);
+      if (depth == 1) resource = name;
+      if (depth == 2) field = name;
+      pos = end + 1;
+      continue;
+    }
+    if (ch == '{') ++depth;
+    if (ch == '}') {
+      if (--depth == 0) break;  // end of "resources"
+    }
+    if (ch == '[') array_idx = 0;
+    if (ch == ']') array_idx = -1;
+    if (ch == '-' || std::isdigit(static_cast<unsigned char>(ch))) {
+      std::size_t used = 0;
+      const double v = std::stod(text.substr(pos), &used);
+      std::string key = resource + "." + field;
+      if (array_idx >= 0) {
+        key += "[" + std::to_string(array_idx) + "]";
+        ++array_idx;
+      }
+      flat[key] = v;
+      pos += used;
+      continue;
+    }
+    ++pos;
+  }
+}
+
+TEST(GoldenTable2, CharacterizationReproducesSnapshot) {
+  const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
+  const coffe::DeviceModel dev = ch.characterize(25.0);
+  const FlatGolden actual = flatten(dev);
+
+  if (std::getenv("TAF_UPDATE_GOLDEN")) {
+    write_golden(dev);
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+
+  FlatGolden expected;
+  read_golden(expected);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  for (const auto& [key, want] : actual) {
+    const auto it = expected.find(key);
+    ASSERT_NE(it, expected.end()) << "golden file lacks " << key
+                                  << " (regenerate with TAF_UPDATE_GOLDEN=1)";
+    const double got = it->second;
+    EXPECT_NEAR(want, got, kRelTol * std::max(std::fabs(got), 1e-12))
+        << key << " drifted: golden=" << got << " current=" << want;
+  }
+  EXPECT_EQ(actual.size(), expected.size()) << "golden file has stale extra entries";
+}
+
+}  // namespace

@@ -3,7 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
+#include <vector>
+
 #include "core/flow.hpp"
+#include "spice/linear.hpp"
+#include "spice/sparse.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -103,6 +110,131 @@ TEST(Property, GuardbandGainShrinksMonotonicallyWithAmbient) {
     EXPECT_GE(g, -1e-9);
     prev_gain = g;
   }
+}
+
+// --- Sparse vs dense linear solver equivalence -----------------------------
+
+/// Random entry list + values; returns (pattern, dense row-major matrix).
+/// Every row gets a diagonal entry; `dominant` makes the matrix strictly
+/// diagonally dominant (well-conditioned by construction).
+std::pair<spice::SparsityPattern, std::vector<double>> random_system(
+    util::Rng& rng, int n, double density, bool dominant) {
+  spice::SparsityPattern pattern;
+  std::vector<double> dense(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && rng.next_double() >= density) continue;
+      pattern.emplace_back(i, j);
+      if (i != j) dense[static_cast<std::size_t>(i) * n + j] = rng.uniform(-1.0, 1.0);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (int j = 0; j < n; ++j)
+      if (j != i) off += std::fabs(dense[static_cast<std::size_t>(i) * n + j]);
+    dense[static_cast<std::size_t>(i) * n + i] =
+        dominant ? off + rng.uniform(0.5, 2.0) : rng.uniform(-1.0, 1.0);
+  }
+  return {std::move(pattern), std::move(dense)};
+}
+
+spice::CsrMatrix to_csr(int n, const spice::SparsityPattern& pattern,
+                        const std::vector<double>& dense) {
+  spice::CsrMatrix csr = spice::CsrMatrix::from_entries(n, pattern);
+  for (int i = 0; i < n; ++i)
+    for (int k = csr.row_ptr[static_cast<std::size_t>(i)];
+         k < csr.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      csr.val[static_cast<std::size_t>(k)] =
+          dense[static_cast<std::size_t>(i) * n + csr.col[static_cast<std::size_t>(k)]];
+  return csr;
+}
+
+TEST(Property, SparseLuMatchesDenseOnRandomDominantSystems) {
+  util::Rng rng(0xd1a60u);  // fixed seed: reproducible sequence
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(39));
+    const double density = rng.uniform(0.05, 0.5);
+    const auto [pattern, dense] = random_system(rng, n, density, /*dominant=*/true);
+    const spice::CsrMatrix csr = to_csr(n, pattern, dense);
+
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (double& x : b) x = rng.uniform(-2.0, 2.0);
+
+    std::vector<double> a_copy = dense;
+    std::vector<double> x_dense = b;
+    spice::dense_lu_solve(a_copy, x_dense, n);
+    const std::vector<double> x_sparse = spice::sparse_lu_solve(csr, b);
+
+    for (int i = 0; i < n; ++i)
+      ASSERT_NEAR(x_dense[static_cast<std::size_t>(i)], x_sparse[static_cast<std::size_t>(i)], 1e-9)
+          << "trial " << trial << " n=" << n << " i=" << i;
+
+    // Both must actually solve the system, not merely agree.
+    std::vector<double> ax;
+    csr.multiply(x_sparse, ax);
+    for (int i = 0; i < n; ++i)
+      ASSERT_NEAR(ax[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-8);
+  }
+}
+
+TEST(Property, SparseLuMatchesDenseThroughRegularizedPivots) {
+  // Structurally decoupled rows with vanishing diagonals hit the
+  // near-zero-pivot branch: both backends nudge the pivot by the same
+  // +/-kPivotNudge, so even the regularized (non-)solutions must agree.
+  util::Rng rng(0x5e6u);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(10));
+    spice::SparsityPattern pattern;
+    std::vector<double> dense(static_cast<std::size_t>(n) * n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      pattern.emplace_back(i, i);
+      const int kind = static_cast<int>(rng.next_below(3));
+      double d = rng.uniform(0.5, 2.0);        // healthy
+      if (kind == 1) d = 0.0;                  // exactly singular row
+      if (kind == 2) d = rng.uniform(-1.0, 1.0) * 1e-13;  // below kPivotFloor
+      dense[static_cast<std::size_t>(i) * n + i] = d;
+    }
+    const spice::CsrMatrix csr = to_csr(n, pattern, dense);
+
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (double& x : b) x = rng.uniform(-1.0, 1.0);
+
+    std::vector<double> a_copy = dense;
+    std::vector<double> x_dense = b;
+    spice::dense_lu_solve(a_copy, x_dense, n);
+    const std::vector<double> x_sparse = spice::sparse_lu_solve(csr, b);
+
+    for (int i = 0; i < n; ++i) {
+      const double xd = x_dense[static_cast<std::size_t>(i)];
+      const double xs = x_sparse[static_cast<std::size_t>(i)];
+      // Regularized components are ~b/1e-9; compare relatively there.
+      ASSERT_NEAR(xd, xs, 1e-9 * std::max(1.0, std::fabs(xd)))
+          << "trial " << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(Property, SparseBackendReusesOneSymbolicAnalysis) {
+  // The static-pattern contract: one analyze() per system, numeric
+  // refactors for every subsequent solve.
+  util::Rng rng(0xabcdu);
+  const int n = 12;
+  const auto [pattern, dense] = random_system(rng, n, 0.3, /*dominant=*/true);
+  const auto before = spice::thread_counters();
+  spice::SparseSystem sys(n, pattern);
+  for (int round = 0; round < 5; ++round) {
+    sys.begin();
+    for (const auto& [i, j] : pattern)
+      sys.add(i, j, dense[static_cast<std::size_t>(i) * n + j]);
+    for (int i = 0; i < n; ++i)
+      sys.add(i, i, 0.5 + round);  // values change, pattern does not
+    std::vector<double> rhs(static_cast<std::size_t>(n), 1.0);
+    sys.factor_solve(rhs);
+  }
+  const auto delta = spice::thread_counters() - before;
+  EXPECT_EQ(delta.symbolic_analyses, 1u);
+  EXPECT_EQ(delta.factorizations, 5u);
+  EXPECT_EQ(delta.pattern_reuses, 4u);
 }
 
 TEST(Property, HotterDeviceLeaksMoreEverywhere) {

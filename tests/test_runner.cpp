@@ -236,6 +236,9 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   m.kind = "guardband";
   m.wall_s = 0.25;
   m.iterations = 3;
+  m.spice_factorizations = 120;
+  m.spice_pattern_reuses = 118;
+  m.spice_newton_iters = 120;
   m.phases.add(core::FlowPhase::Thermal, 0.125);
   report.tasks.push_back(m);
 
@@ -243,11 +246,17 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"impl_hits\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"sha@D25/amb70\""), std::string::npos);
+  EXPECT_NE(json.find("\"spice_factorizations\": 120"), std::string::npos);
+  EXPECT_NE(json.find("\"spice_pattern_reuses\": 118"), std::string::npos);
+  EXPECT_NE(json.find("\"spice_newton_iters\": 120"), std::string::npos);
   EXPECT_NE(json.find("\"thermal\":0.125000"), std::string::npos);
 
   const std::string csv = report.to_csv();
-  EXPECT_NE(csv.find("name,kind,wall_s,iterations,pack_s"), std::string::npos);
-  EXPECT_NE(csv.find("sha@D25/amb70,guardband,0.250000,3"), std::string::npos);
+  EXPECT_NE(csv.find("name,kind,wall_s,iterations,spice_factorizations,"
+                     "spice_pattern_reuses,spice_newton_iters,pack_s"),
+            std::string::npos);
+  EXPECT_NE(csv.find("sha@D25/amb70,guardband,0.250000,3,120,118,120"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,111 @@
+// Differential backend tests: every PathSpec circuit the characterization
+// flow simulates (routing muxes, LUT, DSP path) and every standard cell's
+// measurement testbench, at the five temperature corners the paper sweeps,
+// must produce identical results from the dense and sparse linear solvers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/arch_params.hpp"
+#include "coffe/path_eval.hpp"
+#include "coffe/path_spec.hpp"
+#include "coffe/stdcell.hpp"
+#include "diff_harness.hpp"
+#include "tech/technology.hpp"
+
+namespace {
+
+using namespace taf;
+
+const double kCorners[] = {0.0, 25.0, 45.0, 70.0, 100.0};
+
+struct PathCase {
+  coffe::ResourceKind kind;
+  const char* name;
+};
+
+// Every ResourceKind with a SPICE path (BRAM is a dedicated analytic
+// model and never reaches the transient solver).
+const PathCase kPathCases[] = {
+    {coffe::ResourceKind::SbMux, "sb_mux"},
+    {coffe::ResourceKind::CbMux, "cb_mux"},
+    {coffe::ResourceKind::LocalMux, "local_mux"},
+    {coffe::ResourceKind::FeedbackMux, "feedback_mux"},
+    {coffe::ResourceKind::OutputMux, "output_mux"},
+    {coffe::ResourceKind::Lut, "lut"},
+    {coffe::ResourceKind::Dsp, "dsp"},
+};
+
+class PathDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<PathCase, double>> {};
+
+TEST_P(PathDifferentialTest, BackendsAgree) {
+  const auto& [pc, temp_c] = GetParam();
+  const auto arch = arch::scaled_arch();
+  const auto tech = tech::ptm22();
+  const coffe::PathSpec spec = coffe::spec_for(pc.kind, arch);
+  const coffe::PathCircuitProbe probe = coffe::build_path_circuit(spec, tech, temp_c);
+
+  spice::SolverOptions opt;
+  opt.temp_c = temp_c;
+  opt.dt_ps = probe.dt_ps;
+  const std::string label =
+      std::string(pc.name) + " @ " + std::to_string(temp_c) + "C";
+
+  // The full 12 ns characterization horizon is dominated by the settled
+  // tail; the edge and all switching finish well within 6 ns for every
+  // path at every corner, so the harness truncates there to keep the
+  // 70-case sweep fast while still covering every transition.
+  const double t_stop = 6000.0;
+  difftest::DiffResult r;
+  difftest::run_differential(probe.circuit, tech, opt, t_stop, label, r);
+  if (::testing::Test::HasFatalFailure()) return;
+  difftest::expect_delay_match(r, probe.in, probe.out, spec.vdd,
+                               /*in_rising=*/true, probe.out_rising, probe.t_edge_ps,
+                               label);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaths, PathDifferentialTest,
+    ::testing::Combine(::testing::ValuesIn(kPathCases), ::testing::ValuesIn(kCorners)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_" +
+             std::to_string(static_cast<int>(std::get<1>(info.param))) + "C";
+    });
+
+class CellDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CellDifferentialTest, BackendsAgree) {
+  const auto& [cell_index, temp_c] = GetParam();
+  const auto tech = tech::ptm22();
+  const auto type = static_cast<coffe::stdcell::CellType>(cell_index);
+  const coffe::stdcell::CellCircuitProbe probe =
+      coffe::stdcell::build_cell_circuit(tech, type, /*w_um=*/2.0, /*load_ff=*/6.0);
+
+  spice::SolverOptions opt;
+  opt.temp_c = temp_c;
+  opt.dt_ps = probe.dt_ps;
+  const std::string label = std::string(coffe::stdcell::cell_name(type)) + " @ " +
+                            std::to_string(temp_c) + "C";
+
+  difftest::DiffResult r;
+  difftest::run_differential(probe.circuit, tech, opt, probe.t_stop_ps, label, r);
+  if (::testing::Test::HasFatalFailure()) return;
+  difftest::expect_delay_match(r, probe.in, probe.out, tech.vdd,
+                               /*in_rising=*/false, probe.out_rising, probe.t_edge_ps,
+                               label);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, CellDifferentialTest,
+    ::testing::Combine(::testing::Range(0, coffe::stdcell::kNumCellTypes),
+                       ::testing::ValuesIn(kCorners)),
+    [](const auto& info) {
+      return std::string(coffe::stdcell::cell_name(
+                 static_cast<coffe::stdcell::CellType>(std::get<0>(info.param)))) +
+             "_" + std::to_string(static_cast<int>(std::get<1>(info.param))) + "C";
+    });
+
+}  // namespace

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "spice/sparse.hpp"
 #include "thermal/thermal_grid.hpp"
 
 namespace {
@@ -222,6 +223,120 @@ TEST(ThermalTransient, OneByOneGridStepConvergesToSolve) {
   const double tau = g.tile_time_constant_s();
   for (int i = 0; i < 200; ++i) g.step(p, tau, t);
   EXPECT_NEAR(t[0], steady[0], 1e-3);
+}
+
+TEST(Thermal, TwoByOneGridMatchesClosedForm) {
+  // Two tiles: A = [[gv+gl, -gl], [-gl, gv+gl]]. Invert by hand and
+  // compare dT = A^{-1} P component-wise.
+  const ThermalGrid g = make_grid(2, 1, 25.0);
+  const double gl = g.lateral_g();
+  const double gv = g.vertical_g();
+  const double p0 = 0.08, p1 = 0.02;
+  const double det = (gv + gl) * (gv + gl) - gl * gl;
+  const double dt0 = ((gv + gl) * p0 + gl * p1) / det;
+  const double dt1 = (gl * p0 + (gv + gl) * p1) / det;
+  const auto t = g.solve({p0, p1});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_NEAR(t[0], 25.0 + dt0, 1e-9);
+  EXPECT_NEAR(t[1], 25.0 + dt1, 1e-9);
+}
+
+/// Assemble the grid's conductance matrix explicitly as CSR (5-point
+/// stencil) from the public conductances.
+spice::CsrMatrix assemble_thermal_csr(const ThermalGrid& g) {
+  const int w = g.width(), h = g.height();
+  const double gl = g.lateral_g();
+  const double gv = g.vertical_g();
+  spice::SparsityPattern pattern;
+  for (int j = 0; j < h; ++j)
+    for (int i = 0; i < w; ++i) {
+      const int idx = j * w + i;
+      pattern.emplace_back(idx, idx);
+      if (i > 0) pattern.emplace_back(idx, idx - 1);
+      if (i < w - 1) pattern.emplace_back(idx, idx + 1);
+      if (j > 0) pattern.emplace_back(idx, idx - w);
+      if (j < h - 1) pattern.emplace_back(idx, idx + w);
+    }
+  spice::CsrMatrix m = spice::CsrMatrix::from_entries(w * h, pattern);
+  for (int j = 0; j < h; ++j)
+    for (int i = 0; i < w; ++i) {
+      const int idx = j * w + i;
+      int degree = 0;
+      auto lateral = [&](int nb) {
+        m.val[static_cast<size_t>(m.slot(idx, nb))] = -gl;
+        ++degree;
+      };
+      if (i > 0) lateral(idx - 1);
+      if (i < w - 1) lateral(idx + 1);
+      if (j > 0) lateral(idx - w);
+      if (j < h - 1) lateral(idx + w);
+      m.val[static_cast<size_t>(m.slot(idx, idx))] = gv + degree * gl;
+    }
+  return m;
+}
+
+TEST(Thermal, ApplyMatchesAssembledSparseOperator) {
+  // The matrix-free apply() and an independently assembled CSR stencil
+  // must agree on arbitrary vectors.
+  const ThermalGrid g = make_grid(9, 7);
+  const spice::CsrMatrix m = assemble_thermal_csr(g);
+  const int n = 9 * 7;
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) x[static_cast<size_t>(i)] = std::sin(0.7 * i) + 0.3 * i;
+  std::vector<double> y_apply(static_cast<size_t>(n)), y_csr;
+  g.apply(x, y_apply);
+  m.multiply(x, y_csr);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(y_apply[static_cast<size_t>(i)], y_csr[static_cast<size_t>(i)], 1e-15)
+        << "tile " << i;
+}
+
+TEST(Thermal, HotspotResidualOn64x64IsTiny) {
+  // CG on the 64x64 grid must actually satisfy A dT = P, verified
+  // through the independent CSR operator, not CG's own residual.
+  const int w = 64, h = 64, n = w * h;
+  const ThermalGrid g = make_grid(w, h, 25.0);
+  std::vector<double> p(static_cast<size_t>(n), 1e-5);
+  p[static_cast<size_t>(32 * w + 32)] = 0.5;  // hotspot
+  p[static_cast<size_t>(10 * w + 50)] = 0.25;
+  thermal::CgStats stats;
+  const auto t = g.solve(p, &stats);
+
+  const spice::CsrMatrix m = assemble_thermal_csr(g);
+  std::vector<double> dt(static_cast<size_t>(n)), adt;
+  for (int i = 0; i < n; ++i) dt[static_cast<size_t>(i)] = t[static_cast<size_t>(i)] - 25.0;
+  m.multiply(dt, adt);
+  double res2 = 0.0, p2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double r = adt[static_cast<size_t>(i)] - p[static_cast<size_t>(i)];
+    res2 += r * r;
+    p2 += p[static_cast<size_t>(i)] * p[static_cast<size_t>(i)];
+  }
+  EXPECT_LT(std::sqrt(res2), 1e-8 * std::sqrt(p2)) << "CG left a large residual";
+  EXPECT_GT(stats.iterations, 0);
+  EXPECT_LT(stats.iterations, 4 * n) << "CG hit its iteration cap";
+}
+
+TEST(Thermal, NearZeroPowerTerminatesOnAbsoluteFloor) {
+  // Residuals already below the absolute tolerance floor must terminate
+  // immediately instead of iterating on rounding noise (the old
+  // relative-only criterion ran the full 4n iterations here).
+  const ThermalGrid g = make_grid(32, 32, 25.0);
+  std::vector<double> p(32 * 32, 1e-18);
+  thermal::CgStats stats;
+  const auto t = g.solve(p, &stats);
+  EXPECT_EQ(stats.iterations, 0);
+  for (double v : t) EXPECT_NEAR(v, 25.0, 1e-6);
+}
+
+TEST(ThermalTransient, StepReportsConvergence) {
+  const ThermalGrid g = make_grid(8, 8, 25.0);
+  std::vector<double> p(64, 2e-3);
+  std::vector<double> t(64, 25.0);
+  thermal::CgStats stats;
+  g.step(p, g.tile_time_constant_s(), t, &stats);
+  EXPECT_LT(stats.iterations, 4 * 64);
+  EXPECT_LT(stats.residual_norm_w, 1e-6);
 }
 
 TEST(ThermalTransient, SmallStepTracksExponential) {
