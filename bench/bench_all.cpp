@@ -127,6 +127,7 @@ int main(int argc, char** argv) {
       m.name = warm[i].kind + ":" + warm[i].name;
       m.kind = warm[i].kind;
       const runner::SpiceCounterScope spice_scope(m);
+      const runner::FlowCounterScope flow_scope(m);
       util::Stopwatch sw;
       if (warm[i].spec) {
         core::ImplementOptions iopt;
@@ -155,7 +156,10 @@ int main(int argc, char** argv) {
     util::Stopwatch sw;
     int code = 0;
     {
+      // Captures only driver-thread work; sweep cells report their own
+      // counters via bench::collected_sweep_metrics() below.
       const runner::SpiceCounterScope spice_scope(m);
+      const runner::FlowCounterScope flow_scope(m);
       code = experiments[i].fn();
     }
     m.wall_s = sw.seconds();
@@ -169,6 +173,34 @@ int main(int argc, char** argv) {
 
   report.wall_s = total.seconds();
   report.cache = runner::FlowCache::global().stats();
+
+  // Fold in the per-cell sweep metrics (guardband work happens on pool
+  // threads) and summarize the incremental engine's work.
+  {
+    const std::lock_guard<std::mutex> lock(bench::sweep_metrics_mutex());
+    const auto& cells = bench::collected_sweep_metrics();
+    unsigned long long edges = 0, hits = 0, cg = 0, nonconv = 0;
+    for (const auto& m : cells) {
+      edges += m.sta_edges_reevaluated;
+      hits += m.sta_delay_cache_hits;
+      cg += m.thermal_cg_iters;
+      nonconv += m.guardband_nonconverged;
+    }
+    std::fprintf(stderr,
+                 "[bench_all] guardband (%s incremental): %zu sweep cells, "
+                 "%llu edges re-evaluated, %llu delay-cache hits, %llu CG iters, "
+                 "%llu non-converged\n",
+                 core::incremental_mode_name(core::default_incremental_mode()),
+                 cells.size(), edges, hits, cg, nonconv);
+    if (nonconv > 0) {
+      std::fprintf(stderr,
+                   "[bench_all] WARNING: %llu guardband run(s) exhausted the "
+                   "iteration budget; reported fmax values are not thermal "
+                   "fixed points\n",
+                   nonconv);
+    }
+    report.tasks.insert(report.tasks.end(), cells.begin(), cells.end());
+  }
   std::fprintf(stderr,
                "[bench_all] %zu experiments in %.1fs (%d threads; cache: "
                "%llu/%llu impl hits, %llu/%llu device hits)\n",

@@ -13,11 +13,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/flow.hpp"
 #include "runner/flow_cache.hpp"
+#include "runner/metrics.hpp"
 #include "runner/sweep.hpp"
 #include "runner/thread_pool.hpp"
 #include "util/table.hpp"
@@ -87,11 +89,31 @@ inline runner::ThreadPool& pool() {
   return p;
 }
 
+/// Per-cell sweep metrics collected process-wide. Sweep cells execute on
+/// pool threads, so their SPICE/flow counters never appear in a scope
+/// opened on the driver thread; run_sweep() copies each cell's
+/// TaskMetrics here instead, and bench_all folds them into the report.
+inline std::mutex& sweep_metrics_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+inline std::vector<runner::TaskMetrics>& collected_sweep_metrics() {
+  static std::vector<runner::TaskMetrics> metrics;
+  return metrics;
+}
+
 /// Guardband sweep over the shared cache/pool. Results are indexed like
 /// `points` — identical to running the cells serially, whatever -j is.
 inline std::vector<runner::SweepCellResult> run_sweep(
     const std::vector<runner::SweepPoint>& points) {
-  return runner::Sweep(runner::FlowCache::global(), pool(), bench_tech()).run(points);
+  auto results =
+      runner::Sweep(runner::FlowCache::global(), pool(), bench_tech()).run(points);
+  {
+    const std::lock_guard<std::mutex> lock(sweep_metrics_mutex());
+    for (const auto& cell : results) collected_sweep_metrics().push_back(cell.metrics);
+  }
+  return results;
 }
 
 /// Convenience: one sweep point per suite benchmark at the given grade

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -24,6 +28,36 @@ const char* flow_phase_name(FlowPhase phase) {
     case FlowPhase::Thermal: return "thermal";
   }
   return "unknown";
+}
+
+const char* incremental_mode_name(IncrementalMode mode) {
+  switch (mode) {
+    case IncrementalMode::Off: return "off";
+    case IncrementalMode::Exact: return "exact";
+    case IncrementalMode::Quantized: return "quantized";
+  }
+  return "unknown";
+}
+
+IncrementalMode default_incremental_mode() {
+  static const IncrementalMode mode = [] {
+    const char* env = std::getenv("TAF_INCREMENTAL");
+    if (env == nullptr || *env == '\0') return IncrementalMode::Exact;
+    std::string v(env);
+    for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (v == "off") return IncrementalMode::Off;
+    if (v == "exact") return IncrementalMode::Exact;
+    if (v == "quantized") return IncrementalMode::Quantized;
+    util::log_warn("TAF_INCREMENTAL=%s not recognized (off|exact|quantized); using exact",
+                   env);
+    return IncrementalMode::Exact;
+  }();
+  return mode;
+}
+
+FlowCounters& thread_flow_counters() {
+  thread_local FlowCounters counters;
+  return counters;
 }
 
 namespace {
@@ -84,36 +118,77 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
   GuardbandResult result;
   PhaseClock clock(opt.observer);
 
-  // Conventional baseline: clock for the worst-case corner.
-  result.baseline_fmax_mhz =
-      impl.sta->analyze_uniform(dev, opt.t_worst_c).fmax_mhz;
-
   thermal::ThermalConfig tcfg = opt.thermal;
   tcfg.ambient_c = opt.t_amb_c;
   tcfg.tile_edge_um = impl.arch.tile_edge_um;
   const thermal::ThermalGrid tgrid(impl.grid, tcfg);
 
-  // Algorithm 1.
+  const bool incremental = opt.incremental != IncrementalMode::Off;
+  std::optional<timing::IncrementalSta> session;
+  if (incremental) {
+    session.emplace(*impl.sta, dev,
+                    opt.incremental == IncrementalMode::Quantized
+                        ? timing::IncrementalSta::Mode::Quantized
+                        : timing::IncrementalSta::Mode::Exact,
+                    opt.incremental_epsilon_c);
+  }
+  // In-loop analyses skip critical-path reconstruction (only fmax is
+  // consumed); the margin analysis below reconstructs it.
+  auto run_sta = [&](const std::vector<double>& t, bool with_cp) {
+    return incremental ? session->analyze(t, with_cp) : impl.sta->analyze(dev, t);
+  };
+
+  // Conventional baseline: clock for the worst-case corner. Evaluated
+  // through the session when incremental (Exact mode is bit-identical to
+  // analyze_uniform, and the re-derived delay tables seed the cache).
   const auto n_tiles = static_cast<std::size_t>(impl.grid.num_tiles());
+  result.baseline_fmax_mhz =
+      incremental
+          ? run_sta(std::vector<double>(n_tiles, opt.t_worst_c), /*with_cp=*/false)
+                .fmax_mhz
+          : impl.sta->analyze_uniform(dev, opt.t_worst_c).fmax_mhz;
+  auto run_power = [&](double f_mhz, const std::vector<double>& t) {
+    power::PowerBreakdown p =
+        power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
+                             impl.routes, impl.activity, f_mhz, t, impl.grid);
+    if (opt.power_scale != 1.0) {
+      for (double& w : p.tile_w) w *= opt.power_scale;
+      p.dynamic_w *= opt.power_scale;
+      p.leakage_w *= opt.power_scale;
+    }
+    return p;
+  };
+
+  // Algorithm 1.
   std::vector<double> temps(n_tiles, opt.t_amb_c);
-  timing::TimingResult sta = impl.sta->analyze(dev, temps);
+  timing::TimingResult sta = run_sta(temps, /*with_cp=*/false);
   double fmax = sta.fmax_mhz;
   clock.mark(FlowPhase::Sta);
+  // The priming analysis above evaluated every edge once; the loop stats
+  // report only the incremental work the iterations themselves cost.
+  if (session) session->reset_counters();
 
+  result.converged = opt.max_iterations <= 0;  // vacuously, if no loop ran
+  std::uint64_t last_edges = 0;
+  std::uint64_t last_hits = 0;
   for (int iter = 1; iter <= opt.max_iterations; ++iter) {
     result.iterations = iter;
-    const power::PowerBreakdown power =
-        power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
-                             impl.routes, impl.activity, fmax, temps, impl.grid);
+    const power::PowerBreakdown power = run_power(fmax, temps);
     clock.mark(FlowPhase::Power);
-    const std::vector<double> new_temps = tgrid.solve(power.tile_w);
+    thermal::CgStats cg;
+    // Warm-starting CG from the previous iterate is safe: the system is
+    // SPD, so CG converges to the same solution from any starting point.
+    const std::vector<double> new_temps =
+        incremental ? tgrid.solve(power.tile_w, temps, &cg)
+                    : tgrid.solve(power.tile_w, &cg);
+    result.stats.cg_iterations += static_cast<std::uint64_t>(cg.iterations);
     clock.mark(FlowPhase::Thermal);
     double max_delta = 0.0;
     for (std::size_t i = 0; i < n_tiles; ++i) {
       max_delta = std::max(max_delta, std::fabs(new_temps[i] - temps[i]));
     }
     temps = new_temps;
-    sta = impl.sta->analyze(dev, temps);
+    sta = run_sta(temps, /*with_cp=*/false);
     fmax = sta.fmax_mhz;
     clock.mark(FlowPhase::Sta);
     util::log_debug("guardband iter %d: fmax %.1f MHz, max dT %.3f C", iter, fmax,
@@ -121,13 +196,42 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
     if (opt.observer != nullptr && opt.observer->on_iteration) {
       opt.observer->on_iteration(iter, fmax, max_delta);
     }
-    if (max_delta < opt.delta_t_c) break;
+    if (opt.observer != nullptr && opt.observer->on_iteration_info) {
+      FlowObserver::IterationInfo info;
+      info.iteration = iter;
+      info.fmax_mhz = fmax;
+      info.max_delta_c = max_delta;
+      if (session) {
+        info.edges_reevaluated = session->counters().edges_reevaluated - last_edges;
+        info.delay_cache_hits = session->counters().delay_cache_hits - last_hits;
+      }
+      info.cg_iterations = static_cast<std::uint64_t>(cg.iterations);
+      opt.observer->on_iteration_info(info);
+    }
+    if (session) {
+      last_edges = session->counters().edges_reevaluated;
+      last_hits = session->counters().delay_cache_hits;
+    }
+    if (max_delta < opt.delta_t_c) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (session) {
+    result.stats.edges_reevaluated = session->counters().edges_reevaluated;
+    result.stats.delay_cache_hits = session->counters().delay_cache_hits;
+  }
+  if (!result.converged) {
+    util::log_warn(
+        "guardband(%s): not converged after %d iterations (max dT still >= %g C); "
+        "result is not a thermal fixed point",
+        impl.nl.name().c_str(), opt.max_iterations, opt.delta_t_c);
   }
 
   // Final margin: re-time at T + delta_T to absorb the convergence error.
   std::vector<double> margin_temps = temps;
   for (double& t : margin_temps) t += opt.delta_t_c;
-  result.timing = impl.sta->analyze(dev, margin_temps);
+  result.timing = run_sta(margin_temps, /*with_cp=*/true);
   result.fmax_mhz = result.timing.fmax_mhz;
   clock.mark(FlowPhase::Sta);
 
@@ -135,12 +239,16 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
   // temperature map and the margin-applied fmax. (The loop's last power
   // map belongs to the *previous* iterate, and is never computed at all
   // when max_iterations == 0.)
-  result.power =
-      power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
-                           impl.routes, impl.activity, result.fmax_mhz, temps,
-                           impl.grid);
+  result.power = run_power(result.fmax_mhz, temps);
   clock.mark(FlowPhase::Power);
   result.tile_temp_c = std::move(temps);
+
+  FlowCounters& fc = thread_flow_counters();
+  ++fc.guardband_runs;
+  if (!result.converged) ++fc.guardband_nonconverged;
+  fc.sta_edges_reevaluated += result.stats.edges_reevaluated;
+  fc.sta_delay_cache_hits += result.stats.delay_cache_hits;
+  fc.thermal_cg_iterations += result.stats.cg_iterations;
 
   util::Accumulator acc;
   for (double t : result.tile_temp_c) acc.add(t);

@@ -3,6 +3,7 @@
 // and thermal-aware device/grade selection, driving the full CAD stack
 // (pack -> place -> route -> activity -> power -> thermal -> STA).
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -58,15 +59,81 @@ enum class FlowPhase {
 inline constexpr int kNumFlowPhases = 8;
 const char* flow_phase_name(FlowPhase phase);
 
+/// How guardband() evaluates timing and thermal state inside the
+/// Algorithm 1 loop.
+enum class IncrementalMode {
+  /// Full recompute every iteration — the original path, kept alive as
+  /// the differential-testing oracle.
+  Off,
+  /// Incremental STA session + warm-started CG. Bit-identical timing to
+  /// Off (DESIGN.md section 8); temperatures agree within the CG
+  /// termination tolerance.
+  Exact,
+  /// Like Exact, but tile delays are frozen until the tile temperature
+  /// drifts more than GuardbandOptions::incremental_epsilon_c. Fastest,
+  /// approximate.
+  Quantized,
+};
+const char* incremental_mode_name(IncrementalMode mode);
+
+/// Session default: reads TAF_INCREMENTAL ("off" | "exact" | "quantized")
+/// once; Exact when unset. Mirrors spice::default_backend().
+IncrementalMode default_incremental_mode();
+
+/// Work performed by the Algorithm 1 loop of one guardband() call
+/// (priming/baseline/margin analyses excluded).
+struct GuardbandStats {
+  std::uint64_t edges_reevaluated = 0;  ///< connection delays re-derived
+  std::uint64_t delay_cache_hits = 0;   ///< cached connection delays reused
+  std::uint64_t cg_iterations = 0;      ///< thermal CG iterations (all solves)
+};
+
+/// Per-thread accumulation of guardband work counters, in the mold of
+/// spice::thread_counters(): the runner snapshots them around each task.
+struct FlowCounters {
+  std::uint64_t guardband_runs = 0;
+  std::uint64_t guardband_nonconverged = 0;
+  std::uint64_t sta_edges_reevaluated = 0;
+  std::uint64_t sta_delay_cache_hits = 0;
+  std::uint64_t thermal_cg_iterations = 0;
+
+  FlowCounters operator-(const FlowCounters& rhs) const {
+    FlowCounters d;
+    d.guardband_runs = guardband_runs - rhs.guardband_runs;
+    d.guardband_nonconverged = guardband_nonconverged - rhs.guardband_nonconverged;
+    d.sta_edges_reevaluated = sta_edges_reevaluated - rhs.sta_edges_reevaluated;
+    d.sta_delay_cache_hits = sta_delay_cache_hits - rhs.sta_delay_cache_hits;
+    d.thermal_cg_iterations = thermal_cg_iterations - rhs.thermal_cg_iterations;
+    return d;
+  }
+};
+
+/// Counters of the calling thread (thread-local; never contended).
+FlowCounters& thread_flow_counters();
+
 /// Optional progress/instrumentation hooks. implement() and guardband()
 /// are re-entrant: all state is task-local, so one observer per task is
 /// safe under concurrent flows (the observer itself is only invoked from
 /// the calling thread).
 struct FlowObserver {
+  /// One Algorithm 1 iteration's outcome and work (counter fields are
+  /// per-iteration deltas; zero in IncrementalMode::Off where no
+  /// incremental session exists).
+  struct IterationInfo {
+    int iteration = 0;
+    double fmax_mhz = 0.0;
+    double max_delta_c = 0.0;
+    std::uint64_t edges_reevaluated = 0;
+    std::uint64_t delay_cache_hits = 0;
+    std::uint64_t cg_iterations = 0;
+  };
+
   /// Called after each phase with its wall-clock duration.
   std::function<void(FlowPhase, double seconds)> on_phase;
   /// Called after each Algorithm 1 iteration.
   std::function<void(int iteration, double fmax_mhz, double max_delta_c)> on_iteration;
+  /// Richer per-iteration hook (superset of on_iteration).
+  std::function<void(const IterationInfo&)> on_iteration_info;
 };
 
 struct ImplementOptions {
@@ -87,6 +154,14 @@ struct GuardbandOptions {
   int max_iterations = 10;        ///< the paper observes < 10 iterations
   double t_worst_c = 100.0;       ///< conventional worst-case corner
   thermal::ThermalConfig thermal; ///< ambient_c is overridden by t_amb_c
+  /// Loop evaluation strategy (see IncrementalMode).
+  IncrementalMode incremental = default_incremental_mode();
+  /// Tile-delay refresh threshold for IncrementalMode::Quantized [degC].
+  double incremental_epsilon_c = 0.05;
+  /// Multiplier on every computed power map (1.0 = physical). The zero
+  /// setting is the metamorphic test seam: P = 0 must converge in one
+  /// iteration with zero re-evaluated edges.
+  double power_scale = 1.0;
   const FlowObserver* observer = nullptr;  ///< not owned; may be null
 };
 
@@ -94,6 +169,13 @@ struct GuardbandResult {
   double fmax_mhz = 0.0;           ///< thermal-aware frequency
   double baseline_fmax_mhz = 0.0;  ///< worst-case-corner frequency
   int iterations = 0;
+  /// False when the loop exhausted max_iterations without max_delta_c
+  /// dropping below delta_t_c — the temperature map (and hence fmax) is
+  /// then not a fixed point and the delta_t_c margin may not cover the
+  /// residual error. Surfaced in bench reports; guardband() warns once.
+  bool converged = false;
+  /// Work performed by the Algorithm 1 loop (see GuardbandStats).
+  GuardbandStats stats;
   std::vector<double> tile_temp_c; ///< converged temperature map
   double peak_temp_c = 0.0;
   double mean_temp_c = 0.0;

@@ -21,6 +21,21 @@ std::string net_name(const Netlist& nl, NetId n) {
 
 }  // namespace
 
+namespace {
+
+/// Name an Output primitive is declared under. read_blif names the
+/// Output prim "<net>_po" (the buffer LUT it creates owns the bare net
+/// name); stripping the suffix here makes print∘parse a fixed point
+/// instead of stacking one more buffer layer per round trip.
+std::string declared_output_name(const Primitive& p) {
+  constexpr const char kSuffix[] = "_po";
+  if (p.name.size() > 3 && p.name.compare(p.name.size() - 3, 3, kSuffix) == 0)
+    return p.name.substr(0, p.name.size() - 3);
+  return p.name;
+}
+
+}  // namespace
+
 void write_blif(const Netlist& nl, std::ostream& out) {
   out << ".model " << nl.name() << "\n";
 
@@ -30,7 +45,7 @@ void write_blif(const Netlist& nl, std::ostream& out) {
   }
   out << "\n.outputs";
   for (const Primitive& p : nl.prims()) {
-    if (p.kind == PrimKind::Output) out << " " << p.name;
+    if (p.kind == PrimKind::Output) out << " " << declared_output_name(p);
   }
   out << "\n";
 
@@ -62,10 +77,15 @@ void write_blif(const Netlist& nl, std::ostream& out) {
         out << " out=" << p.name << "\n";
         break;
       }
-      case PrimKind::Output:
-        // Emitted as a buffer .names so the output net name is bound.
-        out << ".names " << net_name(nl, p.inputs.at(0)) << " " << p.name << "\n1 1\n";
+      case PrimKind::Output: {
+        // Bind the declared output name to its source net with a buffer
+        // .names — unless the source net already carries that name (the
+        // buffer read_blif created on a previous round trip).
+        const std::string src = net_name(nl, p.inputs.at(0));
+        const std::string declared = declared_output_name(p);
+        if (src != declared) out << ".names " << src << " " << declared << "\n1 1\n";
         break;
+      }
       case PrimKind::Input:
         break;
     }
@@ -90,6 +110,9 @@ Netlist read_blif(std::istream& in) {
     lines.push_back(logical);
     logical.clear();
   }
+  // A trailing '\' on the last physical line must not silently drop the
+  // accumulated logical line.
+  if (!logical.empty()) lines.push_back(logical);
 
   auto tokens_of = [](const std::string& l) {
     std::istringstream ss(l);
@@ -99,7 +122,22 @@ Netlist read_blif(std::istream& in) {
     return t;
   };
 
-  Netlist nl("blif");
+  // The model name comes from the first .model line; a second .model
+  // would start a hierarchical BLIF, which this reader does not support —
+  // reject it instead of silently merging both models into one netlist.
+  std::string model_name = "blif";
+  int models_seen = 0;
+  for (const std::string& l : lines) {
+    std::istringstream ss(l);
+    std::string cmd, name;
+    ss >> cmd;
+    if (cmd != ".model") continue;
+    if (++models_seen > 1)
+      throw std::runtime_error("blif: duplicate .model (hierarchy unsupported)");
+    if (ss >> name) model_name = name;
+  }
+
+  Netlist nl(model_name);
   std::map<std::string, NetId> net_of;          // net name -> id (once driven)
   std::map<std::string, std::vector<std::pair<PrimId, int>>> pending;  // undriven uses
   std::vector<std::string> output_names;
@@ -159,10 +197,34 @@ Netlist read_blif(std::istream& in) {
         if (port == "out") {
           out_name = net;
         } else if (port.rfind("in", 0) == 0) {
-          ins.push_back({std::stoi(port.substr(2)), net});
+          // Parse the pin index by hand: std::stoi would accept leading
+          // signs/whitespace and throw non-runtime_error exceptions, and
+          // an unchecked index would let one malformed token resize the
+          // input vector to gigabytes.
+          const std::string digits = port.substr(2);
+          constexpr int kMaxSubcktPins = 64;
+          int pin = 0;
+          if (digits.empty()) throw std::runtime_error("blif: bad subckt pin " + port);
+          for (char ch : digits) {
+            if (ch < '0' || ch > '9')
+              throw std::runtime_error("blif: bad subckt pin " + port);
+            pin = pin * 10 + (ch - '0');
+            if (pin >= kMaxSubcktPins)
+              throw std::runtime_error("blif: subckt pin index out of range: " + port);
+          }
+          ins.push_back({pin, net});
         }
       }
       if (out_name.empty()) throw std::runtime_error("blif: subckt without out=");
+      // Pins must be exactly in0..in{n-1}: a duplicate would overwrite a
+      // binding while leaving a stale sink on the old net, and a gap
+      // would leave an unconnected input pin.
+      std::vector<char> pin_seen(ins.size(), 0);
+      for (const auto& [pin, net] : ins) {
+        if (pin >= static_cast<int>(ins.size()) || pin_seen[static_cast<std::size_t>(pin)])
+          throw std::runtime_error("blif: duplicate or non-contiguous subckt pins");
+        pin_seen[static_cast<std::size_t>(pin)] = 1;
+      }
       const PrimId p = nl.add_primitive({kind, out_name, {}, kNoNet, 0});
       for (const auto& [pin, net] : ins) use_net(net, p, pin);
       drive_net(out_name, p);
@@ -189,6 +251,9 @@ Netlist read_blif(std::istream& in) {
         std::vector<int> minterms{0};
         for (int b = 0; b < k; ++b) {
           const char cbit = bits[static_cast<std::size_t>(b)];
+          if (cbit != '0' && cbit != '1' && cbit != '-')
+            throw std::runtime_error(std::string("blif: bad truth-row character '") +
+                                     cbit + "'");
           std::vector<int> next;
           for (int m : minterms) {
             if (cbit == '0' || cbit == '-') next.push_back(m);

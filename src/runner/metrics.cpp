@@ -65,6 +65,10 @@ std::string RunReport::to_json() const {
            ", \"spice_factorizations\": " + std::to_string(t.spice_factorizations) +
            ", \"spice_pattern_reuses\": " + std::to_string(t.spice_pattern_reuses) +
            ", \"spice_newton_iters\": " + std::to_string(t.spice_newton_iters) +
+           ", \"sta_edges_reevaluated\": " + std::to_string(t.sta_edges_reevaluated) +
+           ", \"sta_delay_cache_hits\": " + std::to_string(t.sta_delay_cache_hits) +
+           ", \"thermal_cg_iters\": " + std::to_string(t.thermal_cg_iters) +
+           ", \"guardband_nonconverged\": " + std::to_string(t.guardband_nonconverged) +
            ", \"phases\": ";
     append_phases_json(out, t.phases);
     out += i + 1 < tasks.size() ? "},\n" : "}\n";
@@ -76,7 +80,8 @@ std::string RunReport::to_json() const {
 std::string RunReport::to_csv() const {
   std::string out =
       "name,kind,wall_s,iterations,spice_factorizations,spice_pattern_reuses,"
-      "spice_newton_iters";
+      "spice_newton_iters,sta_edges_reevaluated,sta_delay_cache_hits,"
+      "thermal_cg_iters,guardband_nonconverged";
   for (int p = 0; p < core::kNumFlowPhases; ++p) {
     out += ',';
     out += core::flow_phase_name(static_cast<core::FlowPhase>(p));
@@ -88,7 +93,11 @@ std::string RunReport::to_csv() const {
            std::to_string(t.iterations) + ',' +
            std::to_string(t.spice_factorizations) + ',' +
            std::to_string(t.spice_pattern_reuses) + ',' +
-           std::to_string(t.spice_newton_iters);
+           std::to_string(t.spice_newton_iters) + ',' +
+           std::to_string(t.sta_edges_reevaluated) + ',' +
+           std::to_string(t.sta_delay_cache_hits) + ',' +
+           std::to_string(t.thermal_cg_iters) + ',' +
+           std::to_string(t.guardband_nonconverged);
     for (double s : t.phases.seconds) {
       out += ',';
       out += fmt(s);

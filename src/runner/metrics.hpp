@@ -44,6 +44,14 @@ struct TaskMetrics {
   std::uint64_t spice_factorizations = 0;
   std::uint64_t spice_pattern_reuses = 0;
   std::uint64_t spice_newton_iters = 0;
+  /// Incremental guardband engine work (see EXPERIMENTS.md): connection
+  /// delays re-derived vs served from cache across the Algorithm 1 loop,
+  /// total thermal CG iterations, and guardband runs that exhausted
+  /// max_iterations without reaching the delta_t_c fixed point.
+  std::uint64_t sta_edges_reevaluated = 0;
+  std::uint64_t sta_delay_cache_hits = 0;
+  std::uint64_t thermal_cg_iters = 0;
+  std::uint64_t guardband_nonconverged = 0;
 };
 
 /// RAII capture of the thread-local SPICE solver counters: snapshots at
@@ -65,6 +73,27 @@ class SpiceCounterScope {
  private:
   TaskMetrics& m_;
   spice::SolverCounters before_;
+};
+
+/// RAII capture of the thread-local guardband flow counters, same
+/// snapshot/delta contract as SpiceCounterScope.
+class FlowCounterScope {
+ public:
+  explicit FlowCounterScope(TaskMetrics& m)
+      : m_(m), before_(core::thread_flow_counters()) {}
+  ~FlowCounterScope() {
+    const core::FlowCounters d = core::thread_flow_counters() - before_;
+    m_.sta_edges_reevaluated += d.sta_edges_reevaluated;
+    m_.sta_delay_cache_hits += d.sta_delay_cache_hits;
+    m_.thermal_cg_iters += d.thermal_cg_iterations;
+    m_.guardband_nonconverged += d.guardband_nonconverged;
+  }
+  FlowCounterScope(const FlowCounterScope&) = delete;
+  FlowCounterScope& operator=(const FlowCounterScope&) = delete;
+
+ private:
+  TaskMetrics& m_;
+  core::FlowCounters before_;
 };
 
 /// A full runner report: every task plus process-wide cache statistics.

@@ -35,26 +35,21 @@ void ThermalGrid::apply(const std::vector<double>& x, std::vector<double>& y) co
 }
 
 double ThermalGrid::cg_tolerance(double rr0) const {
-  // A per-tile residual of g_vert_ * kTempTolK watts maps to a
-  // temperature error of kTempTolK kelvin through the weakest (vertical)
-  // conductance — far below physical significance, but a hard absolute
-  // floor: the previous relative-only criterion (rr0 * 1e-20) made CG
-  // chase rounding noise for the full 4n iterations whenever the power
-  // map was already near zero.
-  constexpr double kTempTolK = 1e-9;
+  // A per-tile residual of g_vert_ * solve_tol_k watts maps to a
+  // temperature error of solve_tol_k kelvin through the weakest
+  // (vertical) conductance — far below physical significance, but a hard
+  // absolute floor: a relative-only criterion (rr0 * 1e-20) made CG
+  // chase rounding noise for the full 4n iterations whenever the initial
+  // residual was already near zero (tiny power maps, warm starts at the
+  // solution).
   const int n = width_ * height_;
-  const double floor_per_tile = g_vert_ * kTempTolK;
+  const double floor_per_tile = g_vert_ * config_.solve_tol_k;
   return std::max(rr0 * 1e-20, n * floor_per_tile * floor_per_tile);
 }
 
-std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w,
-                                       CgStats* stats) const {
+void ThermalGrid::cg_core(std::vector<double>& x, std::vector<double>& r,
+                          CgStats* stats) const {
   const int n = width_ * height_;
-  assert(static_cast<int>(power_w.size()) == n);
-
-  // Conjugate gradients on A * dT = P, dT = T - Tamb.
-  std::vector<double> x(static_cast<size_t>(n), 0.0);
-  std::vector<double> r = power_w;
   std::vector<double> p = r;
   std::vector<double> ap(static_cast<size_t>(n));
 
@@ -83,6 +78,39 @@ std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w,
     stats->iterations = iters;
     stats->residual_norm_w = std::sqrt(rr);
   }
+}
+
+std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w,
+                                       CgStats* stats) const {
+  const int n = width_ * height_;
+  assert(static_cast<int>(power_w.size()) == n);
+
+  // Cold start: x = 0, so r = P exactly (no operator application needed).
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  std::vector<double> r = power_w;
+  cg_core(x, r, stats);
+
+  for (double& t : x) t += config_.ambient_c;
+  return x;
+}
+
+std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w,
+                                       const std::vector<double>& initial_temp_c,
+                                       CgStats* stats) const {
+  const int n = width_ * height_;
+  assert(static_cast<int>(power_w.size()) == n);
+  assert(static_cast<int>(initial_temp_c.size()) == n);
+
+  // Warm start from the given field: x0 = T0 - Tamb, r0 = P - A x0.
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    x[static_cast<size_t>(i)] =
+        initial_temp_c[static_cast<size_t>(i)] - config_.ambient_c;
+  std::vector<double> r(static_cast<size_t>(n));
+  apply(x, r);
+  for (int i = 0; i < n; ++i)
+    r[static_cast<size_t>(i)] = power_w[static_cast<size_t>(i)] - r[static_cast<size_t>(i)];
+  cg_core(x, r, stats);
 
   for (double& t : x) t += config_.ambient_c;
   return x;

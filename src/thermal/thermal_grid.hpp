@@ -33,6 +33,13 @@ struct ThermalConfig {
   double package_r_k_per_w = 12.0;
   /// Volumetric heat capacity of silicon [J/(m^3 K)] for transients.
   double volumetric_c_j_m3k = 1.63e6;
+  /// Per-tile temperature accuracy the CG termination criterion targets
+  /// [K]. The absolute residual floor is g_vert * solve_tol_k per tile,
+  /// which bounds the worst-case solution error by sqrt(n_tiles) *
+  /// solve_tol_k through the weakest (vertical) conductance — at the
+  /// default, comfortably below the 1e-9 degC the incremental-vs-full
+  /// guardband differential contract asserts (DESIGN.md section 8).
+  double solve_tol_k = 1e-11;
 
   double lateral_g_w_per_k() const {
     return silicon_k_w_mk * die_thickness_um * 1e-6;
@@ -52,6 +59,15 @@ class ThermalGrid {
   /// Steady-state tile temperatures [degC] for the given per-tile power
   /// map [W]. power.size() must equal the grid tile count.
   std::vector<double> solve(const std::vector<double>& power_w,
+                            CgStats* stats = nullptr) const;
+
+  /// Steady-state solve warm-started from an initial temperature field
+  /// [degC] (e.g. the previous Algorithm 1 iterate). The system is SPD,
+  /// so CG converges from any starting point to the same solution (within
+  /// the termination tolerance); a nearby start just gets there in far
+  /// fewer iterations. initial_temp_c.size() must equal the tile count.
+  std::vector<double> solve(const std::vector<double>& power_w,
+                            const std::vector<double>& initial_temp_c,
                             CgStats* stats = nullptr) const;
 
   /// Transient step: advance the temperature field by dt under constant
@@ -87,10 +103,18 @@ class ThermalGrid {
  private:
   /// Squared-residual CG termination threshold: relative to the initial
   /// residual, with an absolute floor at the residual a per-tile
-  /// temperature error of kTempTolK would produce through the vertical
-  /// conductance — without it a near-zero power map (early Algorithm 1
-  /// iterations, idle regions) grinds through 4n iterations of noise.
+  /// temperature error of config_.solve_tol_k would produce through the
+  /// vertical conductance — without it a near-zero power map (early
+  /// Algorithm 1 iterations, idle regions) grinds through 4n iterations
+  /// of noise. The same floor is what lets a warm start that is already
+  /// at the solution terminate in zero iterations.
   double cg_tolerance(double rr0) const;
+
+  /// Shared CG core: solves A x = P for x = T - Tamb, starting from x
+  /// (callers pass zeros for a cold start and must supply the matching
+  /// residual r = P - A x).
+  void cg_core(std::vector<double>& x, std::vector<double>& r,
+               CgStats* stats) const;
 
   int width_;
   int height_;

@@ -113,6 +113,52 @@ TEST(Guardband, ConvergesWithinTenIterations) {
   EXPECT_GE(r.iterations, 1);
 }
 
+TEST(Guardband, ConvergedFlagReflectsTheIterationBudget) {
+  const auto dev = characterizer().characterize(25.0);
+  core::GuardbandOptions relaxed;
+  relaxed.t_amb_c = 25.0;
+  const auto ok = core::guardband(sha_impl(), dev, relaxed);
+  EXPECT_TRUE(ok.converged);
+
+  core::GuardbandOptions starved = relaxed;
+  starved.max_iterations = 1;
+  starved.delta_t_c = 1e-9;  // unreachably tight fixed-point criterion
+  const auto bad = core::guardband(sha_impl(), dev, starved);
+  EXPECT_FALSE(bad.converged);
+  EXPECT_EQ(bad.iterations, 1);
+}
+
+TEST(Guardband, PowerScaleScalesTheOperatingPoint) {
+  const auto dev = characterizer().characterize(25.0);
+  core::GuardbandOptions opt;
+  opt.t_amb_c = 25.0;
+  core::GuardbandOptions half = opt;
+  half.power_scale = 0.5;
+  const auto full = core::guardband(sha_impl(), dev, opt);
+  const auto dimmed = core::guardband(sha_impl(), dev, half);
+  // Less heat, cooler die, faster (or equal) clock.
+  EXPECT_LT(dimmed.peak_temp_c, full.peak_temp_c);
+  EXPECT_GE(dimmed.fmax_mhz, full.fmax_mhz);
+  EXPECT_LT(dimmed.power.total_w(), full.power.total_w());
+}
+
+TEST(Guardband, IncrementalStatsAreReportedAndOffModeDoesNoSessionWork) {
+  const auto dev = characterizer().characterize(25.0);
+  core::GuardbandOptions inc;
+  inc.t_amb_c = 25.0;
+  inc.incremental = core::IncrementalMode::Exact;
+  const auto r = core::guardband(sha_impl(), dev, inc);
+  EXPECT_GT(r.stats.cg_iterations, 0u);
+  EXPECT_GT(r.stats.edges_reevaluated, 0u);
+
+  core::GuardbandOptions off = inc;
+  off.incremental = core::IncrementalMode::Off;
+  const auto legacy = core::guardband(sha_impl(), dev, off);
+  EXPECT_EQ(legacy.stats.edges_reevaluated, 0u);
+  EXPECT_EQ(legacy.stats.delay_cache_hits, 0u);
+  EXPECT_GT(legacy.stats.cg_iterations, 0u);  // CG work is counted either way
+}
+
 TEST(Guardband, TemperaturesStayAboveAmbientAndBelowWorst) {
   const auto dev = characterizer().characterize(25.0);
   core::GuardbandOptions opt;

@@ -239,6 +239,10 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   m.spice_factorizations = 120;
   m.spice_pattern_reuses = 118;
   m.spice_newton_iters = 120;
+  m.sta_edges_reevaluated = 450;
+  m.sta_delay_cache_hits = 9000;
+  m.thermal_cg_iters = 37;
+  m.guardband_nonconverged = 1;
   m.phases.add(core::FlowPhase::Thermal, 0.125);
   report.tasks.push_back(m);
 
@@ -249,14 +253,84 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   EXPECT_NE(json.find("\"spice_factorizations\": 120"), std::string::npos);
   EXPECT_NE(json.find("\"spice_pattern_reuses\": 118"), std::string::npos);
   EXPECT_NE(json.find("\"spice_newton_iters\": 120"), std::string::npos);
+  EXPECT_NE(json.find("\"sta_edges_reevaluated\": 450"), std::string::npos);
+  EXPECT_NE(json.find("\"sta_delay_cache_hits\": 9000"), std::string::npos);
+  EXPECT_NE(json.find("\"thermal_cg_iters\": 37"), std::string::npos);
+  EXPECT_NE(json.find("\"guardband_nonconverged\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"thermal\":0.125000"), std::string::npos);
 
   const std::string csv = report.to_csv();
   EXPECT_NE(csv.find("name,kind,wall_s,iterations,spice_factorizations,"
-                     "spice_pattern_reuses,spice_newton_iters,pack_s"),
+                     "spice_pattern_reuses,spice_newton_iters,"
+                     "sta_edges_reevaluated,sta_delay_cache_hits,"
+                     "thermal_cg_iters,guardband_nonconverged,pack_s"),
             std::string::npos);
-  EXPECT_NE(csv.find("sha@D25/amb70,guardband,0.250000,3,120,118,120"),
+  EXPECT_NE(csv.find("sha@D25/amb70,guardband,0.250000,3,120,118,120,450,9000,37,1"),
             std::string::npos);
+}
+
+TEST(Metrics, FlowCounterScopeCapturesGuardbandWork) {
+  runner::FlowCache cache;
+  const auto& impl = cache.implementation(spec_of("sha"), test_arch(), 1.0 / 16);
+  const auto& dev = cache.device(tech::ptm22(), test_arch(), 25.0);
+  runner::TaskMetrics m;
+  core::GuardbandOptions opt;
+  {
+    const runner::FlowCounterScope scope(m);
+    core::guardband(impl, dev, opt);
+  }
+  // The default (incremental) engine does thermal CG work every
+  // iteration and re-evaluates at least the edges the first temperature
+  // update dirtied; a converged run must not be flagged.
+  EXPECT_GT(m.thermal_cg_iters, 0u);
+  EXPECT_GT(m.sta_edges_reevaluated, 0u);
+  EXPECT_EQ(m.guardband_nonconverged, 0u);
+}
+
+// ---------- cross-run / cross-thread-count determinism ----------
+
+TEST(Determinism, ImplementIsReproducibleAcrossRuns) {
+  const auto spec = netlist::scaled(spec_of("or1200"), 1.0 / 16);
+  const auto a = core::implement(spec, test_arch());
+  const auto b = core::implement(spec, test_arch());
+  EXPECT_EQ(a->placement.pos, b->placement.pos);
+  EXPECT_EQ(a->routes.iterations, b->routes.iterations);
+  ASSERT_EQ(a->routes.routes.size(), b->routes.routes.size());
+  for (std::size_t i = 0; i < a->routes.routes.size(); ++i) {
+    EXPECT_EQ(a->routes.routes[i].nodes, b->routes.routes[i].nodes) << "net " << i;
+  }
+}
+
+TEST(Determinism, FullFlowMatchesAcrossThreadCountsWithIncrementalEngine) {
+  // The sweep bit-equality above runs whatever engine TAF_INCREMENTAL
+  // selects; this pins the incremental engine explicitly so a CI
+  // environment override can't silently skip the interesting path.
+  auto run = [](int threads) {
+    runner::FlowCache cache;
+    runner::ThreadPool pool(threads);
+    runner::Sweep sweep(cache, pool, tech::ptm22());
+    core::GuardbandOptions base;
+    base.incremental = core::IncrementalMode::Exact;
+    const std::vector<netlist::BenchmarkSpec> specs = {spec_of("sha"),
+                                                       spec_of("diffeq1")};
+    return sweep.run(runner::Sweep::grid(specs, 1.0 / 16, test_arch(), {25.0},
+                                         {25.0, 70.0}, base));
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& s = serial[i].guardband;
+    const auto& p = parallel[i].guardband;
+    EXPECT_EQ(s.fmax_mhz, p.fmax_mhz) << "cell " << i;
+    EXPECT_EQ(s.iterations, p.iterations) << "cell " << i;
+    EXPECT_EQ(s.converged, p.converged) << "cell " << i;
+    EXPECT_EQ(s.stats.edges_reevaluated, p.stats.edges_reevaluated) << "cell " << i;
+    EXPECT_EQ(s.stats.cg_iterations, p.stats.cg_iterations) << "cell " << i;
+    EXPECT_EQ(0, std::memcmp(s.tile_temp_c.data(), p.tile_temp_c.data(),
+                             s.tile_temp_c.size() * sizeof(double)))
+        << "cell " << i;
+  }
 }
 
 }  // namespace

@@ -36,6 +36,59 @@ TEST(Thermal, UniformPowerGivesUniformRise) {
   for (double v : t) EXPECT_NEAR(v, expected, 1e-6);
 }
 
+TEST(Thermal, WarmStartMatchesColdStart) {
+  // The system is SPD, so CG converges to the same fixed point from any
+  // initial iterate; a warm start may only change the iteration count.
+  const ThermalGrid g = make_grid(12, 12);
+  std::vector<double> p(144, 0.0);
+  p[5 * 12 + 7] = 0.4;
+  p[3 * 12 + 2] = 0.1;
+  thermal::CgStats cold_stats;
+  const auto cold = g.solve(p, &cold_stats);
+
+  // Warm-start from a perturbed copy of the solution.
+  std::vector<double> x0 = cold;
+  for (std::size_t i = 0; i < x0.size(); ++i) x0[i] += (i % 3 == 0) ? 0.05 : -0.02;
+  thermal::CgStats warm_stats;
+  const auto warm = g.solve(p, x0, &warm_stats);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_NEAR(warm[i], cold[i], 1e-9) << "tile " << i;
+  }
+  EXPECT_LE(warm_stats.iterations, cold_stats.iterations);
+}
+
+TEST(Thermal, WarmStartFromSolutionNeedsFarFewerIterations) {
+  // Restarting from the converged field may still polish a little (the
+  // cold stop can trip the relative branch of the tolerance, which sits
+  // above the absolute floor) but must cost far fewer iterations than
+  // the cold solve and land on the same temperatures.
+  const ThermalGrid g = make_grid(10, 10);
+  std::vector<double> p(100, 0.0);
+  p[44] = 0.25;
+  thermal::CgStats cold_stats;
+  const auto sol = g.solve(p, &cold_stats);
+  thermal::CgStats warm_stats;
+  const auto again = g.solve(p, sol, &warm_stats);
+  EXPECT_LT(warm_stats.iterations, cold_stats.iterations / 2);
+  for (std::size_t i = 0; i < sol.size(); ++i) {
+    EXPECT_NEAR(again[i], sol[i], 1e-9) << "tile " << i;
+  }
+}
+
+TEST(Thermal, WarmStartFromAmbientMatchesColdStartBitwise) {
+  // A cold solve starts CG at x = 0 (i.e. T = ambient); warm-starting
+  // from the ambient map must therefore take the identical CG trajectory.
+  const ThermalGrid g = make_grid(9, 9, 30.0);
+  std::vector<double> p(81, 0.0);
+  p[40] = 0.3;
+  thermal::CgStats a_stats, b_stats;
+  const auto a = g.solve(p, &a_stats);
+  const auto b = g.solve(p, std::vector<double>(81, 30.0), &b_stats);
+  EXPECT_EQ(a_stats.iterations, b_stats.iterations);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << "tile " << i;
+}
+
 TEST(Thermal, HotspotIsAtThePowerSource) {
   const ThermalGrid g = make_grid(11, 11);
   std::vector<double> p(121, 0.0);
