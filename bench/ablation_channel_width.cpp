@@ -24,7 +24,7 @@ TAF_EXPERIMENT(ablation_channel_width) {
     a.channel_tracks = widths[i];
     impls[i] = &runner::FlowCache::global().implementation(spec, a, bench::kSuiteScale);
     core::GuardbandOptions opt;
-    opt.t_amb_c = 25.0;
+    opt.t_amb_c = units::Celsius(25.0);
     results[i] = core::guardband(*impls[i], dev, opt);
   });
 
@@ -32,7 +32,7 @@ TAF_EXPERIMENT(ablation_channel_width) {
   for (std::size_t i = 0; i < std::size(widths); ++i) {
     t.add_row({std::to_string(widths[i]), impls[i]->routes.success ? "yes" : "no",
                std::to_string(impls[i]->routes.iterations),
-               Table::num(results[i].baseline_fmax_mhz, 1), Table::pct(results[i].gain())});
+               Table::num(results[i].baseline_fmax_mhz.value(), 1), Table::pct(results[i].gain())});
   }
   t.print();
   return 0;

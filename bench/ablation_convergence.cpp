@@ -21,8 +21,8 @@ TAF_EXPERIMENT(ablation_convergence) {
       p.scale = bench::kSuiteScale;
       p.arch = bench::bench_arch();
       p.t_opt_c = 25.0;
-      p.guardband.t_amb_c = 25.0;
-      p.guardband.delta_t_c = dt;
+      p.guardband.t_amb_c = units::Celsius(25.0);
+      p.guardband.delta_t_c = units::Kelvin(dt);
       p.guardband.max_iterations = 15;
       points.push_back(std::move(p));
     }
@@ -35,7 +35,7 @@ TAF_EXPERIMENT(ablation_convergence) {
     for (double dt : thresholds) {
       const auto& r = cells[cell++].guardband;
       t.add_row({name, Table::num(dt, 2), std::to_string(r.iterations),
-                 Table::num(r.peak_temp_c - 25.0, 3), Table::num(r.fmax_mhz, 1)});
+                 Table::num(r.peak_temp_c.value() - 25.0, 3), Table::num(r.fmax_mhz.value(), 1)});
     }
   }
   t.print();

@@ -19,7 +19,7 @@ TAF_EXPERIMENT(ablation_sizing) {
        {coffe::ResourceKind::SbMux, coffe::ResourceKind::Lut, coffe::ResourceKind::Dsp}) {
     for (double w : {0.25, 1.0, 3.0}) {
       coffe::SizingOptions opt;
-      opt.t_opt_c = 25.0;
+      opt.t_opt_c = units::Celsius(25.0);
       opt.area_weight = w;
       const auto r = coffe::size_path(coffe::spec_for(k, bench::bench_arch()), tech, opt);
       t.add_row({coffe::resource_name(k), Table::num(w, 2), Table::num(r.delay_ps, 1),

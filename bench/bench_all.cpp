@@ -54,9 +54,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-j" && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
+      jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
-      jobs = std::atoi(arg.c_str() + 2);
+      jobs = static_cast<int>(std::strtol(arg.c_str() + 2, nullptr, 10));
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (arg == "--csv" && i + 1 < argc) {

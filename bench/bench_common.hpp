@@ -22,6 +22,7 @@
 #include "runner/metrics.hpp"
 #include "runner/sweep.hpp"
 #include "runner/thread_pool.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 
 namespace taf::bench {
@@ -80,11 +81,8 @@ inline void set_pool_threads(int n) { pool_threads_setting() = n; }
 inline runner::ThreadPool& pool() {
   static runner::ThreadPool p([] {
     if (pool_threads_setting() > 0) return pool_threads_setting();
-    if (const char* env = std::getenv("TAF_BENCH_THREADS")) {
-      const int n = std::atoi(env);
-      if (n > 0) return n;
-    }
-    return runner::ThreadPool::hardware_default();
+    return util::env_positive_int("TAF_BENCH_THREADS",
+                                  runner::ThreadPool::hardware_default());
   }());
   return p;
 }

@@ -25,7 +25,7 @@ TAF_EXPERIMENT(comparison_online_dvfs) {
     p.scale = bench::kSuiteScale;
     p.arch = bench::bench_arch();
     p.t_opt_c = 25.0;
-    p.guardband.t_amb_c = 25.0;
+    p.guardband.t_amb_c = units::Celsius(25.0);
     points.push_back(std::move(p));
   }
   const auto cells = bench::run_sweep(points);
@@ -40,14 +40,14 @@ TAF_EXPERIMENT(comparison_online_dvfs) {
 
     // Online DVFS: clock for a uniform temperature equal to the measured
     // peak plus the sensor margin.
-    const double online_t = r.peak_temp_c + sensor_margin_c;
-    const double online_fmax = impl.sta->analyze_uniform(dev, online_t).fmax_mhz;
+    const double online_t = r.peak_temp_c.value() + sensor_margin_c;
+    const double online_fmax = impl.sta->analyze_uniform(dev, units::Celsius(online_t)).fmax_mhz.value();
 
-    const double dvfs_gain = online_fmax / r.baseline_fmax_mhz - 1.0;
+    const double dvfs_gain = online_fmax / r.baseline_fmax_mhz.value() - 1.0;
     dvfs_gains.push_back(dvfs_gain);
     ours_gains.push_back(r.gain());
-    t.add_row({names[i], Table::num(r.baseline_fmax_mhz, 1), Table::num(online_fmax, 1),
-               Table::num(r.fmax_mhz, 1), Table::pct(dvfs_gain), Table::pct(r.gain())});
+    t.add_row({names[i], Table::num(r.baseline_fmax_mhz.value(), 1), Table::num(online_fmax, 1),
+               Table::num(r.fmax_mhz.value(), 1), Table::pct(dvfs_gain), Table::pct(r.gain())});
   }
   t.add_row({"average", "", "", "", Table::pct(util::mean_of(dvfs_gains)),
              Table::pct(util::mean_of(ours_gains))});

@@ -21,8 +21,8 @@ TAF_EXPERIMENT(eq1_expected_delay) {
   for (const auto& [lo, hi] : ranges) {
     std::vector<std::string> row;
     row.push_back(Table::num(lo, 0) + ".." + Table::num(hi, 0));
-    for (const auto& d : devices) row.push_back(Table::num(d.expected_cp_delay_ps(lo, hi), 1));
-    const int sel = core::select_grade(devices, lo, hi);
+    for (const auto& d : devices) row.push_back(Table::num(d.expected_cp_delay(units::Celsius(lo), units::Celsius(hi)).value(), 1));
+    const int sel = core::select_grade(devices, units::Celsius(lo), units::Celsius(hi));
     row.push_back(devices[static_cast<std::size_t>(sel)].name);
     t.add_row(std::move(row));
   }

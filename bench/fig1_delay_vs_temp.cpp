@@ -11,21 +11,21 @@ TAF_EXPERIMENT(fig1_delay_vs_temp) {
                       "LUT rises faster than SB (69% vs 39%)");
 
   const auto& dev = bench::device_at(25.0);
-  const double cp0 = dev.rep_cp_delay_ps(0.0);
-  const double bram0 = dev.delay_ps(coffe::ResourceKind::Bram, 0.0);
-  const double dsp0 = dev.delay_ps(coffe::ResourceKind::Dsp, 0.0);
-  const double lut0 = dev.delay_ps(coffe::ResourceKind::Lut, 0.0);
-  const double sb0 = dev.delay_ps(coffe::ResourceKind::SbMux, 0.0);
+  const double cp0 = dev.rep_cp_delay(units::Celsius(0.0)).value();
+  const double bram0 = dev.delay(coffe::ResourceKind::Bram, units::Celsius(0.0)).value();
+  const double dsp0 = dev.delay(coffe::ResourceKind::Dsp, units::Celsius(0.0)).value();
+  const double lut0 = dev.delay(coffe::ResourceKind::Lut, units::Celsius(0.0)).value();
+  const double sb0 = dev.delay(coffe::ResourceKind::SbMux, units::Celsius(0.0)).value();
 
   Table t({"T (C)", "CP increase", "BRAM increase", "DSP increase", "LUT increase",
            "SBmux increase"});
   for (int temp = 0; temp <= 100; temp += 10) {
     t.add_row({std::to_string(temp),
-               Table::pct(dev.rep_cp_delay_ps(temp) / cp0 - 1.0),
-               Table::pct(dev.delay_ps(coffe::ResourceKind::Bram, temp) / bram0 - 1.0),
-               Table::pct(dev.delay_ps(coffe::ResourceKind::Dsp, temp) / dsp0 - 1.0),
-               Table::pct(dev.delay_ps(coffe::ResourceKind::Lut, temp) / lut0 - 1.0),
-               Table::pct(dev.delay_ps(coffe::ResourceKind::SbMux, temp) / sb0 - 1.0)});
+               Table::pct(dev.rep_cp_delay(units::Celsius(temp)).value() / cp0 - 1.0),
+               Table::pct(dev.delay(coffe::ResourceKind::Bram, units::Celsius(temp)).value() / bram0 - 1.0),
+               Table::pct(dev.delay(coffe::ResourceKind::Dsp, units::Celsius(temp)).value() / dsp0 - 1.0),
+               Table::pct(dev.delay(coffe::ResourceKind::Lut, units::Celsius(temp)).value() / lut0 - 1.0),
+               Table::pct(dev.delay(coffe::ResourceKind::SbMux, units::Celsius(temp)).value() / sb0 - 1.0)});
   }
   t.print();
   return 0;

@@ -24,9 +24,9 @@ TAF_EXPERIMENT(fig2_corner_matrix) {
     };
     Row rows[3] = {{"CP", {}}, {"BRAM", {}}, {"DSP", {}}};
     for (int d = 0; d < 3; ++d) {
-      rows[0].v[d] = devs[d]->rep_cp_delay_ps(temp);
-      rows[1].v[d] = devs[d]->delay_ps(coffe::ResourceKind::Bram, temp);
-      rows[2].v[d] = devs[d]->delay_ps(coffe::ResourceKind::Dsp, temp);
+      rows[0].v[d] = devs[d]->rep_cp_delay(units::Celsius(temp)).value();
+      rows[1].v[d] = devs[d]->delay(coffe::ResourceKind::Bram, units::Celsius(temp)).value();
+      rows[2].v[d] = devs[d]->delay(coffe::ResourceKind::Dsp, units::Celsius(temp)).value();
     }
     for (const Row& r : rows) {
       const double mn = std::min({r.v[0], r.v[1], r.v[2]});

@@ -19,7 +19,7 @@ TAF_EXPERIMENT(fig3_cp_corner_curves) {
   Table t({"T (C)", "D0 (ps)", "D25 (ps)", "D100 (ps)", "best"});
   for (int temp = 0; temp <= 100; temp += 10) {
     double v[3];
-    for (int d = 0; d < 3; ++d) v[d] = devs[d]->rep_cp_delay_ps(temp);
+    for (int d = 0; d < 3; ++d) v[d] = devs[d]->rep_cp_delay(units::Celsius(temp)).value();
     const int best = static_cast<int>(std::min_element(v, v + 3) - v);
     static const char* names[3] = {"D0", "D25", "D100"};
     t.add_row({std::to_string(temp), Table::num(v[0], 1), Table::num(v[1], 1),
@@ -27,10 +27,10 @@ TAF_EXPERIMENT(fig3_cp_corner_curves) {
   }
   t.print();
 
-  const double d0_at0 = devs[0]->rep_cp_delay_ps(0.0);
-  const double d100_at0 = devs[2]->rep_cp_delay_ps(0.0);
-  const double d0_at100 = devs[0]->rep_cp_delay_ps(100.0);
-  const double d100_at100 = devs[2]->rep_cp_delay_ps(100.0);
+  const double d0_at0 = devs[0]->rep_cp_delay(units::Celsius(0.0)).value();
+  const double d100_at0 = devs[2]->rep_cp_delay(units::Celsius(0.0)).value();
+  const double d0_at100 = devs[0]->rep_cp_delay(units::Celsius(100.0)).value();
+  const double d100_at100 = devs[2]->rep_cp_delay(units::Celsius(100.0)).value();
   std::printf("\nD100/D0 at 0C: %.1f%% slower (paper: 6.3%%); "
               "D0/D100 at 100C: %.1f%% slower (paper: 9.0%%)\n",
               (d100_at0 / d0_at0 - 1.0) * 100.0, (d0_at100 / d100_at100 - 1.0) * 100.0);

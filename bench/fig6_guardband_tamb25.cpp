@@ -12,7 +12,7 @@ TAF_EXPERIMENT(fig6_guardband_tamb25) {
       "average ~36.5%, converged after ~2C of self-heating");
 
   core::GuardbandOptions opt;
-  opt.t_amb_c = 25.0;
+  opt.t_amb_c = units::Celsius(25.0);
   const auto cells = bench::run_sweep(bench::suite_points(25.0, opt));
 
   Table t({"Benchmark", "baseline MHz", "thermal-aware MHz", "gain", "iters",
@@ -22,9 +22,9 @@ TAF_EXPERIMENT(fig6_guardband_tamb25) {
   for (std::size_t i = 0; i < suite.size(); ++i) {
     const auto& r = cells[i].guardband;
     gains.push_back(r.gain());
-    t.add_row({suite[i].name, Table::num(r.baseline_fmax_mhz, 1),
-               Table::num(r.fmax_mhz, 1), Table::pct(r.gain()),
-               std::to_string(r.iterations), Table::num(r.peak_temp_c, 2)});
+    t.add_row({suite[i].name, Table::num(r.baseline_fmax_mhz.value(), 1),
+               Table::num(r.fmax_mhz.value(), 1), Table::pct(r.gain()),
+               std::to_string(r.iterations), Table::num(r.peak_temp_c.value(), 2)});
   }
   t.add_row({"average", "", "", Table::pct(util::mean_of(gains)), "", ""});
   t.print();

@@ -10,7 +10,7 @@ TAF_EXPERIMENT(fig7_guardband_tamb70) {
       "less headroom before the worst-case corner: average ~14%");
 
   core::GuardbandOptions opt;
-  opt.t_amb_c = 70.0;
+  opt.t_amb_c = units::Celsius(70.0);
   const auto cells = bench::run_sweep(bench::suite_points(25.0, opt));
 
   Table t({"Benchmark", "baseline MHz", "thermal-aware MHz", "gain", "peak T (C)"});
@@ -19,9 +19,9 @@ TAF_EXPERIMENT(fig7_guardband_tamb70) {
   for (std::size_t i = 0; i < suite.size(); ++i) {
     const auto& r = cells[i].guardband;
     gains.push_back(r.gain());
-    t.add_row({suite[i].name, Table::num(r.baseline_fmax_mhz, 1),
-               Table::num(r.fmax_mhz, 1), Table::pct(r.gain()),
-               Table::num(r.peak_temp_c, 2)});
+    t.add_row({suite[i].name, Table::num(r.baseline_fmax_mhz.value(), 1),
+               Table::num(r.fmax_mhz.value(), 1), Table::pct(r.gain()),
+               Table::num(r.peak_temp_c.value(), 2)});
   }
   t.add_row({"average", "", "", Table::pct(util::mean_of(gains)), ""});
   t.print();

@@ -13,7 +13,7 @@ TAF_EXPERIMENT(fig8_arch_opt_tamb70) {
       "average ~6.7%, variation follows critical-path composition");
 
   core::GuardbandOptions opt;
-  opt.t_amb_c = 70.0;
+  opt.t_amb_c = units::Celsius(70.0);
   // benchmark-major, grade-minor grid: cells[2*i] is D25, cells[2*i+1] D70.
   const auto suite = netlist::vtr_suite();
   const auto points = runner::Sweep::grid(suite, bench::kSuiteScale, bench::bench_arch(),
@@ -26,9 +26,9 @@ TAF_EXPERIMENT(fig8_arch_opt_tamb70) {
   for (std::size_t i = 0; i < suite.size(); ++i) {
     const auto& r25 = cells[2 * i].guardband;
     const auto& r70 = cells[2 * i + 1].guardband;
-    const double gain = r70.fmax_mhz / r25.fmax_mhz - 1.0;
+    const double gain = r70.fmax_mhz.value() / r25.fmax_mhz.value() - 1.0;
     gains.push_back(gain);
-    t.add_row({suite[i].name, Table::num(r25.fmax_mhz, 1), Table::num(r70.fmax_mhz, 1),
+    t.add_row({suite[i].name, Table::num(r25.fmax_mhz.value(), 1), Table::num(r70.fmax_mhz.value(), 1),
                Table::pct(gain), Table::pct(r70.timing.cp_share(coffe::ResourceKind::Bram)),
                Table::pct(r70.timing.cp_share(coffe::ResourceKind::Dsp))});
   }

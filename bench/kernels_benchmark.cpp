@@ -16,7 +16,7 @@ void BM_ElmoreDelay(benchmark::State& state) {
   const auto tech = tech::ptm22();
   const auto spec = coffe::lut_spec(bench::bench_arch());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(coffe::elmore_delay_ps(spec, tech, 45.0));
+    benchmark::DoNotOptimize(coffe::elmore_delay_ps(spec, tech, units::Celsius(45.0)));
   }
 }
 BENCHMARK(BM_ElmoreDelay);
@@ -25,7 +25,7 @@ void BM_SpiceTransientLut(benchmark::State& state) {
   const auto tech = tech::ptm22();
   const auto spec = coffe::lut_spec(bench::bench_arch());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(coffe::spice_delay_ps(spec, tech, 45.0));
+    benchmark::DoNotOptimize(coffe::spice_delay_ps(spec, tech, units::Celsius(45.0)));
   }
 }
 BENCHMARK(BM_SpiceTransientLut)->Unit(benchmark::kMillisecond);
@@ -35,9 +35,9 @@ BENCHMARK(BM_SpiceTransientLut)->Unit(benchmark::kMillisecond);
 void BM_SpiceTransientLutBackend(benchmark::State& state, spice::LinearBackend backend) {
   const auto tech = tech::ptm22();
   const auto spec = coffe::lut_spec(bench::bench_arch());
-  const auto probe = coffe::build_path_circuit(spec, tech, 45.0);
+  const auto probe = coffe::build_path_circuit(spec, tech, units::Celsius(45.0));
   spice::SolverOptions opt;
-  opt.temp_c = 45.0;
+  opt.temp_c = units::Celsius(45.0);
   opt.dt_ps = probe.dt_ps;
   opt.backend = backend;
   for (auto _ : state) {
@@ -80,7 +80,7 @@ void BM_GuardbandFlow(benchmark::State& state) {
   const auto& impl = bench::implementation_of("sha");
   const auto& dev = bench::device_at(25.0);
   core::GuardbandOptions opt;
-  opt.t_amb_c = 25.0;
+  opt.t_amb_c = units::Celsius(25.0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::guardband(impl, dev, opt));
   }

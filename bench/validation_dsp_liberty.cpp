@@ -17,14 +17,14 @@ TAF_EXPERIMENT(validation_dsp_liberty) {
       "547 + 4.42 T (+81% over 0..100C)");
 
   const auto tech = tech::ptm22();
-  const auto path = coffe::stdcell::synthesize_mac(tech, 25.0);
+  const auto path = coffe::stdcell::synthesize_mac(tech, units::Celsius(25.0));
 
   std::vector<double> temps, delays;
   Table t({"T (C)", "liberty STA (ps)", "normalized", "Table II fit (normalized)"});
   const auto& dsp_fit = bench::device_at(25.0).at(coffe::ResourceKind::Dsp).delay_ps;
   double base = 0.0;
   for (double temp = 0.0; temp <= 100.0; temp += 10.0) {
-    const auto lib = coffe::stdcell::characterize_library(tech, temp);
+    const auto lib = coffe::stdcell::characterize_library(tech, units::Celsius(temp));
     const double d = coffe::stdcell::sta_path_delay_ps(path, lib);
     if (temp == 0.0) base = d;
     temps.push_back(temp);

@@ -21,7 +21,7 @@ TAF_EXPERIMENT(validation_thermal) {
     p.scale = bench::kSuiteScale;
     p.arch = bench::bench_arch();
     p.t_opt_c = 25.0;
-    p.guardband.t_amb_c = 25.0;
+    p.guardband.t_amb_c = units::Celsius(25.0);
     points.push_back(std::move(p));
   }
   const auto cells = bench::run_sweep(points);
@@ -36,11 +36,11 @@ TAF_EXPERIMENT(validation_thermal) {
     double p_base = 0.0;
     for (int y = 0; y < impl.grid.height(); ++y) {
       for (int x = 0; x < impl.grid.width(); ++x) {
-        p_base += 1e-6 * power::tile_leakage_uw(dev, impl.grid.at(x, y), impl.arch, 25.0);
+        p_base += 1e-6 * power::tile_leakage(dev, impl.grid.at(x, y), impl.arch, units::Celsius(25.0)).value();
       }
     }
-    const double p_design = r.power.total_w();
-    const double dt = r.mean_temp_c - 25.0;
+    const double p_design = r.power.total_w().value();
+    const double dt = r.mean_temp_c.value() - 25.0;
     const double predicted = 0.7 * p_design / p_base;
     t.add_row({names[i], Table::num(p_design, 3), Table::num(p_base, 3),
                Table::num(dt, 2), Table::num(predicted, 2),

@@ -17,9 +17,9 @@ int main() {
   const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
   std::vector<coffe::DeviceModel> devices;
   for (double t : {0.0, 20.0, 40.0, 60.0, 80.0, 100.0}) {
-    devices.push_back(ch.characterize(t));
+    devices.push_back(ch.characterize(units::Celsius(t)));
     std::printf("synthesized %s (CP %.1f ps at its corner)\n", devices.back().name.c_str(),
-                devices.back().rep_cp_delay_ps(t));
+                devices.back().rep_cp_delay(units::Celsius(t)).value());
   }
 
   // Winner map: which device has the lowest CP delay at each temperature.
@@ -28,17 +28,17 @@ int main() {
   for (int temp = 0; temp <= 100; temp += 5) {
     int best = 0, second = -1;
     for (int d = 1; d < static_cast<int>(devices.size()); ++d) {
-      const double v = devices[static_cast<std::size_t>(d)].rep_cp_delay_ps(temp);
-      if (v < devices[static_cast<std::size_t>(best)].rep_cp_delay_ps(temp)) {
+      const double v = devices[static_cast<std::size_t>(d)].rep_cp_delay(units::Celsius(temp)).value();
+      if (v < devices[static_cast<std::size_t>(best)].rep_cp_delay(units::Celsius(temp)).value()) {
         second = best;
         best = d;
       } else if (second < 0 ||
-                 v < devices[static_cast<std::size_t>(second)].rep_cp_delay_ps(temp)) {
+                 v < devices[static_cast<std::size_t>(second)].rep_cp_delay(units::Celsius(temp)).value()) {
         second = d;
       }
     }
-    const double vb = devices[static_cast<std::size_t>(best)].rep_cp_delay_ps(temp);
-    const double vs = devices[static_cast<std::size_t>(second)].rep_cp_delay_ps(temp);
+    const double vb = devices[static_cast<std::size_t>(best)].rep_cp_delay(units::Celsius(temp)).value();
+    const double vs = devices[static_cast<std::size_t>(second)].rep_cp_delay(units::Celsius(temp)).value();
     t.add_row({std::to_string(temp), devices[static_cast<std::size_t>(best)].name,
                Table::num(vb, 1), devices[static_cast<std::size_t>(second)].name,
                Table::pct(vs / vb - 1.0, 2)});
@@ -57,7 +57,7 @@ int main() {
                 {"automotive underhood", 40, 100},
                 {"full industrial range", 0, 100}};
   for (const auto& f : fields) {
-    const int pick = core::select_grade(devices, f.lo, f.hi);
+    const int pick = core::select_grade(devices, units::Celsius(f.lo), units::Celsius(f.hi));
     t2.add_row({f.name, Table::num(f.lo, 0) + ".." + Table::num(f.hi, 0),
                 devices[static_cast<std::size_t>(pick)].name});
   }

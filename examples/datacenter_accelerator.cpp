@@ -26,17 +26,17 @@ int main() {
               spec.num_luts, spec.num_dsps);
   const auto impl = core::implement(spec, fabric);
 
-  const coffe::DeviceModel d25 = characterizer.characterize(25.0);
-  const coffe::DeviceModel d70 = characterizer.characterize(70.0);
+  const coffe::DeviceModel d25 = characterizer.characterize(units::Celsius(25.0));
+  const coffe::DeviceModel d70 = characterizer.characterize(units::Celsius(70.0));
 
   core::GuardbandOptions opt;
-  opt.t_amb_c = 70.0;
+  opt.t_amb_c = units::Celsius(70.0);
   const auto r25 = core::guardband(*impl, d25, opt);
   const auto r70 = core::guardband(*impl, d70, opt);
 
-  const double a = r25.baseline_fmax_mhz;
-  const double b = r25.fmax_mhz;
-  const double c = r70.fmax_mhz;
+  const double a = r25.baseline_fmax_mhz.value();
+  const double b = r25.fmax_mhz.value();
+  const double c = r70.fmax_mhz.value();
   std::printf("A. D25 + worst-case margin   : %7.1f MHz\n", a);
   std::printf("B. D25 + thermal-aware       : %7.1f MHz  (+%.1f%% over A)\n", b,
               (b / a - 1.0) * 100.0);
@@ -48,14 +48,14 @@ int main() {
     const double share = r70.timing.cp_share(k);
     if (share > 0.01) std::printf("%s %.0f%%  ", coffe::resource_name(k), share * 100.0);
   }
-  std::printf("\ndie peak %.2f C, total power %.1f mW\n", r70.peak_temp_c,
-              r70.power.total_w() * 1e3);
+  std::printf("\ndie peak %.2f C, total power %.1f mW\n", r70.peak_temp_c.value(),
+              r70.power.total_w().value() * 1e3);
 
   // Which grade should this deployment buy? Eq. (1) over the realistic
   // datacenter junction range.
   std::vector<coffe::DeviceModel> grades;
-  for (double t : {0.0, 25.0, 70.0, 100.0}) grades.push_back(characterizer.characterize(t));
-  const int pick = core::select_grade(grades, 60.0, 100.0);
+  for (double t : {0.0, 25.0, 70.0, 100.0}) grades.push_back(characterizer.characterize(units::Celsius(t)));
+  const int pick = core::select_grade(grades, units::Celsius(60.0), units::Celsius(100.0));
   std::printf("\nEq. (1) grade selection for a 60..100C field: %s\n",
               grades[static_cast<std::size_t>(pick)].name.c_str());
   return 0;

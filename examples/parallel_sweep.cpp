@@ -16,16 +16,15 @@
 #include "runner/metrics.hpp"
 #include "runner/sweep.hpp"
 #include "runner/thread_pool.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace taf;
   using util::Table;
 
-  int threads = runner::ThreadPool::hardware_default();
-  if (const char* env = std::getenv("TAF_THREADS")) {
-    if (std::atoi(env) > 0) threads = std::atoi(env);
-  }
+  const int threads = util::env_positive_int(
+      "TAF_THREADS", runner::ThreadPool::hardware_default());
   runner::ThreadPool pool(threads);
   runner::FlowCache cache;
 
@@ -48,9 +47,9 @@ int main() {
 
   Table t({"cell", "fmax (MHz)", "gain", "peak T (C)", "iters", "wall (s)"});
   for (const auto& cell : cells) {
-    t.add_row({cell.metrics.name, Table::num(cell.guardband.fmax_mhz, 1),
+    t.add_row({cell.metrics.name, Table::num(cell.guardband.fmax_mhz.value(), 1),
                Table::pct(cell.guardband.gain()),
-               Table::num(cell.guardband.peak_temp_c, 1),
+               Table::num(cell.guardband.peak_temp_c.value(), 1),
                std::to_string(cell.guardband.iterations),
                Table::num(cell.metrics.wall_s, 2)});
   }

@@ -24,11 +24,11 @@ int main(int argc, char** argv) {
 
   // 2. Characterize the device for the typical 25C corner.
   const coffe::Characterizer characterizer(technology, fabric);
-  const coffe::DeviceModel device = characterizer.characterize(25.0);
+  const coffe::DeviceModel device = characterizer.characterize(units::Celsius(25.0));
   std::printf("device %s: LUT delay %.0f + %.2f*T ps, leakage %.2f uW @25C\n",
               device.name.c_str(), device.at(coffe::ResourceKind::Lut).delay_ps.intercept,
               device.at(coffe::ResourceKind::Lut).delay_ps.slope,
-              device.leakage_uw(coffe::ResourceKind::Lut, 25.0));
+              device.leakage(coffe::ResourceKind::Lut, units::Celsius(25.0)).value());
 
   // 3. Implement a benchmark (1/16-scale VTR circuit).
   netlist::BenchmarkSpec spec;
@@ -50,14 +50,14 @@ int main(int argc, char** argv) {
 
   // 4. Thermal-aware guardbanding vs the worst-case corner.
   core::GuardbandOptions opt;
-  opt.t_amb_c = 25.0;
+  opt.t_amb_c = units::Celsius(25.0);
   const core::GuardbandResult r = core::guardband(*impl, device, opt);
-  std::printf("\nworst-case (100C) guardband : %7.1f MHz\n", r.baseline_fmax_mhz);
-  std::printf("thermal-aware guardband     : %7.1f MHz  (+%.1f%%)\n", r.fmax_mhz,
+  std::printf("\nworst-case (100C) guardband : %7.1f MHz\n", r.baseline_fmax_mhz.value());
+  std::printf("thermal-aware guardband     : %7.1f MHz  (+%.1f%%)\n", r.fmax_mhz.value(),
               r.gain() * 100.0);
   std::printf("converged in %d iteration(s); die peak %.2f C (ambient %.0f C)\n",
-              r.iterations, r.peak_temp_c, opt.t_amb_c);
-  std::printf("power: %.1f mW dynamic + %.1f mW leakage\n", r.power.dynamic_w * 1e3,
-              r.power.leakage_w * 1e3);
+              r.iterations, r.peak_temp_c.value(), opt.t_amb_c.value());
+  std::printf("power: %.1f mW dynamic + %.1f mW leakage\n", r.power.dynamic_w.value() * 1e3,
+              r.power.leakage_w.value() * 1e3);
   return 0;
 }

@@ -14,11 +14,11 @@
 int main(int argc, char** argv) {
   using namespace taf;
   const std::string name = argc > 1 ? argv[1] : "mcml";
-  const double t_amb = argc > 2 ? std::atof(argv[2]) : 25.0;
+  const double t_amb = argc > 2 ? std::strtod(argv[2], nullptr) : 25.0;
 
   const arch::ArchParams fabric = arch::scaled_arch();
   const coffe::Characterizer ch(tech::ptm22(), fabric);
-  const coffe::DeviceModel dev = ch.characterize(25.0);
+  const coffe::DeviceModel dev = ch.characterize(units::Celsius(25.0));
 
   netlist::BenchmarkSpec spec;
   bool found = false;
@@ -36,15 +36,15 @@ int main(int argc, char** argv) {
 
   // Run Algorithm 1 with a tight threshold to show the convergence trace.
   core::GuardbandOptions opt;
-  opt.t_amb_c = t_amb;
-  opt.delta_t_c = 0.05;
+  opt.t_amb_c = units::Celsius(t_amb);
+  opt.delta_t_c = units::Kelvin(0.05);
   opt.max_iterations = 10;
   const auto r = core::guardband(*impl, dev, opt);
 
   std::printf("%s at Tamb=%.0fC: fmax %.1f MHz (baseline %.1f), %d iterations\n",
-              spec.name.c_str(), t_amb, r.fmax_mhz, r.baseline_fmax_mhz, r.iterations);
-  std::printf("temperature: mean %.2f C, peak %.2f C (rise %.2f C)\n\n", r.mean_temp_c,
-              r.peak_temp_c, r.peak_temp_c - t_amb);
+              spec.name.c_str(), t_amb, r.fmax_mhz.value(), r.baseline_fmax_mhz.value(), r.iterations);
+  std::printf("temperature: mean %.2f C, peak %.2f C (rise %.2f C)\n\n", r.mean_temp_c.value(),
+              r.peak_temp_c.value(), r.peak_temp_c.value() - t_amb);
 
   std::printf("converged thermal map (%dx%d tiles; '@' = hottest):\n", impl->grid.width(),
               impl->grid.height());

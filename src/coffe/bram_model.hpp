@@ -13,6 +13,7 @@
 #include "arch/arch_params.hpp"
 #include "tech/technology.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace taf::coffe {
 
@@ -35,20 +36,20 @@ struct BramDesign {
 /// N(vth0, sigma); the max leakage over `samples` draws is returned.
 /// Deterministic for a given rng seed.
 double weakest_cell_leakage_na(const tech::Technology& tech, const arch::ArchParams& a,
-                               double temp_c, util::Rng& rng, int samples = 2000);
+                               units::Celsius temp, util::Rng& rng, int samples = 2000);
 
 /// Read-path delay of the design at operating temperature [ps]:
 /// decode + wordline RC + bitline discharge (swing / cell current, fought
 /// by keeper and actual leakage) + sense and output buffering.
 double bram_delay_ps(const BramDesign& d, const tech::Technology& tech,
-                     const arch::ArchParams& a, double temp_c);
+                     const arch::ArchParams& a, units::Celsius temp);
 
 /// Area of the BRAM macro [um^2] (cell array dominated).
 double bram_area_um2(const BramDesign& d, const arch::ArchParams& a);
 
 /// Leakage power of the macro at temperature [uW].
 double bram_leakage_uw(const BramDesign& d, const tech::Technology& tech,
-                       const arch::ArchParams& a, double temp_c);
+                       const arch::ArchParams& a, units::Celsius temp);
 
 /// Switched capacitance of one read access [fF].
 double bram_switched_cap_ff(const BramDesign& d, const tech::Technology& tech,
@@ -58,6 +59,6 @@ double bram_switched_cap_ff(const BramDesign& d, const tech::Technology& tech,
 /// keeper from the design-corner weakest-cell leakage, then coordinate-
 /// descends the buffer/cell widths on an area-delay objective at t_opt_c.
 BramDesign size_bram(const tech::Technology& tech, const arch::ArchParams& a,
-                     double t_opt_c, unsigned rng_seed = 17);
+                     units::Celsius t_opt, unsigned rng_seed = 17);
 
 }  // namespace taf::coffe

@@ -66,14 +66,17 @@ double table2_delay_at(ResourceKind k, double temp_c) {
 
 }  // namespace
 
-double DeviceModel::rep_cp_delay_ps(double temp_c) const {
+units::Picoseconds DeviceModel::rep_cp_delay(units::Celsius temp) const {
   double d = 0.0;
-  for (ResourceKind k : soft_resource_kinds()) d += cp_weight(k) * delay_ps(k, temp_c);
-  return d;
+  for (ResourceKind k : soft_resource_kinds()) d += cp_weight(k) * delay(k, temp).value();
+  return units::Picoseconds{d};
 }
 
-double DeviceModel::expected_cp_delay_ps(double t_min_c, double t_max_c) const {
-  assert(t_max_c > t_min_c);
+units::Picoseconds DeviceModel::expected_cp_delay(units::Celsius t_min,
+                                                  units::Celsius t_max) const {
+  assert(t_max > t_min);
+  const double t_min_c = t_min.value();
+  const double t_max_c = t_max.value();
   // The per-resource delay fits are linear in T, so the expectation over a
   // uniform temperature distribution is the delay at the midpoint; the
   // explicit integral is kept for clarity and for non-linear future fits.
@@ -84,15 +87,15 @@ double DeviceModel::expected_cp_delay_ps(double t_min_c, double t_max_c) const {
   for (int i = 0; i <= n; ++i) {
     const double t = t_min_c + (t_max_c - t_min_c) * i / n;
     xs.push_back(t);
-    ys.push_back(rep_cp_delay_ps(t));
+    ys.push_back(rep_cp_delay(units::Celsius{t}).value());
   }
-  return util::integrate_trapezoid(xs, ys) / (t_max_c - t_min_c);
+  return units::Picoseconds{util::integrate_trapezoid(xs, ys) / (t_max_c - t_min_c)};
 }
 
 DeviceModel Characterizer::paper_table2_reference() {
   DeviceModel d;
   d.name = "paper-D25";
-  d.t_opt_c = 25.0;
+  d.t_opt_c = units::Celsius{25.0};
   for (ResourceKind k : all_resource_kinds()) {
     const Table2Row r = table2_row(k);
     ResourceChar& rc = d.res[static_cast<std::size_t>(k)];
@@ -109,7 +112,8 @@ DeviceModel Characterizer::paper_table2_reference() {
 }
 
 double Characterizer::raw_delay(const PathSpec& spec, double temp_c, bool spice) const {
-  return spice ? spice_delay_ps(spec, tech_, temp_c) : elmore_delay_ps(spec, tech_, temp_c);
+  const units::Celsius t{temp_c};
+  return spice ? spice_delay_ps(spec, tech_, t) : elmore_delay_ps(spec, tech_, t);
 }
 
 Characterizer::Characterizer(tech::Technology technology, arch::ArchParams arch,
@@ -118,13 +122,13 @@ Characterizer::Characterizer(tech::Technology technology, arch::ArchParams arch,
   // Build the 25C reference sizing and derive calibration scales that map
   // our raw physical models onto the paper's Table II magnitudes at 25C.
   SizingOptions sopt;
-  sopt.t_opt_c = 25.0;
+  sopt.t_opt_c = units::Celsius{25.0};
   for (ResourceKind k : all_resource_kinds()) {
     Scales& s = scales_[static_cast<std::size_t>(k)];
     const Table2Row target = table2_row(k);
     if (k == ResourceKind::Bram) {
-      const BramDesign d = size_bram(tech_, arch_, 25.0);
-      const double raw_d = bram_delay_ps(d, tech_, arch_, 25.0);
+      const BramDesign d = size_bram(tech_, arch_, units::Celsius{25.0});
+      const double raw_d = bram_delay_ps(d, tech_, arch_, units::Celsius{25.0});
       s.delay_elmore = table2_delay_at(k, 25.0) / raw_d;
       s.delay_spice = s.delay_elmore;  // BRAM always uses the analytic model
       s.area = target.area_um2 / bram_area_um2(d, arch_);
@@ -133,7 +137,7 @@ Characterizer::Characterizer(tech::Technology technology, arch::ArchParams arch,
                               100.0 * 1e-3;
       s.pdyn = target.pdyn_uw / raw_pdyn;
       s.plkg = target.lkg_scale_uw * std::exp(target.lkg_rate * 25.0) /
-               bram_leakage_uw(d, tech_, arch_, 25.0);
+               bram_leakage_uw(d, tech_, arch_, units::Celsius{25.0});
       continue;
     }
     const PathSpec base = spec_for(k, arch_);
@@ -143,25 +147,27 @@ Characterizer::Characterizer(tech::Technology technology, arch::ArchParams arch,
     s.area = target.area_um2 / path_area_um2(sized.spec);
     s.pdyn = target.pdyn_uw / dynamic_power_uw(sized.spec, tech_, 100.0, 1.0);
     s.plkg = target.lkg_scale_uw * std::exp(target.lkg_rate * 25.0) /
-             leakage_uw(sized.spec, tech_, 25.0);
+             leakage_uw(sized.spec, tech_, units::Celsius{25.0});
     util::log_debug("calibrated %s: delay x%.3f (spice x%.3f) area x%.3f",
                     resource_name(k), s.delay_elmore, s.delay_spice, s.area);
   }
 }
 
-DeviceModel Characterizer::characterize(double t_opt_c) const {
+DeviceModel Characterizer::characterize(units::Celsius t_opt) const {
+  const double t_opt_c = t_opt.value();
   DeviceModel dev;
-  dev.t_opt_c = t_opt_c;
+  dev.t_opt_c = t_opt;
   dev.arch = arch_;
   dev.name = "D" + std::to_string(static_cast<int>(std::lround(t_opt_c)));
 
   std::vector<double> temps;
-  for (double t = opt_.t_min_c; t <= opt_.t_max_c + 1e-9; t += opt_.t_step_c)
+  for (double t = opt_.t_min_c.value(); t <= opt_.t_max_c.value() + 1e-9;
+       t += opt_.t_step_c.value())
     temps.push_back(t);
   assert(temps.size() >= 2);
 
   SizingOptions sopt;
-  sopt.t_opt_c = t_opt_c;
+  sopt.t_opt_c = t_opt;
 
   for (ResourceKind k : all_resource_kinds()) {
     const Scales& s = scales_[static_cast<std::size_t>(k)];
@@ -170,10 +176,10 @@ DeviceModel Characterizer::characterize(double t_opt_c) const {
     std::vector<double> leaks(temps.size());
 
     if (k == ResourceKind::Bram) {
-      const BramDesign d = size_bram(tech_, arch_, t_opt_c);
+      const BramDesign d = size_bram(tech_, arch_, t_opt);
       for (std::size_t i = 0; i < temps.size(); ++i) {
-        delays[i] = s.delay_elmore * bram_delay_ps(d, tech_, arch_, temps[i]);
-        leaks[i] = s.plkg * bram_leakage_uw(d, tech_, arch_, temps[i]);
+        delays[i] = s.delay_elmore * bram_delay_ps(d, tech_, arch_, units::Celsius{temps[i]});
+        leaks[i] = s.plkg * bram_leakage_uw(d, tech_, arch_, units::Celsius{temps[i]});
       }
       rc.area_um2 = s.area * bram_area_um2(d, arch_);
       const double c_ff = bram_switched_cap_ff(d, tech_, arch_);
@@ -186,7 +192,7 @@ DeviceModel Characterizer::characterize(double t_opt_c) const {
       for (std::size_t i = 0; i < temps.size(); ++i) {
         delays[i] = scale * raw_delay(sized.spec, temps[i], spice) *
                     corner_mismatch(k, temps[i], t_opt_c);
-        leaks[i] = s.plkg * leakage_uw(sized.spec, tech_, temps[i]);
+        leaks[i] = s.plkg * leakage_uw(sized.spec, tech_, units::Celsius{temps[i]});
       }
       rc.area_um2 = s.area * path_area_um2(sized.spec);
       rc.pdyn_uw_100mhz = s.pdyn * dynamic_power_uw(sized.spec, tech_, 100.0, 1.0);

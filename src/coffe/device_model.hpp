@@ -16,6 +16,7 @@
 #include "coffe/resource.hpp"
 #include "tech/technology.hpp"
 #include "util/stats.hpp"
+#include "util/units.hpp"
 
 namespace taf::coffe {
 
@@ -28,33 +29,37 @@ struct ResourceChar {
 };
 
 struct DeviceModel {
-  std::string name;       ///< e.g. "D25"
-  double t_opt_c = 25.0;  ///< corner the fabric was optimized for
+  std::string name;              ///< e.g. "D25"
+  units::Celsius t_opt_c{25.0};  ///< corner the fabric was optimized for
   arch::ArchParams arch;
   std::array<ResourceChar, kNumResourceKinds> res;
 
   const ResourceChar& at(ResourceKind k) const {
     return res[static_cast<std::size_t>(k)];
   }
-  double delay_ps(ResourceKind k, double temp_c) const { return at(k).delay_ps(temp_c); }
-  double leakage_uw(ResourceKind k, double temp_c) const { return at(k).plkg_uw(temp_c); }
-  double dyn_power_uw(ResourceKind k, double f_mhz, double activity) const {
-    return at(k).pdyn_uw_100mhz * (f_mhz / 100.0) * activity;
+  units::Picoseconds delay(ResourceKind k, units::Celsius temp) const {
+    return units::Picoseconds{at(k).delay_ps(temp.value())};
+  }
+  units::Microwatts leakage(ResourceKind k, units::Celsius temp) const {
+    return units::Microwatts{at(k).plkg_uw(temp.value())};
+  }
+  units::Microwatts dyn_power(ResourceKind k, units::Megahertz f, double activity) const {
+    return units::Microwatts{at(k).pdyn_uw_100mhz * (f.value() / 100.0) * activity};
   }
 
   /// Representative soft-fabric critical-path delay (Fig. 1 "CP"):
   /// occurrence-weighted average over the soft resources.
-  double rep_cp_delay_ps(double temp_c) const;
+  units::Picoseconds rep_cp_delay(units::Celsius temp) const;
 
   /// Expected delay of the representative CP over a uniform temperature
   /// range [t_min, t_max] — Eq. (1) of the paper.
-  double expected_cp_delay_ps(double t_min_c, double t_max_c) const;
+  units::Picoseconds expected_cp_delay(units::Celsius t_min, units::Celsius t_max) const;
 };
 
 struct CharacterizeOptions {
-  double t_min_c = 0.0;
-  double t_max_c = 100.0;
-  double t_step_c = 5.0;
+  units::Celsius t_min_c{0.0};
+  units::Celsius t_max_c{100.0};
+  units::Kelvin t_step_c{5.0};
   /// Use the SPICE transient evaluator for the temperature sweep of the
   /// soft-fabric paths (slower). The Elmore evaluator is always used for
   /// sizing; BRAM always uses its analytic read-path model.
@@ -70,8 +75,8 @@ class Characterizer {
   Characterizer(tech::Technology technology, arch::ArchParams arch,
                 CharacterizeOptions options = {});
 
-  /// Size all resources for `t_opt_c` and sweep the temperature range.
-  DeviceModel characterize(double t_opt_c) const;
+  /// Size all resources for `t_opt` and sweep the temperature range.
+  DeviceModel characterize(units::Celsius t_opt) const;
 
   /// The paper's Table II reference values (targets of the calibration).
   static DeviceModel paper_table2_reference();

@@ -58,7 +58,9 @@ double inv_output_cap_ff(const tech::Technology& tech, const Stage& s) {
 
 }  // namespace
 
-double elmore_delay_ps(const PathSpec& spec, const tech::Technology& tech, double temp_c) {
+double elmore_delay_ps(const PathSpec& spec, const tech::Technology& tech,
+                       units::Celsius temp) {
+  const double temp_c = temp.value();
   assert(!spec.stages.empty() && spec.stages.front().kind == StageKind::Inverter);
   double total_ps = 0.0;      // completed (buffered) segments
   double segment_ps = 0.0;    // Elmore of the segment under construction
@@ -126,7 +128,8 @@ double elmore_delay_ps(const PathSpec& spec, const tech::Technology& tech, doubl
 }
 
 PathCircuitProbe build_path_circuit(const PathSpec& spec, const tech::Technology& tech,
-                                    double temp_c) {
+                                    units::Celsius temp) {
+  const double temp_c = temp.value();
   assert(!spec.stages.empty() && spec.stages.front().kind == StageKind::Inverter);
   PathCircuitProbe probe;
   spice::Circuit& c = probe.circuit;
@@ -189,11 +192,12 @@ PathCircuitProbe build_path_circuit(const PathSpec& spec, const tech::Technology
   return probe;
 }
 
-double spice_delay_ps(const PathSpec& spec, const tech::Technology& tech, double temp_c) {
-  const PathCircuitProbe probe = build_path_circuit(spec, tech, temp_c);
+double spice_delay_ps(const PathSpec& spec, const tech::Technology& tech,
+                      units::Celsius temp) {
+  const PathCircuitProbe probe = build_path_circuit(spec, tech, temp);
 
   spice::SolverOptions opt;
-  opt.temp_c = temp_c;
+  opt.temp_c = temp;
   opt.dt_ps = probe.dt_ps;
   const auto result = spice::solve_transient(probe.circuit, tech, opt, probe.t_stop_ps);
 
@@ -226,7 +230,9 @@ double switched_cap_ff(const PathSpec& spec, const tech::Technology& tech) {
   return c;
 }
 
-double leakage_uw(const PathSpec& spec, const tech::Technology& tech, double temp_c) {
+double leakage_uw(const PathSpec& spec, const tech::Technology& tech,
+                  units::Celsius temp) {
+  const double temp_c = temp.value();
   // In an inverter one of the two devices is off; pass gates leak through
   // the off siblings; SRAM cells leak constantly.
   double i_na = 0.0;

@@ -10,15 +10,18 @@
 #include "coffe/path_spec.hpp"
 #include "spice/circuit.hpp"
 #include "tech/technology.hpp"
+#include "util/units.hpp"
 
 namespace taf::coffe {
 
 /// Analytic Elmore delay of the path at the given temperature [ps].
-double elmore_delay_ps(const PathSpec& spec, const tech::Technology& tech, double temp_c);
+double elmore_delay_ps(const PathSpec& spec, const tech::Technology& tech,
+                       units::Celsius temp);
 
 /// Transient-simulated 50%-to-50% delay of the path [ps]. Throws
 /// std::runtime_error if the output never switches (broken sizing).
-double spice_delay_ps(const PathSpec& spec, const tech::Technology& tech, double temp_c);
+double spice_delay_ps(const PathSpec& spec, const tech::Technology& tech,
+                      units::Celsius temp);
 
 /// The netlist spice_delay_ps simulates, plus everything needed to rerun
 /// and re-measure it externally (differential backend tests, benchmarks).
@@ -34,7 +37,7 @@ struct PathCircuitProbe {
 
 /// Build the transient testbench for a path without simulating it.
 PathCircuitProbe build_path_circuit(const PathSpec& spec, const tech::Technology& tech,
-                                    double temp_c);
+                                    units::Celsius temp);
 
 /// Total capacitance switched when the resource toggles [fF]
 /// (gate + junction + wire + declared extra dynamic cap).
@@ -42,7 +45,8 @@ double switched_cap_ff(const PathSpec& spec, const tech::Technology& tech);
 
 /// Static leakage power of the full resource at temperature [uW]:
 /// path devices + declared off-structure widths + SRAM cells.
-double leakage_uw(const PathSpec& spec, const tech::Technology& tech, double temp_c);
+double leakage_uw(const PathSpec& spec, const tech::Technology& tech,
+                  units::Celsius temp);
 
 /// Dynamic power at the given frequency and activity [uW]:
 /// 0.5 * alpha * C * Vdd^2 * f.

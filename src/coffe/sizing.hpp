@@ -10,11 +10,12 @@
 
 #include "coffe/path_spec.hpp"
 #include "tech/technology.hpp"
+#include "util/units.hpp"
 
 namespace taf::coffe {
 
 struct SizingOptions {
-  double t_opt_c = 25.0;    ///< design corner the device is optimized for
+  units::Celsius t_opt_c{25.0};  ///< design corner the device is optimized for
   double area_weight = 1.0; ///< cost = delay * area^area_weight
   int max_rounds = 40;
 };

@@ -91,7 +91,7 @@ std::pair<NodeId, NodeId> build_cell(Circuit& c, NodeId vdd, CellType t, double 
 }
 
 /// Measure one cell's 50%-to-50% delay at a given output load.
-double measure_cell_delay(const tech::Technology& tech, double temp_c, CellType t,
+double measure_cell_delay(const tech::Technology& tech, units::Celsius temp_c, CellType t,
                           double w_um, double load_ff) {
   const CellCircuitProbe probe = build_cell_circuit(tech, t, w_um, load_ff);
 
@@ -140,7 +140,7 @@ CellCircuitProbe build_cell_circuit(const tech::Technology& tech, CellType t,
 
 const char* cell_name(CellType t) { return kCellNames[static_cast<int>(t)]; }
 
-Liberty characterize_library(const tech::Technology& tech, double temp_c) {
+Liberty characterize_library(const tech::Technology& tech, units::Celsius temp_c) {
   std::array<std::array<CellTiming, 3>, kNumCellTypes> arcs{};
   for (int ti = 0; ti < kNumCellTypes; ++ti) {
     const auto type = static_cast<CellType>(ti);
@@ -159,7 +159,7 @@ Liberty characterize_library(const tech::Technology& tech, double temp_c) {
       ct.leakage_nw = tech.vdd *
                       tech::off_current_na(p, w * (st.n_stack + 2.0 * st.p_stack) * 0.5 +
                                                   3.0 * w * st.extra_stages * 0.5,
-                                           temp_c);
+                                           temp_c.value());
       arcs[static_cast<std::size_t>(ti)][di] = ct;
     }
   }
@@ -196,7 +196,7 @@ double sta_path_delay_ps(const std::vector<PathGate>& path, const Liberty& lib) 
   return total;
 }
 
-std::vector<PathGate> synthesize_mac(const tech::Technology& tech, double t_opt_c,
+std::vector<PathGate> synthesize_mac(const tech::Technology& tech, units::Celsius t_opt_c,
                                      double area_weight) {
   const Liberty lib = characterize_library(tech, t_opt_c);
   std::vector<PathGate> path = mac27_critical_path();

@@ -15,6 +15,7 @@
 
 #include "spice/circuit.hpp"
 #include "tech/technology.hpp"
+#include "util/units.hpp"
 
 namespace taf::coffe::stdcell {
 
@@ -45,10 +46,10 @@ struct CellTiming {
 /// temperature (one ".lib" file of the paper's flow).
 class Liberty {
  public:
-  Liberty(double temp_c, std::array<std::array<CellTiming, 3>, kNumCellTypes> arcs)
-      : temp_c_(temp_c), arcs_(arcs) {}
+  Liberty(units::Celsius temp, std::array<std::array<CellTiming, 3>, kNumCellTypes> arcs)
+      : temp_c_(temp), arcs_(arcs) {}
 
-  double temp_c() const { return temp_c_; }
+  units::Celsius temp_c() const { return temp_c_; }
   /// drive_index indexes kDriveStrengths.
   const CellTiming& arc(CellType t, int drive_index) const {
     return arcs_[static_cast<std::size_t>(static_cast<int>(t))]
@@ -56,13 +57,13 @@ class Liberty {
   }
 
  private:
-  double temp_c_;
+  units::Celsius temp_c_;
   std::array<std::array<CellTiming, 3>, kNumCellTypes> arcs_;
 };
 
 /// SPICE-characterize the full library at a temperature: each cell's worst
 /// arc is measured at two output loads and reduced to the linear model.
-Liberty characterize_library(const tech::Technology& tech, double temp_c);
+Liberty characterize_library(const tech::Technology& tech, units::Celsius temp);
 
 /// The testbench one cell arc is measured in (edge-shaping driver, the
 /// cell's worst arc, the output load), plus how to measure it — exposed
@@ -102,7 +103,7 @@ double sta_path_delay_ps(const std::vector<PathGate>& path, const Liberty& lib);
 /// "Synthesis": choose per-gate drive strengths minimizing path delay
 /// under the library of the target corner (greedy sweeps to convergence,
 /// with a mild area penalty per drive step).
-std::vector<PathGate> synthesize_mac(const tech::Technology& tech, double t_opt_c,
+std::vector<PathGate> synthesize_mac(const tech::Technology& tech, units::Celsius t_opt,
                                      double area_weight = 0.02);
 
 }  // namespace taf::coffe::stdcell

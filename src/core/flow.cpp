@@ -4,11 +4,11 @@
 #include <cassert>
 #include <cctype>
 #include <cmath>
-#include <cstdlib>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -41,7 +41,7 @@ const char* incremental_mode_name(IncrementalMode mode) {
 
 IncrementalMode default_incremental_mode() {
   static const IncrementalMode mode = [] {
-    const char* env = std::getenv("TAF_INCREMENTAL");
+    const char* env = util::env_cstr("TAF_INCREMENTAL");
     if (env == nullptr || *env == '\0') return IncrementalMode::Exact;
     std::string v(env);
     for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -67,7 +67,7 @@ struct PhaseClock {
   explicit PhaseClock(const FlowObserver* obs) : obs_(obs) {}
   void mark(FlowPhase phase) {
     const double s = watch_.lap();
-    if (obs_ != nullptr && obs_->on_phase) obs_->on_phase(phase, s);
+    if (obs_ != nullptr && obs_->on_phase) obs_->on_phase(phase, units::Seconds{s});
   }
   const FlowObserver* obs_;
   util::Stopwatch watch_;
@@ -144,13 +144,14 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
   const auto n_tiles = static_cast<std::size_t>(impl.grid.num_tiles());
   result.baseline_fmax_mhz =
       incremental
-          ? run_sta(std::vector<double>(n_tiles, opt.t_worst_c), /*with_cp=*/false)
+          ? run_sta(std::vector<double>(n_tiles, opt.t_worst_c.value()),
+                    /*with_cp=*/false)
                 .fmax_mhz
           : impl.sta->analyze_uniform(dev, opt.t_worst_c).fmax_mhz;
   auto run_power = [&](double f_mhz, const std::vector<double>& t) {
-    power::PowerBreakdown p =
-        power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
-                             impl.routes, impl.activity, f_mhz, t, impl.grid);
+    power::PowerBreakdown p = power::compute_power(
+        dev, impl.nl, impl.packed, impl.placement, impl.rr, impl.routes,
+        impl.activity, units::Megahertz{f_mhz}, t, impl.grid);
     if (opt.power_scale != 1.0) {
       for (double& w : p.tile_w) w *= opt.power_scale;
       p.dynamic_w *= opt.power_scale;
@@ -160,9 +161,9 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
   };
 
   // Algorithm 1.
-  std::vector<double> temps(n_tiles, opt.t_amb_c);
+  std::vector<double> temps(n_tiles, opt.t_amb_c.value());
   timing::TimingResult sta = run_sta(temps, /*with_cp=*/false);
-  double fmax = sta.fmax_mhz;
+  double fmax = sta.fmax_mhz.value();
   clock.mark(FlowPhase::Sta);
   // The priming analysis above evaluated every edge once; the loop stats
   // report only the incremental work the iterations themselves cost.
@@ -189,18 +190,19 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
     }
     temps = new_temps;
     sta = run_sta(temps, /*with_cp=*/false);
-    fmax = sta.fmax_mhz;
+    fmax = sta.fmax_mhz.value();
     clock.mark(FlowPhase::Sta);
     util::log_debug("guardband iter %d: fmax %.1f MHz, max dT %.3f C", iter, fmax,
                     max_delta);
     if (opt.observer != nullptr && opt.observer->on_iteration) {
-      opt.observer->on_iteration(iter, fmax, max_delta);
+      opt.observer->on_iteration(iter, units::Megahertz{fmax},
+                                 units::Kelvin{max_delta});
     }
     if (opt.observer != nullptr && opt.observer->on_iteration_info) {
       FlowObserver::IterationInfo info;
       info.iteration = iter;
-      info.fmax_mhz = fmax;
-      info.max_delta_c = max_delta;
+      info.fmax_mhz = units::Megahertz{fmax};
+      info.max_delta_c = units::Kelvin{max_delta};
       if (session) {
         info.edges_reevaluated = session->counters().edges_reevaluated - last_edges;
         info.delay_cache_hits = session->counters().delay_cache_hits - last_hits;
@@ -212,7 +214,7 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
       last_edges = session->counters().edges_reevaluated;
       last_hits = session->counters().delay_cache_hits;
     }
-    if (max_delta < opt.delta_t_c) {
+    if (max_delta < opt.delta_t_c.value()) {
       result.converged = true;
       break;
     }
@@ -225,12 +227,12 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
     util::log_warn(
         "guardband(%s): not converged after %d iterations (max dT still >= %g C); "
         "result is not a thermal fixed point",
-        impl.nl.name().c_str(), opt.max_iterations, opt.delta_t_c);
+        impl.nl.name().c_str(), opt.max_iterations, opt.delta_t_c.value());
   }
 
   // Final margin: re-time at T + delta_T to absorb the convergence error.
   std::vector<double> margin_temps = temps;
-  for (double& t : margin_temps) t += opt.delta_t_c;
+  for (double& t : margin_temps) t += opt.delta_t_c.value();
   result.timing = run_sta(margin_temps, /*with_cp=*/true);
   result.fmax_mhz = result.timing.fmax_mhz;
   clock.mark(FlowPhase::Sta);
@@ -239,7 +241,7 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
   // temperature map and the margin-applied fmax. (The loop's last power
   // map belongs to the *previous* iterate, and is never computed at all
   // when max_iterations == 0.)
-  result.power = run_power(result.fmax_mhz, temps);
+  result.power = run_power(result.fmax_mhz.value(), temps);
   clock.mark(FlowPhase::Power);
   result.tile_temp_c = std::move(temps);
 
@@ -252,18 +254,19 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
 
   util::Accumulator acc;
   for (double t : result.tile_temp_c) acc.add(t);
-  result.peak_temp_c = acc.max();
-  result.mean_temp_c = acc.mean();
+  result.peak_temp_c = units::Celsius{acc.max()};
+  result.mean_temp_c = units::Celsius{acc.mean()};
   return result;
 }
 
-int select_grade(const std::vector<coffe::DeviceModel>& devices, double t_min_c,
-                 double t_max_c) {
+int select_grade(const std::vector<coffe::DeviceModel>& devices, units::Celsius t_min,
+                 units::Celsius t_max) {
   if (devices.empty()) throw std::invalid_argument("select_grade: no devices");
   int best = 0;
-  double best_d = devices[0].expected_cp_delay_ps(t_min_c, t_max_c);
+  double best_d = devices[0].expected_cp_delay(t_min, t_max).value();
   for (int i = 1; i < static_cast<int>(devices.size()); ++i) {
-    const double d = devices[static_cast<std::size_t>(i)].expected_cp_delay_ps(t_min_c, t_max_c);
+    const double d =
+        devices[static_cast<std::size_t>(i)].expected_cp_delay(t_min, t_max).value();
     if (d < best_d) {
       best_d = d;
       best = i;

@@ -21,6 +21,7 @@
 #include "route/rr_graph.hpp"
 #include "thermal/thermal_grid.hpp"
 #include "timing/timing.hpp"
+#include "util/units.hpp"
 
 namespace taf::core {
 
@@ -121,17 +122,18 @@ struct FlowObserver {
   /// incremental session exists).
   struct IterationInfo {
     int iteration = 0;
-    double fmax_mhz = 0.0;
-    double max_delta_c = 0.0;
+    units::Megahertz fmax_mhz{0.0};
+    units::Kelvin max_delta_c{0.0};
     std::uint64_t edges_reevaluated = 0;
     std::uint64_t delay_cache_hits = 0;
     std::uint64_t cg_iterations = 0;
   };
 
   /// Called after each phase with its wall-clock duration.
-  std::function<void(FlowPhase, double seconds)> on_phase;
+  std::function<void(FlowPhase, units::Seconds)> on_phase;
   /// Called after each Algorithm 1 iteration.
-  std::function<void(int iteration, double fmax_mhz, double max_delta_c)> on_iteration;
+  std::function<void(int iteration, units::Megahertz fmax, units::Kelvin max_delta)>
+      on_iteration;
   /// Richer per-iteration hook (superset of on_iteration).
   std::function<void(const IterationInfo&)> on_iteration_info;
 };
@@ -149,15 +151,15 @@ std::unique_ptr<Implementation> implement(const netlist::BenchmarkSpec& spec,
                                           const ImplementOptions& opt = {});
 
 struct GuardbandOptions {
-  double t_amb_c = 25.0;          ///< ambient / board temperature
-  double delta_t_c = 1.0;         ///< convergence threshold and final margin
-  int max_iterations = 10;        ///< the paper observes < 10 iterations
-  double t_worst_c = 100.0;       ///< conventional worst-case corner
-  thermal::ThermalConfig thermal; ///< ambient_c is overridden by t_amb_c
+  units::Celsius t_amb_c{25.0};    ///< ambient / board temperature
+  units::Kelvin delta_t_c{1.0};    ///< convergence threshold and final margin
+  int max_iterations = 10;         ///< the paper observes < 10 iterations
+  units::Celsius t_worst_c{100.0}; ///< conventional worst-case corner
+  thermal::ThermalConfig thermal;  ///< ambient_c is overridden by t_amb_c
   /// Loop evaluation strategy (see IncrementalMode).
   IncrementalMode incremental = default_incremental_mode();
-  /// Tile-delay refresh threshold for IncrementalMode::Quantized [degC].
-  double incremental_epsilon_c = 0.05;
+  /// Tile-delay refresh threshold for IncrementalMode::Quantized.
+  units::Kelvin incremental_epsilon_c{0.05};
   /// Multiplier on every computed power map (1.0 = physical). The zero
   /// setting is the metamorphic test seam: P = 0 must converge in one
   /// iteration with zero re-evaluated edges.
@@ -166,8 +168,8 @@ struct GuardbandOptions {
 };
 
 struct GuardbandResult {
-  double fmax_mhz = 0.0;           ///< thermal-aware frequency
-  double baseline_fmax_mhz = 0.0;  ///< worst-case-corner frequency
+  units::Megahertz fmax_mhz{0.0};           ///< thermal-aware frequency
+  units::Megahertz baseline_fmax_mhz{0.0};  ///< worst-case-corner frequency
   int iterations = 0;
   /// False when the loop exhausted max_iterations without max_delta_c
   /// dropping below delta_t_c — the temperature map (and hence fmax) is
@@ -176,9 +178,9 @@ struct GuardbandResult {
   bool converged = false;
   /// Work performed by the Algorithm 1 loop (see GuardbandStats).
   GuardbandStats stats;
-  std::vector<double> tile_temp_c; ///< converged temperature map
-  double peak_temp_c = 0.0;
-  double mean_temp_c = 0.0;
+  std::vector<double> tile_temp_c; ///< converged temperature map [degC]
+  units::Celsius peak_temp_c{0.0};
+  units::Celsius mean_temp_c{0.0};
   timing::TimingResult timing;     ///< final thermal-aware STA
   /// Power at the reported operating point: the converged temperature map
   /// and the reported (margin-applied) fmax_mhz.
@@ -187,7 +189,7 @@ struct GuardbandResult {
   /// The paper's reported metric: performance improvement over the
   /// worst-case guardband.
   double gain() const {
-    return baseline_fmax_mhz > 0.0 ? fmax_mhz / baseline_fmax_mhz - 1.0 : 0.0;
+    return baseline_fmax_mhz.value() > 0.0 ? fmax_mhz / baseline_fmax_mhz - 1.0 : 0.0;
   }
 };
 
@@ -199,7 +201,7 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
 /// Eq. (1)-based grade selection: the device (by index) with the lowest
 /// expected representative-CP delay over a uniform [t_min, t_max] field
 /// temperature range.
-int select_grade(const std::vector<coffe::DeviceModel>& devices, double t_min_c,
-                 double t_max_c);
+int select_grade(const std::vector<coffe::DeviceModel>& devices, units::Celsius t_min,
+                 units::Celsius t_max);
 
 }  // namespace taf::core

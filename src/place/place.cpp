@@ -201,7 +201,7 @@ Placement place(const PackedNetlist& packed, const FpgaGrid& grid,
     return false;
   };
 
-  const double exit_t = 0.002 * cost / std::max<std::size_t>(packed.block_nets.size(), 1);
+  const double exit_t = 0.002 * cost / static_cast<double>(std::max<std::size_t>(packed.block_nets.size(), 1));
   int rounds = 0;
   while (t > exit_t && rounds++ < 200) {
     int accepted = 0;

@@ -11,30 +11,30 @@ using netlist::PrimKind;
 
 }  // namespace
 
-double tile_leakage_uw(const coffe::DeviceModel& dev, arch::TileKind kind,
-                       const arch::ArchParams& arch, double temp_c) {
+units::Microwatts tile_leakage(const coffe::DeviceModel& dev, arch::TileKind kind,
+                               const arch::ArchParams& arch, units::Celsius temp) {
   // Routing resources exist on every tile: wires anchored per tile
   // (2 * W / L SB muxes) plus the connection-block muxes.
   const double sb_count = 2.0 * arch.channel_tracks / arch.wire_segment_length;
-  double uw = sb_count * dev.leakage_uw(ResourceKind::SbMux, temp_c) +
-              arch.cluster_inputs * dev.leakage_uw(ResourceKind::CbMux, temp_c);
+  double uw = sb_count * dev.leakage(ResourceKind::SbMux, temp).value() +
+              arch.cluster_inputs * dev.leakage(ResourceKind::CbMux, temp).value();
   switch (kind) {
     case arch::TileKind::Clb:
-      uw += arch.cluster_n * (dev.leakage_uw(ResourceKind::Lut, temp_c) +
-                              dev.leakage_uw(ResourceKind::OutputMux, temp_c) +
-                              dev.leakage_uw(ResourceKind::FeedbackMux, temp_c)) +
-            arch.cluster_n * arch.lut_k * dev.leakage_uw(ResourceKind::LocalMux, temp_c);
+      uw += arch.cluster_n * (dev.leakage(ResourceKind::Lut, temp).value() +
+                              dev.leakage(ResourceKind::OutputMux, temp).value() +
+                              dev.leakage(ResourceKind::FeedbackMux, temp).value()) +
+            arch.cluster_n * arch.lut_k * dev.leakage(ResourceKind::LocalMux, temp).value();
       break;
     case arch::TileKind::Bram:
-      uw += dev.leakage_uw(ResourceKind::Bram, temp_c);
+      uw += dev.leakage(ResourceKind::Bram, temp).value();
       break;
     case arch::TileKind::Dsp:
-      uw += dev.leakage_uw(ResourceKind::Dsp, temp_c);
+      uw += dev.leakage(ResourceKind::Dsp, temp).value();
       break;
     case arch::TileKind::Io:
       break;  // pads modelled as leakage-free
   }
-  return uw;
+  return units::Microwatts{uw};
 }
 
 PowerBreakdown compute_power(const coffe::DeviceModel& dev, const netlist::Netlist& nl,
@@ -42,7 +42,7 @@ PowerBreakdown compute_power(const coffe::DeviceModel& dev, const netlist::Netli
                              const place::Placement& pl, const route::RrGraph& rr,
                              const route::RouteResult& routes,
                              const std::vector<activity::SignalStats>& act,
-                             double f_mhz, const std::vector<double>& tile_temp_c,
+                             units::Megahertz f, const std::vector<double>& tile_temp_c,
                              const arch::FpgaGrid& grid) {
   assert(static_cast<int>(tile_temp_c.size()) == grid.num_tiles());
   PowerBreakdown result;
@@ -51,14 +51,15 @@ PowerBreakdown compute_power(const coffe::DeviceModel& dev, const netlist::Netli
   auto add_uw = [&](arch::TilePos pos, double uw, bool dynamic) {
     const double w = uw * 1e-6;
     result.tile_w[static_cast<std::size_t>(grid.index_of(pos))] += w;
-    (dynamic ? result.dynamic_w : result.leakage_w) += w;
+    (dynamic ? result.dynamic_w : result.leakage_w) += units::Watts{w};
   };
 
   // --- Leakage: full per-tile inventory at the tile temperature.
   for (int y = 0; y < grid.height(); ++y) {
     for (int x = 0; x < grid.width(); ++x) {
       const double t = tile_temp_c[static_cast<std::size_t>(grid.index_of(x, y))];
-      add_uw({x, y}, tile_leakage_uw(dev, grid.at(x, y), dev.arch, t), false);
+      add_uw({x, y}, tile_leakage(dev, grid.at(x, y), dev.arch, units::Celsius{t}).value(),
+             false);
     }
   }
 
@@ -77,20 +78,20 @@ PowerBreakdown compute_power(const coffe::DeviceModel& dev, const netlist::Netli
     const double alpha = p.output != netlist::kNoNet ? net_density(p.output) : 0.0;
     switch (p.kind) {
       case PrimKind::Lut: {
-        add_uw(pos, dev.dyn_power_uw(ResourceKind::Lut, f_mhz, alpha), true);
+        add_uw(pos, dev.dyn_power(ResourceKind::Lut, f, alpha).value(), true);
         // Input muxes switch with the input nets.
         double in_alpha = 0.0;
         for (netlist::NetId in : p.inputs)
           if (in != netlist::kNoNet) in_alpha += net_density(in);
-        add_uw(pos, dev.dyn_power_uw(ResourceKind::LocalMux, f_mhz, in_alpha), true);
-        add_uw(pos, dev.dyn_power_uw(ResourceKind::OutputMux, f_mhz, alpha), true);
+        add_uw(pos, dev.dyn_power(ResourceKind::LocalMux, f, in_alpha).value(), true);
+        add_uw(pos, dev.dyn_power(ResourceKind::OutputMux, f, alpha).value(), true);
         break;
       }
       case PrimKind::Bram:
-        add_uw(pos, dev.dyn_power_uw(ResourceKind::Bram, f_mhz, 0.5 + alpha), true);
+        add_uw(pos, dev.dyn_power(ResourceKind::Bram, f, 0.5 + alpha).value(), true);
         break;
       case PrimKind::Dsp:
-        add_uw(pos, dev.dyn_power_uw(ResourceKind::Dsp, f_mhz, 0.25 + 0.5 * alpha), true);
+        add_uw(pos, dev.dyn_power(ResourceKind::Dsp, f, 0.25 + 0.5 * alpha).value(), true);
         break;
       default:
         break;
@@ -108,10 +109,10 @@ PowerBreakdown compute_power(const coffe::DeviceModel& dev, const netlist::Netli
       switch (node.kind) {
         case route::RrKind::WireH:
         case route::RrKind::WireV:
-          add_uw(node.tile, dev.dyn_power_uw(ResourceKind::SbMux, f_mhz, alpha), true);
+          add_uw(node.tile, dev.dyn_power(ResourceKind::SbMux, f, alpha).value(), true);
           break;
         case route::RrKind::Ipin:
-          add_uw(node.tile, dev.dyn_power_uw(ResourceKind::CbMux, f_mhz, alpha), true);
+          add_uw(node.tile, dev.dyn_power(ResourceKind::CbMux, f, alpha).value(), true);
           break;
         case route::RrKind::Opin:
           break;  // output mux accounted with the block

@@ -19,20 +19,21 @@
 #include "place/place.hpp"
 #include "route/router.hpp"
 #include "route/rr_graph.hpp"
+#include "util/units.hpp"
 
 namespace taf::power {
 
 struct PowerBreakdown {
   std::vector<double> tile_w;   ///< per-tile total power [W]
-  double dynamic_w = 0.0;
-  double leakage_w = 0.0;
-  double total_w() const { return dynamic_w + leakage_w; }
+  units::Watts dynamic_w;
+  units::Watts leakage_w;
+  units::Watts total_w() const { return dynamic_w + leakage_w; }
 };
 
-/// Per-tile leakage inventory of the architecture [uW] at a temperature.
+/// Per-tile leakage inventory of the architecture at a temperature.
 /// Exposed for the validation bench (device base power).
-double tile_leakage_uw(const coffe::DeviceModel& dev, arch::TileKind kind,
-                       const arch::ArchParams& arch, double temp_c);
+units::Microwatts tile_leakage(const coffe::DeviceModel& dev, arch::TileKind kind,
+                               const arch::ArchParams& arch, units::Celsius temp);
 
 /// Full power map for an implemented design at frequency f and the given
 /// per-tile temperatures.
@@ -42,7 +43,7 @@ PowerBreakdown compute_power(const coffe::DeviceModel& dev,
                              const place::Placement& pl, const route::RrGraph& rr,
                              const route::RouteResult& routes,
                              const std::vector<activity::SignalStats>& act,
-                             double f_mhz, const std::vector<double>& tile_temp_c,
+                             units::Megahertz f, const std::vector<double>& tile_temp_c,
                              const arch::FpgaGrid& grid);
 
 }  // namespace taf::power

@@ -159,7 +159,8 @@ const coffe::DeviceModel& FlowCache::device(const tech::Technology& tech,
   h.add(quantize_t_opt(t_opt_c));
   return get_or_build(devices_, h.state, &device_hits_, &device_misses_, [&] {
     const coffe::Characterizer& ch = characterizer(tech, arch);
-    return std::make_unique<coffe::DeviceModel>(ch.characterize(t_opt_c));
+    return std::make_unique<coffe::DeviceModel>(
+        ch.characterize(units::Celsius{t_opt_c}));
   });
 }
 

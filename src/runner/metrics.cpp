@@ -109,10 +109,10 @@ std::string RunReport::to_csv() const {
 
 core::FlowObserver observe_into(TaskMetrics& metrics) {
   core::FlowObserver obs;
-  obs.on_phase = [&metrics](core::FlowPhase phase, double s) {
-    metrics.phases.add(phase, s);
+  obs.on_phase = [&metrics](core::FlowPhase phase, units::Seconds s) {
+    metrics.phases.add(phase, s.value());
   };
-  obs.on_iteration = [&metrics](int iteration, double, double) {
+  obs.on_iteration = [&metrics](int iteration, units::Megahertz, units::Kelvin) {
     metrics.iterations = iteration;
   };
   return obs;

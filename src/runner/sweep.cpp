@@ -18,7 +18,7 @@ std::vector<SweepCellResult> Sweep::run(const std::vector<SweepPoint>& points) c
     if (p.label.empty()) {
       char buf[160];
       std::snprintf(buf, sizeof buf, "%s@D%g/amb%g", p.spec.name.c_str(), p.t_opt_c,
-                    p.guardband.t_amb_c);
+                    p.guardband.t_amb_c.value());
       cell.metrics.name = buf;
     } else {
       cell.metrics.name = p.label;
@@ -61,7 +61,7 @@ std::vector<SweepPoint> Sweep::grid(const std::vector<netlist::BenchmarkSpec>& s
         p.arch = arch;
         p.t_opt_c = grade;
         p.guardband = base;
-        p.guardband.t_amb_c = ambient;
+        p.guardband.t_amb_c = units::Celsius{ambient};
         points.push_back(std::move(p));
       }
     }

@@ -5,13 +5,14 @@
 #include <cstring>
 
 #include "spice/sparse.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 
 namespace taf::spice {
 
 LinearBackend default_backend() {
   static const LinearBackend b = [] {
-    if (const char* env = std::getenv("TAF_SPICE_BACKEND")) {
+    if (const char* env = util::env_cstr("TAF_SPICE_BACKEND")) {
       if (std::strcmp(env, "dense") == 0) return LinearBackend::Dense;
       if (std::strcmp(env, "sparse") == 0) return LinearBackend::Sparse;
       util::log_warn("TAF_SPICE_BACKEND='%s' is not 'dense' or 'sparse'; using sparse",

@@ -80,7 +80,7 @@ struct SolveContext {
     cg_ff.reserve(c.mosfets().size());
     cd_ff.reserve(c.mosfets().size());
     for (const Mosfet& m : c.mosfets()) {
-      therms.push_back(mosfet_therm(m, tech, opt.temp_c));
+      therms.push_back(mosfet_therm(m, tech, opt.temp_c.value()));
       cg_ff.push_back(mosfet_cgate_ff(m, tech));
       cd_ff.push_back(mosfet_cdrain_ff(m, tech));
     }

@@ -4,13 +4,14 @@
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "util/units.hpp"
 #include "spice/linear.hpp"
 #include "tech/technology.hpp"
 
 namespace taf::spice {
 
 struct SolverOptions {
-  double temp_c = 25.0;          ///< junction temperature for device evaluation
+  util::units::Celsius temp_c{25.0};  ///< junction temperature for device evaluation
   double gmin = 1e-7;            ///< leak conductance to ground [mA/V]
   int max_newton_iters = 120;
   double v_tol = 1e-5;           ///< Newton convergence tolerance [V]

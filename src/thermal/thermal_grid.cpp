@@ -43,7 +43,7 @@ double ThermalGrid::cg_tolerance(double rr0) const {
   // residual was already near zero (tiny power maps, warm starts at the
   // solution).
   const int n = width_ * height_;
-  const double floor_per_tile = g_vert_ * config_.solve_tol_k;
+  const double floor_per_tile = g_vert_ * config_.solve_tol_k.value();
   return std::max(rr0 * 1e-20, n * floor_per_tile * floor_per_tile);
 }
 
@@ -76,7 +76,7 @@ void ThermalGrid::cg_core(std::vector<double>& x, std::vector<double>& r,
   }
   if (stats != nullptr) {
     stats->iterations = iters;
-    stats->residual_norm_w = std::sqrt(rr);
+    stats->residual_norm_w = units::Watts{std::sqrt(rr)};
   }
 }
 
@@ -90,7 +90,7 @@ std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w,
   std::vector<double> r = power_w;
   cg_core(x, r, stats);
 
-  for (double& t : x) t += config_.ambient_c;
+  for (double& t : x) t += config_.ambient_c.value();
   return x;
 }
 
@@ -105,29 +105,30 @@ std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w,
   std::vector<double> x(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i)
     x[static_cast<size_t>(i)] =
-        initial_temp_c[static_cast<size_t>(i)] - config_.ambient_c;
+        initial_temp_c[static_cast<size_t>(i)] - config_.ambient_c.value();
   std::vector<double> r(static_cast<size_t>(n));
   apply(x, r);
   for (int i = 0; i < n; ++i)
     r[static_cast<size_t>(i)] = power_w[static_cast<size_t>(i)] - r[static_cast<size_t>(i)];
   cg_core(x, r, stats);
 
-  for (double& t : x) t += config_.ambient_c;
+  for (double& t : x) t += config_.ambient_c.value();
   return x;
 }
 
-void ThermalGrid::step(const std::vector<double>& power_w, double dt_s,
+void ThermalGrid::step(const std::vector<double>& power_w, units::Seconds dt,
                        std::vector<double>& temps, CgStats* stats) const {
   const int n = width_ * height_;
   assert(static_cast<int>(power_w.size()) == n);
   assert(static_cast<int>(temps.size()) == n);
   // Backward Euler: (C/dt + A) dT_next = P + (C/dt) dT_now. The system
   // stays SPD, so the same CG machinery applies with an extra diagonal.
-  const double g_c = c_tile_ / dt_s;
+  const double g_c = c_tile_ / dt.value();
 
   std::vector<double> x(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
-    x[static_cast<std::size_t>(i)] = temps[static_cast<std::size_t>(i)] - config_.ambient_c;
+    x[static_cast<std::size_t>(i)] =
+        temps[static_cast<std::size_t>(i)] - config_.ambient_c.value();
 
   auto apply_aug = [&](const std::vector<double>& v, std::vector<double>& out) {
     apply(v, out);
@@ -166,16 +167,18 @@ void ThermalGrid::step(const std::vector<double>& power_w, double dt_s,
   }
   if (stats != nullptr) {
     stats->iterations = iters;
-    stats->residual_norm_w = std::sqrt(rr);
+    stats->residual_norm_w = units::Watts{std::sqrt(rr)};
   }
   for (int i = 0; i < n; ++i)
-    temps[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)] + config_.ambient_c;
+    temps[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)] + config_.ambient_c.value();
 }
 
-double ThermalGrid::tile_time_constant_s() const { return c_tile_ / g_vert_; }
+units::Seconds ThermalGrid::tile_time_constant() const {
+  return units::Seconds{c_tile_ / g_vert_};
+}
 
-double ThermalGrid::peak_c(const std::vector<double>& temps) {
-  return *std::max_element(temps.begin(), temps.end());
+units::Celsius ThermalGrid::peak(const std::vector<double>& temps) {
+  return units::Celsius{*std::max_element(temps.begin(), temps.end())};
 }
 
 std::string ThermalGrid::ascii_heatmap(const std::vector<double>& temps, int width,

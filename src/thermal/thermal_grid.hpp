@@ -13,11 +13,12 @@
 #include <vector>
 
 #include "arch/fpga_grid.hpp"
+#include "util/units.hpp"
 
 namespace taf::thermal {
 
 struct ThermalConfig {
-  double ambient_c = 25.0;
+  units::Celsius ambient_c{25.0};
   /// Silicon thermal conductivity [W/(m K)].
   double silicon_k_w_mk = 140.0;
   /// Die thickness [um]; lateral conductance between neighbouring tiles is
@@ -33,13 +34,13 @@ struct ThermalConfig {
   double package_r_k_per_w = 12.0;
   /// Volumetric heat capacity of silicon [J/(m^3 K)] for transients.
   double volumetric_c_j_m3k = 1.63e6;
-  /// Per-tile temperature accuracy the CG termination criterion targets
-  /// [K]. The absolute residual floor is g_vert * solve_tol_k per tile,
+  /// Per-tile temperature accuracy the CG termination criterion targets.
+  /// The absolute residual floor is g_vert * solve_tol_k per tile,
   /// which bounds the worst-case solution error by sqrt(n_tiles) *
   /// solve_tol_k through the weakest (vertical) conductance — at the
   /// default, comfortably below the 1e-9 degC the incremental-vs-full
   /// guardband differential contract asserts (DESIGN.md section 8).
-  double solve_tol_k = 1e-11;
+  units::Kelvin solve_tol_k{1e-11};
 
   double lateral_g_w_per_k() const {
     return silicon_k_w_mk * die_thickness_um * 1e-6;
@@ -49,7 +50,7 @@ struct ThermalConfig {
 /// Convergence diagnostics of one conjugate-gradient solve.
 struct CgStats {
   int iterations = 0;
-  double residual_norm_w = 0.0;  ///< ||P - A dT||_2 at termination [W]
+  units::Watts residual_norm_w;  ///< ||P - A dT||_2 at termination
 };
 
 class ThermalGrid {
@@ -73,15 +74,15 @@ class ThermalGrid {
   /// Transient step: advance the temperature field by dt under constant
   /// power (backward Euler on C dT/dt + A (T - Tamb) = P). `temps` is
   /// updated in place. Used to study warm-up after a frequency change.
-  void step(const std::vector<double>& power_w, double dt_s,
+  void step(const std::vector<double>& power_w, units::Seconds dt,
             std::vector<double>& temps, CgStats* stats = nullptr) const;
 
-  /// Thermal time constant of one tile [s] (C_tile / G_vertical-ish),
+  /// Thermal time constant of one tile (C_tile / G_vertical-ish),
   /// useful to pick transient step sizes.
-  double tile_time_constant_s() const;
+  units::Seconds tile_time_constant() const;
 
   /// Peak temperature of a solve result.
-  static double peak_c(const std::vector<double>& temps);
+  static units::Celsius peak(const std::vector<double>& temps);
 
   const ThermalConfig& config() const { return config_; }
   int width() const { return width_; }

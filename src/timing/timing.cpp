@@ -127,6 +127,10 @@ TimingResult TimingAnalyzer::analyze(const coffe::DeviceModel& dev,
   auto temp_at = [&](arch::TilePos p) {
     return tile_temp_c[static_cast<std::size_t>(grid_->index_of(p))];
   };
+  // Unwrapped device lookup: same arithmetic as DeviceModel::delay.
+  auto dly = [&dev](ResourceKind k, double t) {
+    return dev.delay(k, units::Celsius{t}).value();
+  };
   auto block_tile = [&](PrimId prim) {
     const int b = packed_->block_of_prim[static_cast<std::size_t>(prim)];
     return pl_->pos[static_cast<std::size_t>(b)];
@@ -137,16 +141,16 @@ TimingResult TimingAnalyzer::analyze(const coffe::DeviceModel& dev,
     ArcDelay d;
     const arch::TilePos src_tile = block_tile(c.src);
     if (c.same_block) {
-      d.add(ResourceKind::FeedbackMux, dev.delay_ps(ResourceKind::FeedbackMux,
+      d.add(ResourceKind::FeedbackMux, dly(ResourceKind::FeedbackMux,
                                                     temp_at(src_tile)));
     } else {
       d.add(ResourceKind::OutputMux,
-            dev.delay_ps(ResourceKind::OutputMux, temp_at(src_tile)));
+            dly(ResourceKind::OutputMux, temp_at(src_tile)));
       for (const arch::TilePos& wt : c.wire_tiles) {
-        d.add(ResourceKind::SbMux, dev.delay_ps(ResourceKind::SbMux, temp_at(wt)));
+        d.add(ResourceKind::SbMux, dly(ResourceKind::SbMux, temp_at(wt)));
       }
       d.add(ResourceKind::CbMux,
-            dev.delay_ps(ResourceKind::CbMux, temp_at(block_tile(c.dst))));
+            dly(ResourceKind::CbMux, temp_at(block_tile(c.dst))));
     }
     return d;
   };
@@ -166,11 +170,11 @@ TimingResult TimingAnalyzer::analyze(const coffe::DeviceModel& dev,
   for (PrimId id = 0; id < static_cast<PrimId>(n_prims); ++id) {
     const auto& p = nl_->prim(id);
     switch (p.kind) {
-      case PrimKind::Input: arrival[static_cast<std::size_t>(id)] = opt_.io_delay_ps; break;
-      case PrimKind::Ff: arrival[static_cast<std::size_t>(id)] = opt_.ff_clk_to_q_ps; break;
+      case PrimKind::Input: arrival[static_cast<std::size_t>(id)] = opt_.io_delay_ps.value(); break;
+      case PrimKind::Ff: arrival[static_cast<std::size_t>(id)] = opt_.ff_clk_to_q_ps.value(); break;
       case PrimKind::Bram:
         arrival[static_cast<std::size_t>(id)] =
-            dev.delay_ps(ResourceKind::Bram, temp_at(block_tile(id)));
+            dly(ResourceKind::Bram, temp_at(block_tile(id)));
         break;
       default: break;
     }
@@ -194,10 +198,10 @@ TimingResult TimingAnalyzer::analyze(const coffe::DeviceModel& dev,
     crit_conn[static_cast<std::size_t>(id)] = worst_conn;
     const double temp = temp_at(block_tile(id));
     if (p.kind == PrimKind::Lut) {
-      worst += dev.delay_ps(ResourceKind::LocalMux, temp) +
-               dev.delay_ps(ResourceKind::Lut, temp);
+      worst += dly(ResourceKind::LocalMux, temp) +
+               dly(ResourceKind::Lut, temp);
     } else if (p.kind == PrimKind::Dsp) {
-      worst += dev.delay_ps(ResourceKind::Dsp, temp);
+      worst += dly(ResourceKind::Dsp, temp);
     }
     arrival[static_cast<std::size_t>(id)] = worst;
   }
@@ -218,7 +222,8 @@ TimingResult TimingAnalyzer::analyze(const coffe::DeviceModel& dev,
     if (p.kind == PrimKind::Output) {
       consider(id, crit_conn[static_cast<std::size_t>(id)], arrival[static_cast<std::size_t>(id)]);
     } else if (p.kind == PrimKind::Ff || p.kind == PrimKind::Bram) {
-      const double setup = p.kind == PrimKind::Ff ? opt_.ff_setup_ps : opt_.bram_setup_ps;
+      const double setup =
+          (p.kind == PrimKind::Ff ? opt_.ff_setup_ps : opt_.bram_setup_ps).value();
       for (int ci : conns_into[static_cast<std::size_t>(id)]) {
         const Connection& c = connections_[static_cast<std::size_t>(ci)];
         consider(id, ci, arrival[static_cast<std::size_t>(c.src)] + conn_delay(c).total + setup);
@@ -227,8 +232,9 @@ TimingResult TimingAnalyzer::analyze(const coffe::DeviceModel& dev,
   }
 
   TimingResult result;
-  result.critical_path_ps = cp;
-  result.fmax_mhz = cp > 0.0 ? 1e6 / cp : 0.0;
+  result.critical_path_ps = units::Picoseconds{cp};
+  result.fmax_mhz =
+      cp > 0.0 ? units::frequency_of(units::Picoseconds{cp}) : units::Megahertz{0.0};
 
   // Reconstruct the critical path and its resource breakdown.
   if (cp_end >= 0) {
@@ -247,15 +253,15 @@ TimingResult TimingAnalyzer::analyze(const coffe::DeviceModel& dev,
       const double temp = temp_at(block_tile(cur));
       if (p.kind == PrimKind::Lut) {
         result.cp_breakdown[static_cast<std::size_t>(ResourceKind::Lut)] +=
-            dev.delay_ps(ResourceKind::Lut, temp);
+            dly(ResourceKind::Lut, temp);
         result.cp_breakdown[static_cast<std::size_t>(ResourceKind::LocalMux)] +=
-            dev.delay_ps(ResourceKind::LocalMux, temp);
+            dly(ResourceKind::LocalMux, temp);
       } else if (p.kind == PrimKind::Dsp) {
         result.cp_breakdown[static_cast<std::size_t>(ResourceKind::Dsp)] +=
-            dev.delay_ps(ResourceKind::Dsp, temp);
+            dly(ResourceKind::Dsp, temp);
       } else if (p.kind == PrimKind::Bram) {
         result.cp_breakdown[static_cast<std::size_t>(ResourceKind::Bram)] +=
-            dev.delay_ps(ResourceKind::Bram, temp);
+            dly(ResourceKind::Bram, temp);
       }
       ci = crit_conn[static_cast<std::size_t>(cur)];
     }
@@ -265,8 +271,9 @@ TimingResult TimingAnalyzer::analyze(const coffe::DeviceModel& dev,
 }
 
 TimingResult TimingAnalyzer::analyze_uniform(const coffe::DeviceModel& dev,
-                                             double temp_c) const {
-  const std::vector<double> temps(static_cast<std::size_t>(grid_->num_tiles()), temp_c);
+                                             units::Celsius temp) const {
+  const std::vector<double> temps(static_cast<std::size_t>(grid_->num_tiles()),
+                                  temp.value());
   return analyze(dev, temps);
 }
 
@@ -407,9 +414,9 @@ void IncrementalTopology::build(const TimingAnalyzer& an) {
   for (PrimId id = 0; id < static_cast<PrimId>(n_prims); ++id) {
     const PrimKind k = an.nl_->prim(id).kind;
     if (k == PrimKind::Output) {
-      captures_.push_back({id, -1, 0.0});
+      captures_.push_back({id, -1, units::Picoseconds{0.0}});
     } else if (k == PrimKind::Ff || k == PrimKind::Bram) {
-      const double setup =
+      const units::Picoseconds setup =
           k == PrimKind::Ff ? an.opt_.ff_setup_ps : an.opt_.bram_setup_ps;
       for (int i = conn_in_start_[static_cast<std::size_t>(id)];
            i < conn_in_start_[static_cast<std::size_t>(id) + 1]; ++i) {
@@ -451,11 +458,11 @@ void IncrementalTopology::build(const TimingAnalyzer& an) {
 
 IncrementalSta::IncrementalSta(const TimingAnalyzer& analyzer,
                                const coffe::DeviceModel& dev, Mode mode,
-                               double epsilon_c)
+                               units::Kelvin epsilon)
     : an_(&analyzer),
       dev_(&dev),
       mode_(mode),
-      eps_(epsilon_c),
+      eps_(epsilon.value()),
       n_tiles_(analyzer.inc_topo_.n_tiles_),
       prim_kind_(analyzer.inc_topo_.prim_kind_),
       prim_tile_(analyzer.inc_topo_.prim_tile_),
@@ -496,8 +503,10 @@ IncrementalSta::IncrementalSta(const TimingAnalyzer& analyzer,
   // Temperature-independent launch times.
   for (PrimId id = 0; id < static_cast<PrimId>(n_prims); ++id) {
     const PrimKind k = an_->nl_->prim(id).kind;
-    if (k == PrimKind::Input) arrival_[static_cast<std::size_t>(id)] = an_->opt_.io_delay_ps;
-    if (k == PrimKind::Ff) arrival_[static_cast<std::size_t>(id)] = an_->opt_.ff_clk_to_q_ps;
+    if (k == PrimKind::Input)
+      arrival_[static_cast<std::size_t>(id)] = an_->opt_.io_delay_ps.value();
+    if (k == PrimKind::Ff)
+      arrival_[static_cast<std::size_t>(id)] = an_->opt_.ff_clk_to_q_ps.value();
   }
 
   conn_dirty_.assign(n_conns, 0);
@@ -549,8 +558,10 @@ TimingResult IncrementalSta::analyze(const std::vector<double>& tile_temp_c,
   if (primed_ && dirty_tiles.empty()) {
     // Nothing to re-derive or propagate: the cached analysis stands.
     TimingResult result;
-    result.critical_path_ps = cached_cp_;
-    result.fmax_mhz = cached_cp_ > 0.0 ? 1e6 / cached_cp_ : 0.0;
+    result.critical_path_ps = units::Picoseconds{cached_cp_};
+    result.fmax_mhz = cached_cp_ > 0.0
+                          ? units::frequency_of(units::Picoseconds{cached_cp_})
+                          : units::Megahertz{0.0};
     if (with_critical_path) reconstruct_critical_path(result);
     return result;
   }
@@ -683,7 +694,7 @@ TimingResult IncrementalSta::analyze(const std::vector<double>& tile_temp_c,
     if (!conn_dirty_[static_cast<std::size_t>(e.conn)]) ++counters_.delay_cache_hits;
     capture_val_[i] =
         arrival_[static_cast<std::size_t>(conn_src_[static_cast<std::size_t>(e.conn)])] +
-        conn_total_[static_cast<std::size_t>(e.conn)] + e.setup_ps;
+        conn_total_[static_cast<std::size_t>(e.conn)] + e.setup_ps.value();
   }
   double cp = 0.0;
   PrimId cp_end = -1;
@@ -704,8 +715,9 @@ TimingResult IncrementalSta::analyze(const std::vector<double>& tile_temp_c,
   primed_ = true;
 
   TimingResult result;
-  result.critical_path_ps = cp;
-  result.fmax_mhz = cp > 0.0 ? 1e6 / cp : 0.0;
+  result.critical_path_ps = units::Picoseconds{cp};
+  result.fmax_mhz =
+      cp > 0.0 ? units::frequency_of(units::Picoseconds{cp}) : units::Megahertz{0.0};
   if (with_critical_path) reconstruct_critical_path(result);
   return result;
 }

@@ -21,30 +21,32 @@
 #include "route/router.hpp"
 #include "route/rr_graph.hpp"
 #include "util/stats.hpp"
+#include "util/units.hpp"
 
 namespace taf::timing {
 
 struct TimingOptions {
-  double ff_setup_ps = 30.0;
-  double ff_clk_to_q_ps = 45.0;
-  double bram_setup_ps = 60.0;
-  double io_delay_ps = 0.0;
+  units::Picoseconds ff_setup_ps{30.0};
+  units::Picoseconds ff_clk_to_q_ps{45.0};
+  units::Picoseconds bram_setup_ps{60.0};
+  units::Picoseconds io_delay_ps{0.0};
 };
 
 /// Result of one STA pass.
 struct TimingResult {
-  double critical_path_ps = 0.0;
-  double fmax_mhz = 0.0;
+  units::Picoseconds critical_path_ps{0.0};
+  units::Megahertz fmax_mhz{0.0};
   /// Delay contribution of each resource kind on the critical path [ps]
-  /// (indexed by coffe::ResourceKind).
+  /// (indexed by coffe::ResourceKind; bulk per-kind map, raw double by
+  /// design — see DESIGN.md section 9).
   std::array<double, coffe::kNumResourceKinds> cp_breakdown{};
   /// Primitives on the critical path, launch to capture.
   std::vector<netlist::PrimId> cp_prims;
 
   /// Share of the critical path spent in a resource kind.
   double cp_share(coffe::ResourceKind k) const {
-    return critical_path_ps > 0.0
-               ? cp_breakdown[static_cast<std::size_t>(k)] / critical_path_ps
+    return critical_path_ps.value() > 0.0
+               ? cp_breakdown[static_cast<std::size_t>(k)] / critical_path_ps.value()
                : 0.0;
   }
 };
@@ -73,8 +75,8 @@ struct IncrementalTopology {
   /// connection, primary outputs to a single arrival entry (conn == -1).
   struct CaptureEntry {
     netlist::PrimId prim;
-    int conn;         ///< capture connection, or -1 for a primary output
-    double setup_ps;  ///< 0 for outputs
+    int conn;                     ///< capture connection, or -1 for a primary output
+    units::Picoseconds setup_ps;  ///< 0 for outputs
   };
 
   int n_tiles_ = 0;
@@ -125,7 +127,7 @@ class TimingAnalyzer {
                        const std::vector<double>& tile_temp_c) const;
 
   /// STA with a uniform junction temperature (the conventional corner).
-  TimingResult analyze_uniform(const coffe::DeviceModel& dev, double temp_c) const;
+  TimingResult analyze_uniform(const coffe::DeviceModel& dev, units::Celsius temp) const;
 
  private:
   struct Connection {
@@ -178,7 +180,7 @@ class IncrementalSta {
   };
 
   IncrementalSta(const TimingAnalyzer& analyzer, const coffe::DeviceModel& dev,
-                 Mode mode = Mode::Exact, double epsilon_c = 0.05);
+                 Mode mode = Mode::Exact, units::Kelvin epsilon = units::Kelvin{0.05});
 
   /// Re-analyze at a new temperature map. with_critical_path controls
   /// whether cp_prims/cp_breakdown are reconstructed (the in-loop callers
@@ -189,7 +191,7 @@ class IncrementalSta {
   const StaCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
   Mode mode() const { return mode_; }
-  double epsilon_c() const { return eps_; }
+  units::Kelvin epsilon() const { return units::Kelvin{eps_}; }
 
  private:
   double tile_delay(coffe::ResourceKind k, int tile) const {

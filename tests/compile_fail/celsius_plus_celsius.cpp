@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: absolute temperatures are affine points; their sum
+// has no physical meaning (35 degC + 35 degC is not 70 degC of anything).
+#include "util/units.hpp"
+using namespace taf::util::units;
+auto bad = Celsius{35.0} + Celsius{35.0};

@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: frequency_of(Seconds) yields Hertz; binding it to
+// Megahertz would be a silent 1e6 error. Use to_megahertz().
+#include "util/units.hpp"
+using namespace taf::util::units;
+Megahertz bad() { return frequency_of(Seconds{1e-6}); }

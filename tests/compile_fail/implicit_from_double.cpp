@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: raw doubles enter the unit system only through an
+// explicit constructor, never by implicit conversion.
+#include "util/units.hpp"
+using namespace taf::util::units;
+Celsius bad() { return 25.0; }

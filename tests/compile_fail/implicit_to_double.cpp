@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: leaving the unit system requires an explicit
+// .value() call at a greppable site.
+#include "util/units.hpp"
+using namespace taf::util::units;
+double bad() { return Watts{1.0}; }

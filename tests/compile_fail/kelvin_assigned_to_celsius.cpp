@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: Kelvin and Celsius scales differ by an affine
+// offset; crossing them requires to_celsius()/to_kelvin().
+#include "util/units.hpp"
+using namespace taf::util::units;
+Celsius bad() { return Kelvin{298.15}; }

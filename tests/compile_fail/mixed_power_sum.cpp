@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: Watts and Microwatts differ by a scale factor; the
+// sum would silently be off by 1e6. Convert explicitly via to_watts().
+#include "util/units.hpp"
+using namespace taf::util::units;
+auto bad = Watts{1.0} + Microwatts{1.0};

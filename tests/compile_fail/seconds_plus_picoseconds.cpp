@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: the s/ps confusion is the exact class of bug the
+// units layer exists to stop (a 1e12 scale error in a delay hand-off).
+#include "util/units.hpp"
+using namespace taf::util::units;
+auto bad = Seconds{1.0} + Picoseconds{1.0};

@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: W*W is not on the curated cross-unit allow-list
+// (nothing in the flow is measured in Watts squared).
+#include "util/units.hpp"
+using namespace taf::util::units;
+auto bad = Watts{2.0} * Watts{2.0};

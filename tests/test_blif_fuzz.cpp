@@ -88,8 +88,8 @@ TEST_P(BlifRoundTrip, PrintParsePrintIsAFixedPoint) {
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BlifRoundTrip,
                          ::testing::Range(0, static_cast<int>(vtr_suite().size())),
-                         [](const auto& info) {
-                           return vtr_suite()[static_cast<std::size_t>(info.param)].name;
+                         [](const auto& name_info) {
+                           return vtr_suite()[static_cast<std::size_t>(name_info.param)].name;
                          });
 
 TEST(BlifMalformed, CorpusRaisesCleanErrors) {

@@ -292,24 +292,24 @@ TEST(Timing, HotterIsSlower) {
   const auto& d = sha_design();
   const timing::TimingAnalyzer sta(d.nl, d.packed, d.pl, d.rr, d.routes, d.grid);
   static const coffe::Characterizer ch(tech::ptm22(), test_arch());
-  const auto dev = ch.characterize(25.0);
-  const auto cold = sta.analyze_uniform(dev, 0.0);
-  const auto hot = sta.analyze_uniform(dev, 100.0);
-  EXPECT_GT(hot.critical_path_ps, cold.critical_path_ps * 1.2);
-  EXPECT_LT(hot.fmax_mhz, cold.fmax_mhz);
+  const auto dev = ch.characterize(units::Celsius(25.0));
+  const auto cold = sta.analyze_uniform(dev, units::Celsius(0.0));
+  const auto hot = sta.analyze_uniform(dev, units::Celsius(100.0));
+  EXPECT_GT(hot.critical_path_ps.value(), cold.critical_path_ps.value() * 1.2);
+  EXPECT_LT(hot.fmax_mhz.value(), cold.fmax_mhz.value());
 }
 
 TEST(Timing, BreakdownSumsToCriticalPath) {
   const auto& d = sha_design();
   const timing::TimingAnalyzer sta(d.nl, d.packed, d.pl, d.rr, d.routes, d.grid);
   static const coffe::Characterizer ch(tech::ptm22(), test_arch());
-  const auto dev = ch.characterize(25.0);
-  const auto r = sta.analyze_uniform(dev, 25.0);
+  const auto dev = ch.characterize(units::Celsius(25.0));
+  const auto r = sta.analyze_uniform(dev, units::Celsius(25.0));
   double sum = 0.0;
   for (double v : r.cp_breakdown) sum += v;
   // Breakdown excludes only the constant FF launch/setup terms.
-  EXPECT_GT(sum, 0.7 * r.critical_path_ps);
-  EXPECT_LE(sum, r.critical_path_ps + 1e-6);
+  EXPECT_GT(sum, 0.7 * r.critical_path_ps.value());
+  EXPECT_LE(sum, r.critical_path_ps.value() + 1e-6);
   EXPECT_FALSE(r.cp_prims.empty());
 }
 
@@ -317,7 +317,7 @@ TEST(Timing, PerTileTemperatureMatters) {
   const auto& d = sha_design();
   const timing::TimingAnalyzer sta(d.nl, d.packed, d.pl, d.rr, d.routes, d.grid);
   static const coffe::Characterizer ch(tech::ptm22(), test_arch());
-  const auto dev = ch.characterize(25.0);
+  const auto dev = ch.characterize(units::Celsius(25.0));
   // Uniform 25C vs a map that is 25C except one very hot column.
   std::vector<double> temps(static_cast<std::size_t>(d.grid.num_tiles()), 25.0);
   const auto base = sta.analyze(dev, temps);
@@ -325,9 +325,9 @@ TEST(Timing, PerTileTemperatureMatters) {
     temps[static_cast<std::size_t>(d.grid.index_of(d.grid.width() / 2, y))] = 100.0;
   }
   const auto hot_col = sta.analyze(dev, temps);
-  EXPECT_GE(hot_col.critical_path_ps, base.critical_path_ps);
-  EXPECT_LT(hot_col.critical_path_ps,
-            sta.analyze_uniform(dev, 100.0).critical_path_ps);
+  EXPECT_GE(hot_col.critical_path_ps.value(), base.critical_path_ps.value());
+  EXPECT_LT(hot_col.critical_path_ps.value(),
+            sta.analyze_uniform(dev, units::Celsius(100.0)).critical_path_ps.value());
 }
 
 TEST(Timing, MissingSinkFallsBackToHopEstimate) {
@@ -338,7 +338,7 @@ TEST(Timing, MissingSinkFallsBackToHopEstimate) {
   // strictly slower than zero-wire).
   const auto& d = sha_design();
   static const coffe::Characterizer ch(tech::ptm22(), test_arch());
-  const auto dev = ch.characterize(25.0);
+  const auto dev = ch.characterize(units::Celsius(25.0));
 
   route::RouteResult no_parents = d.routes;
   for (auto& nr : no_parents.routes) nr.parents.clear();
@@ -353,23 +353,23 @@ TEST(Timing, MissingSinkFallsBackToHopEstimate) {
                                         d.grid);
   const timing::TimingAnalyzer estimated(d.nl, d.packed, d.pl, d.rr, unrouted,
                                          d.grid);
-  const double cp_tampered = tampered.analyze_uniform(dev, 25.0).critical_path_ps;
-  const double cp_estimated = estimated.analyze_uniform(dev, 25.0).critical_path_ps;
+  const double cp_tampered = tampered.analyze_uniform(dev, units::Celsius(25.0)).critical_path_ps.value();
+  const double cp_estimated = estimated.analyze_uniform(dev, units::Celsius(25.0)).critical_path_ps.value();
   EXPECT_DOUBLE_EQ(cp_tampered, cp_estimated);
 
   // The real routed tree gives yet another (valid) answer; the point is
   // the fallback is not free: inter-block wire delay stays accounted for.
   const timing::TimingAnalyzer real(d.nl, d.packed, d.pl, d.rr, d.routes, d.grid);
   EXPECT_GT(cp_tampered, 0.0);
-  EXPECT_GT(real.analyze_uniform(dev, 25.0).critical_path_ps, 0.0);
+  EXPECT_GT(real.analyze_uniform(dev, units::Celsius(25.0)).critical_path_ps.value(), 0.0);
 }
 
 TEST(Timing, DspHeavyDesignHasDspOnCriticalPath) {
   const Design d("stereovision1", 1.0 / 16);  // DSP-heavy (152 full-size)
   const timing::TimingAnalyzer sta(d.nl, d.packed, d.pl, d.rr, d.routes, d.grid);
   static const coffe::Characterizer ch(tech::ptm22(), test_arch());
-  const auto dev = ch.characterize(25.0);
-  const auto r = sta.analyze_uniform(dev, 25.0);
+  const auto dev = ch.characterize(units::Celsius(25.0));
+  const auto r = sta.analyze_uniform(dev, units::Celsius(25.0));
   EXPECT_GT(r.cp_share(coffe::ResourceKind::Dsp), 0.02);
 }
 

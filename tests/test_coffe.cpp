@@ -39,7 +39,7 @@ TEST_P(PathKindTest, ElmoreDelayPositiveAndMonotonicInT) {
   const PathSpec spec = spec_for(GetParam(), test_arch());
   double prev = 0.0;
   for (double t = 0.0; t <= 100.0; t += 10.0) {
-    const double d = elmore_delay_ps(spec, test_tech(), t);
+    const double d = elmore_delay_ps(spec, test_tech(), units::Celsius(t));
     EXPECT_GT(d, 0.0);
     EXPECT_GT(d, prev) << "delay must grow with temperature at T=" << t;
     prev = d;
@@ -48,28 +48,28 @@ TEST_P(PathKindTest, ElmoreDelayPositiveAndMonotonicInT) {
 
 TEST_P(PathKindTest, SpiceAndElmoreAgreeWithinFactorTwo) {
   const PathSpec spec = spec_for(GetParam(), test_arch());
-  const double e = elmore_delay_ps(spec, test_tech(), 25.0);
-  const double s = spice_delay_ps(spec, test_tech(), 25.0);
+  const double e = elmore_delay_ps(spec, test_tech(), units::Celsius(25.0));
+  const double s = spice_delay_ps(spec, test_tech(), units::Celsius(25.0));
   EXPECT_GT(s, 0.3 * e);
   EXPECT_LT(s, 2.0 * e);
 }
 
 TEST_P(PathKindTest, SpiceDelayGrowsWithTemperature) {
   const PathSpec spec = spec_for(GetParam(), test_arch());
-  const double d0 = spice_delay_ps(spec, test_tech(), 0.0);
-  const double d100 = spice_delay_ps(spec, test_tech(), 100.0);
+  const double d0 = spice_delay_ps(spec, test_tech(), units::Celsius(0.0));
+  const double d100 = spice_delay_ps(spec, test_tech(), units::Celsius(100.0));
   EXPECT_GT(d100, d0 * 1.1);
 }
 
 TEST_P(PathKindTest, SizingDoesNotWorsenCornerDelay) {
   SizingOptions opt;
-  opt.t_opt_c = 25.0;
+  opt.t_opt_c = units::Celsius(25.0);
   const PathSpec base = spec_for(GetParam(), test_arch());
   const SizingResult r = size_path(base, test_tech(), opt);
   // The optimizer minimizes delay*area; the area-delay product must not
   // regress relative to the seed sizing.
   const double cost_before =
-      elmore_delay_ps(base, test_tech(), 25.0) * path_area_um2(base);
+      elmore_delay_ps(base, test_tech(), units::Celsius(25.0)) * path_area_um2(base);
   const double cost_after = r.delay_ps * r.area_um2;
   EXPECT_LE(cost_after, cost_before * 1.0001);
   EXPECT_GT(r.evaluations, 0);
@@ -77,8 +77,8 @@ TEST_P(PathKindTest, SizingDoesNotWorsenCornerDelay) {
 
 TEST_P(PathKindTest, LeakageGrowsWithTemperature) {
   const PathSpec spec = spec_for(GetParam(), test_arch());
-  EXPECT_GT(leakage_uw(spec, test_tech(), 100.0),
-            leakage_uw(spec, test_tech(), 0.0) * 2.0);
+  EXPECT_GT(leakage_uw(spec, test_tech(), units::Celsius(100.0)),
+            leakage_uw(spec, test_tech(), units::Celsius(0.0)) * 2.0);
 }
 
 TEST_P(PathKindTest, DynamicPowerScalesLinearly) {
@@ -114,18 +114,18 @@ TEST(PathSpec, AreaGrowsWithWidths) {
 }
 
 TEST(Bram, DelayMonotonicInTemperature) {
-  const BramDesign d = size_bram(test_tech(), test_arch(), 25.0);
+  const BramDesign d = size_bram(test_tech(), test_arch(), units::Celsius(25.0));
   double prev = 0.0;
   for (double t = 0.0; t <= 100.0; t += 10.0) {
-    const double ps = bram_delay_ps(d, test_tech(), test_arch(), t);
+    const double ps = bram_delay_ps(d, test_tech(), test_arch(), units::Celsius(t));
     EXPECT_GT(ps, prev);
     prev = ps;
   }
 }
 
 TEST(Bram, HotCornerCellIsLarger) {
-  const BramDesign cold = size_bram(test_tech(), test_arch(), 0.0);
-  const BramDesign hot = size_bram(test_tech(), test_arch(), 100.0);
+  const BramDesign cold = size_bram(test_tech(), test_arch(), units::Celsius(0.0));
+  const BramDesign hot = size_bram(test_tech(), test_arch(), units::Celsius(100.0));
   EXPECT_GT(hot.cell_w, cold.cell_w * 1.3);
   EXPECT_GT(hot.swing_v, cold.swing_v);
 }
@@ -133,21 +133,21 @@ TEST(Bram, HotCornerCellIsLarger) {
 TEST(Bram, CornerMatrixMatchesPaperShape) {
   // Fig. 2: the 100C-optimized BRAM is ~1.35x slower at 0C than the
   // 0C-optimized one; at 100C the relation flips.
-  const BramDesign d0 = size_bram(test_tech(), test_arch(), 0.0);
-  const BramDesign d100 = size_bram(test_tech(), test_arch(), 100.0);
-  const double at0_d0 = bram_delay_ps(d0, test_tech(), test_arch(), 0.0);
-  const double at0_d100 = bram_delay_ps(d100, test_tech(), test_arch(), 0.0);
+  const BramDesign d0 = size_bram(test_tech(), test_arch(), units::Celsius(0.0));
+  const BramDesign d100 = size_bram(test_tech(), test_arch(), units::Celsius(100.0));
+  const double at0_d0 = bram_delay_ps(d0, test_tech(), test_arch(), units::Celsius(0.0));
+  const double at0_d100 = bram_delay_ps(d100, test_tech(), test_arch(), units::Celsius(0.0));
   EXPECT_GT(at0_d100 / at0_d0, 1.15);
   EXPECT_LT(at0_d100 / at0_d0, 1.60);
-  const double at100_d0 = bram_delay_ps(d0, test_tech(), test_arch(), 100.0);
-  const double at100_d100 = bram_delay_ps(d100, test_tech(), test_arch(), 100.0);
+  const double at100_d0 = bram_delay_ps(d0, test_tech(), test_arch(), units::Celsius(100.0));
+  const double at100_d100 = bram_delay_ps(d100, test_tech(), test_arch(), units::Celsius(100.0));
   EXPECT_GT(at100_d0 / at100_d100, 1.02);
 }
 
 TEST(Bram, WeakestCellIsWorseThanNominal) {
   util::Rng rng(99);
   const double worst =
-      weakest_cell_leakage_na(test_tech(), test_arch(), 25.0, rng, 2000);
+      weakest_cell_leakage_na(test_tech(), test_arch(), units::Celsius(25.0), rng, 2000);
   // Nominal min-width LP cell off current.
   const double nominal =
       test_tech().flavor(tech::Flavor::LP).i_off25 * 0.4;
@@ -156,28 +156,28 @@ TEST(Bram, WeakestCellIsWorseThanNominal) {
 
 TEST(Bram, WeakestCellMonteCarloIsDeterministic) {
   util::Rng a(7), b(7);
-  EXPECT_DOUBLE_EQ(weakest_cell_leakage_na(test_tech(), test_arch(), 50.0, a, 500),
-                   weakest_cell_leakage_na(test_tech(), test_arch(), 50.0, b, 500));
+  EXPECT_DOUBLE_EQ(weakest_cell_leakage_na(test_tech(), test_arch(), units::Celsius(50.0), a, 500),
+                   weakest_cell_leakage_na(test_tech(), test_arch(), units::Celsius(50.0), b, 500));
 }
 
 TEST(Characterize, Table2IntercapturedAt25) {
   // The calibration ties our D25 characterization to the paper's Table II
   // at 25C; verify every resource lands within 3%.
-  const DeviceModel d25 = characterizer().characterize(25.0);
+  const DeviceModel d25 = characterizer().characterize(units::Celsius(25.0));
   const DeviceModel paper = Characterizer::paper_table2_reference();
   for (ResourceKind k : all_resource_kinds()) {
-    const double ours = d25.delay_ps(k, 25.0);
-    const double target = paper.delay_ps(k, 25.0);
+    const double ours = d25.delay(k, units::Celsius(25.0)).value();
+    const double target = paper.delay(k, units::Celsius(25.0)).value();
     EXPECT_NEAR(ours / target, 1.0, 0.03) << resource_name(k);
     EXPECT_NEAR(d25.at(k).pdyn_uw_100mhz / paper.at(k).pdyn_uw_100mhz, 1.0, 0.03)
         << resource_name(k);
-    EXPECT_NEAR(d25.leakage_uw(k, 25.0) / paper.leakage_uw(k, 25.0), 1.0, 0.05)
+    EXPECT_NEAR(d25.leakage(k, units::Celsius(25.0)).value() / paper.leakage(k, units::Celsius(25.0)).value(), 1.0, 0.05)
         << resource_name(k);
   }
 }
 
 TEST(Characterize, DelayFitsAreTight) {
-  const DeviceModel d25 = characterizer().characterize(25.0);
+  const DeviceModel d25 = characterizer().characterize(units::Celsius(25.0));
   for (ResourceKind k : all_resource_kinds()) {
     EXPECT_GT(d25.at(k).delay_ps.r2, 0.95) << resource_name(k);
     EXPECT_GT(d25.at(k).delay_ps.slope, 0.0) << resource_name(k);
@@ -187,11 +187,11 @@ TEST(Characterize, DelayFitsAreTight) {
 TEST(Characterize, SensitivityOrderingMatchesFig1) {
   // Fig. 1: DSP is the most temperature-sensitive resource and the
   // representative CP the least among {CP, BRAM, DSP}.
-  const DeviceModel d25 = characterizer().characterize(25.0);
+  const DeviceModel d25 = characterizer().characterize(units::Celsius(25.0));
   auto sens = [&](double lo, double hi) { return hi / lo - 1.0; };
-  const double cp = sens(d25.rep_cp_delay_ps(0), d25.rep_cp_delay_ps(100));
-  const double dsp = sens(d25.delay_ps(ResourceKind::Dsp, 0),
-                          d25.delay_ps(ResourceKind::Dsp, 100));
+  const double cp = sens(d25.rep_cp_delay(units::Celsius(0)).value(), d25.rep_cp_delay(units::Celsius(100)).value());
+  const double dsp = sens(d25.delay(ResourceKind::Dsp, units::Celsius(0)).value(),
+                          d25.delay(ResourceKind::Dsp, units::Celsius(100)).value());
   EXPECT_GT(dsp, cp);
   EXPECT_GT(cp, 0.35);
   EXPECT_LT(cp, 0.90);
@@ -199,38 +199,38 @@ TEST(Characterize, SensitivityOrderingMatchesFig1) {
 
 TEST(Characterize, CornerCrossoverExists) {
   // Fig. 3: D0 is fastest at 0C, D100 fastest at 100C.
-  const DeviceModel d0 = characterizer().characterize(0.0);
-  const DeviceModel d100 = characterizer().characterize(100.0);
-  EXPECT_LT(d0.rep_cp_delay_ps(0.0), d100.rep_cp_delay_ps(0.0));
-  EXPECT_GT(d0.rep_cp_delay_ps(100.0), d100.rep_cp_delay_ps(100.0));
+  const DeviceModel d0 = characterizer().characterize(units::Celsius(0.0));
+  const DeviceModel d100 = characterizer().characterize(units::Celsius(100.0));
+  EXPECT_LT(d0.rep_cp_delay(units::Celsius(0.0)).value(), d100.rep_cp_delay(units::Celsius(0.0)).value());
+  EXPECT_GT(d0.rep_cp_delay(units::Celsius(100.0)).value(), d100.rep_cp_delay(units::Celsius(100.0)).value());
 }
 
 TEST(Characterize, ExpectedDelayMatchesMidpointForLinearFits) {
-  const DeviceModel d25 = characterizer().characterize(25.0);
-  const double expected = d25.expected_cp_delay_ps(0.0, 100.0);
-  const double midpoint = d25.rep_cp_delay_ps(50.0);
+  const DeviceModel d25 = characterizer().characterize(units::Celsius(25.0));
+  const double expected = d25.expected_cp_delay(units::Celsius(0.0), units::Celsius(100.0)).value();
+  const double midpoint = d25.rep_cp_delay(units::Celsius(50.0)).value();
   EXPECT_NEAR(expected / midpoint, 1.0, 0.01);
 }
 
 TEST(Characterize, PaperReferenceRoundTrips) {
   const DeviceModel paper = Characterizer::paper_table2_reference();
-  EXPECT_NEAR(paper.delay_ps(ResourceKind::SbMux, 50.0), 166.0 + 0.67 * 50.0, 1e-9);
-  EXPECT_NEAR(paper.leakage_uw(ResourceKind::Lut, 0.0), 2.5, 1e-9);
+  EXPECT_NEAR(paper.delay(ResourceKind::SbMux, units::Celsius(50.0)).value(), 166.0 + 0.67 * 50.0, 1e-9);
+  EXPECT_NEAR(paper.leakage(ResourceKind::Lut, units::Celsius(0.0)).value(), 2.5, 1e-9);
   EXPECT_NEAR(paper.at(ResourceKind::Dsp).pdyn_uw_100mhz, 879.0, 1e-9);
 }
 
 TEST(Characterize, DynPowerScalesWithFrequencyAndActivity) {
-  const DeviceModel d25 = characterizer().characterize(25.0);
-  const double base = d25.dyn_power_uw(ResourceKind::SbMux, 100.0, 1.0);
-  EXPECT_NEAR(d25.dyn_power_uw(ResourceKind::SbMux, 200.0, 0.5), base, 1e-9);
+  const DeviceModel d25 = characterizer().characterize(units::Celsius(25.0));
+  const double base = d25.dyn_power(ResourceKind::SbMux, units::Megahertz(100.0), 1.0).value();
+  EXPECT_NEAR(d25.dyn_power(ResourceKind::SbMux, units::Megahertz(200.0), 0.5).value(), base, 1e-9);
 }
 
 TEST(Sizing, HigherAreaWeightShrinksArea) {
   SizingOptions cheap;
-  cheap.t_opt_c = 25.0;
+  cheap.t_opt_c = units::Celsius(25.0);
   cheap.area_weight = 2.0;
   SizingOptions fast;
-  fast.t_opt_c = 25.0;
+  fast.t_opt_c = units::Celsius(25.0);
   fast.area_weight = 0.25;
   const PathSpec base = sb_mux_spec(test_arch());
   const SizingResult small = size_path(base, test_tech(), cheap);
@@ -241,7 +241,7 @@ TEST(Sizing, HigherAreaWeightShrinksArea) {
 
 TEST(Sizing, DiscreteSizesSnapToLadder) {
   SizingOptions opt;
-  opt.t_opt_c = 25.0;
+  opt.t_opt_c = units::Celsius(25.0);
   const SizingResult r = size_path(dsp_spec(test_arch()), test_tech(), opt);
   for (const Stage& s : r.spec.stages) {
     if (s.kind != StageKind::Inverter || !s.sizable) continue;

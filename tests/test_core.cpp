@@ -31,70 +31,70 @@ const core::Implementation& sha_impl() {
 }
 
 TEST(Power, LeakageGrowsWithTemperature) {
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   const double cold =
-      power::tile_leakage_uw(dev, arch::TileKind::Clb, test_arch(), 0.0);
+      power::tile_leakage(dev, arch::TileKind::Clb, test_arch(), units::Celsius(0.0)).value();
   const double hot =
-      power::tile_leakage_uw(dev, arch::TileKind::Clb, test_arch(), 100.0);
+      power::tile_leakage(dev, arch::TileKind::Clb, test_arch(), units::Celsius(100.0)).value();
   EXPECT_GT(hot, 2.0 * cold);
 }
 
 TEST(Power, FabricTilesLeakMoreThanIoTiles) {
   // IO tiles carry only the routing inventory; logic and hard-block
   // tiles add their cores on top.
-  const auto dev = characterizer().characterize(25.0);
-  const double io = power::tile_leakage_uw(dev, arch::TileKind::Io, test_arch(), 25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
+  const double io = power::tile_leakage(dev, arch::TileKind::Io, test_arch(), units::Celsius(25.0)).value();
   EXPECT_GT(io, 0.0);
   for (auto k : {arch::TileKind::Clb, arch::TileKind::Bram, arch::TileKind::Dsp}) {
-    EXPECT_GT(power::tile_leakage_uw(dev, k, test_arch(), 25.0), io);
+    EXPECT_GT(power::tile_leakage(dev, k, test_arch(), units::Celsius(25.0)).value(), io);
   }
 }
 
 TEST(Power, DynamicScalesWithFrequency) {
   const auto& impl = sha_impl();
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   const std::vector<double> temps(static_cast<std::size_t>(impl.grid.num_tiles()), 25.0);
   const auto p100 =
       power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
-                           impl.routes, impl.activity, 100.0, temps, impl.grid);
+                           impl.routes, impl.activity, units::Megahertz(100.0), temps, impl.grid);
   const auto p200 =
       power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
-                           impl.routes, impl.activity, 200.0, temps, impl.grid);
-  EXPECT_NEAR(p200.dynamic_w, 2.0 * p100.dynamic_w, 1e-9);
-  EXPECT_NEAR(p200.leakage_w, p100.leakage_w, 1e-12);  // leakage is f-independent
+                           impl.routes, impl.activity, units::Megahertz(200.0), temps, impl.grid);
+  EXPECT_NEAR(p200.dynamic_w.value(), 2.0 * p100.dynamic_w.value(), 1e-9);
+  EXPECT_NEAR(p200.leakage_w.value(), p100.leakage_w.value(), 1e-12);  // leakage is f-independent
 }
 
 TEST(Power, TilePowersSumToTotals) {
   const auto& impl = sha_impl();
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   const std::vector<double> temps(static_cast<std::size_t>(impl.grid.num_tiles()), 25.0);
   const auto p =
       power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
-                           impl.routes, impl.activity, 150.0, temps, impl.grid);
+                           impl.routes, impl.activity, units::Megahertz(150.0), temps, impl.grid);
   double sum = 0.0;
   for (double w : p.tile_w) sum += w;
-  EXPECT_NEAR(sum, p.total_w(), 1e-9);
-  EXPECT_GT(p.leakage_w, 0.0);
-  EXPECT_GT(p.dynamic_w, 0.0);
+  EXPECT_NEAR(sum, p.total_w().value(), 1e-9);
+  EXPECT_GT(p.leakage_w.value(), 0.0);
+  EXPECT_GT(p.dynamic_w.value(), 0.0);
 }
 
 TEST(Guardband, GainIsPositiveAtRoomAmbient) {
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   core::GuardbandOptions opt;
-  opt.t_amb_c = 25.0;
+  opt.t_amb_c = units::Celsius(25.0);
   const auto r = core::guardband(sha_impl(), dev, opt);
-  EXPECT_GT(r.fmax_mhz, r.baseline_fmax_mhz);
+  EXPECT_GT(r.fmax_mhz.value(), r.baseline_fmax_mhz.value());
   // Paper Fig. 6: gains in the 30..52% band at 25C ambient.
   EXPECT_GT(r.gain(), 0.25);
   EXPECT_LT(r.gain(), 0.65);
 }
 
 TEST(Guardband, HotterAmbientShrinksGain) {
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   core::GuardbandOptions cool;
-  cool.t_amb_c = 25.0;
+  cool.t_amb_c = units::Celsius(25.0);
   core::GuardbandOptions warm;
-  warm.t_amb_c = 70.0;
+  warm.t_amb_c = units::Celsius(70.0);
   const auto r25 = core::guardband(sha_impl(), dev, cool);
   const auto r70 = core::guardband(sha_impl(), dev, warm);
   EXPECT_GT(r70.gain(), 0.0);
@@ -104,48 +104,48 @@ TEST(Guardband, HotterAmbientShrinksGain) {
 }
 
 TEST(Guardband, ConvergesWithinTenIterations) {
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   core::GuardbandOptions opt;
-  opt.t_amb_c = 25.0;
-  opt.delta_t_c = 0.2;  // stricter than default to exercise the loop
+  opt.t_amb_c = units::Celsius(25.0);
+  opt.delta_t_c = units::Kelvin(0.2);  // stricter than default to exercise the loop
   const auto r = core::guardband(sha_impl(), dev, opt);
   EXPECT_LE(r.iterations, 10);
   EXPECT_GE(r.iterations, 1);
 }
 
 TEST(Guardband, ConvergedFlagReflectsTheIterationBudget) {
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   core::GuardbandOptions relaxed;
-  relaxed.t_amb_c = 25.0;
+  relaxed.t_amb_c = units::Celsius(25.0);
   const auto ok = core::guardband(sha_impl(), dev, relaxed);
   EXPECT_TRUE(ok.converged);
 
   core::GuardbandOptions starved = relaxed;
   starved.max_iterations = 1;
-  starved.delta_t_c = 1e-9;  // unreachably tight fixed-point criterion
+  starved.delta_t_c = units::Kelvin(1e-9);  // unreachably tight fixed-point criterion
   const auto bad = core::guardband(sha_impl(), dev, starved);
   EXPECT_FALSE(bad.converged);
   EXPECT_EQ(bad.iterations, 1);
 }
 
 TEST(Guardband, PowerScaleScalesTheOperatingPoint) {
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   core::GuardbandOptions opt;
-  opt.t_amb_c = 25.0;
+  opt.t_amb_c = units::Celsius(25.0);
   core::GuardbandOptions half = opt;
   half.power_scale = 0.5;
   const auto full = core::guardband(sha_impl(), dev, opt);
   const auto dimmed = core::guardband(sha_impl(), dev, half);
   // Less heat, cooler die, faster (or equal) clock.
-  EXPECT_LT(dimmed.peak_temp_c, full.peak_temp_c);
-  EXPECT_GE(dimmed.fmax_mhz, full.fmax_mhz);
-  EXPECT_LT(dimmed.power.total_w(), full.power.total_w());
+  EXPECT_LT(dimmed.peak_temp_c.value(), full.peak_temp_c.value());
+  EXPECT_GE(dimmed.fmax_mhz.value(), full.fmax_mhz.value());
+  EXPECT_LT(dimmed.power.total_w().value(), full.power.total_w().value());
 }
 
 TEST(Guardband, IncrementalStatsAreReportedAndOffModeDoesNoSessionWork) {
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   core::GuardbandOptions inc;
-  inc.t_amb_c = 25.0;
+  inc.t_amb_c = units::Celsius(25.0);
   inc.incremental = core::IncrementalMode::Exact;
   const auto r = core::guardband(sha_impl(), dev, inc);
   EXPECT_GT(r.stats.cg_iterations, 0u);
@@ -160,39 +160,39 @@ TEST(Guardband, IncrementalStatsAreReportedAndOffModeDoesNoSessionWork) {
 }
 
 TEST(Guardband, TemperaturesStayAboveAmbientAndBelowWorst) {
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   core::GuardbandOptions opt;
-  opt.t_amb_c = 25.0;
+  opt.t_amb_c = units::Celsius(25.0);
   const auto r = core::guardband(sha_impl(), dev, opt);
-  EXPECT_GE(r.peak_temp_c, 25.0);
-  EXPECT_LT(r.peak_temp_c, 100.0);
-  EXPECT_GE(r.mean_temp_c, 25.0);
-  EXPECT_LE(r.mean_temp_c, r.peak_temp_c);
+  EXPECT_GE(r.peak_temp_c.value(), 25.0);
+  EXPECT_LT(r.peak_temp_c.value(), 100.0);
+  EXPECT_GE(r.mean_temp_c.value(), 25.0);
+  EXPECT_LE(r.mean_temp_c.value(), r.peak_temp_c.value());
   // Paper: temperature converged after ~2C rise at these activity levels.
-  EXPECT_LT(r.peak_temp_c - 25.0, 12.0);
+  EXPECT_LT(r.peak_temp_c.value() - 25.0, 12.0);
 }
 
 TEST(Guardband, BaselineMatchesWorstCaseSta) {
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   core::GuardbandOptions opt;
-  opt.t_amb_c = 25.0;
+  opt.t_amb_c = units::Celsius(25.0);
   const auto r = core::guardband(sha_impl(), dev, opt);
-  const auto sta100 = sha_impl().sta->analyze_uniform(dev, 100.0);
-  EXPECT_NEAR(r.baseline_fmax_mhz, sta100.fmax_mhz, 1e-9);
+  const auto sta100 = sha_impl().sta->analyze_uniform(dev, units::Celsius(100.0));
+  EXPECT_NEAR(r.baseline_fmax_mhz.value(), sta100.fmax_mhz.value(), 1e-9);
 }
 
 TEST(Guardband, MarginReducesFrequency) {
   // A larger delta-T margin must never increase the reported frequency.
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   core::GuardbandOptions tight;
-  tight.t_amb_c = 25.0;
-  tight.delta_t_c = 0.5;
+  tight.t_amb_c = units::Celsius(25.0);
+  tight.delta_t_c = units::Kelvin(0.5);
   core::GuardbandOptions loose;
-  loose.t_amb_c = 25.0;
-  loose.delta_t_c = 5.0;
+  loose.t_amb_c = units::Celsius(25.0);
+  loose.delta_t_c = units::Kelvin(5.0);
   const auto rt = core::guardband(sha_impl(), dev, tight);
   const auto rl = core::guardband(sha_impl(), dev, loose);
-  EXPECT_LE(rl.fmax_mhz, rt.fmax_mhz);
+  EXPECT_LE(rl.fmax_mhz.value(), rt.fmax_mhz.value());
 }
 
 TEST(Guardband, PowerIsReportedAtTheOperatingPoint) {
@@ -200,49 +200,49 @@ TEST(Guardband, PowerIsReportedAtTheOperatingPoint) {
   // *previous* iterate's fmax and pre-update temperatures. The reported
   // breakdown must match a fresh evaluation at the converged temperature
   // map and the margin-applied frequency.
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   const auto& impl = sha_impl();
   core::GuardbandOptions opt;
-  opt.t_amb_c = 25.0;
-  opt.delta_t_c = 0.2;  // force a couple of iterations
+  opt.t_amb_c = units::Celsius(25.0);
+  opt.delta_t_c = units::Kelvin(0.2);  // force a couple of iterations
   const auto r = core::guardband(impl, dev, opt);
   ASSERT_EQ(r.tile_temp_c.size(), static_cast<std::size_t>(impl.grid.num_tiles()));
   const auto expected =
       power::compute_power(dev, impl.nl, impl.packed, impl.placement, impl.rr,
                            impl.routes, impl.activity, r.fmax_mhz, r.tile_temp_c,
                            impl.grid);
-  EXPECT_DOUBLE_EQ(r.power.dynamic_w, expected.dynamic_w);
-  EXPECT_DOUBLE_EQ(r.power.leakage_w, expected.leakage_w);
-  EXPECT_DOUBLE_EQ(r.power.total_w(), expected.total_w());
+  EXPECT_DOUBLE_EQ(r.power.dynamic_w.value(), expected.dynamic_w.value());
+  EXPECT_DOUBLE_EQ(r.power.leakage_w.value(), expected.leakage_w.value());
+  EXPECT_DOUBLE_EQ(r.power.total_w().value(), expected.total_w().value());
 }
 
 TEST(Guardband, ZeroIterationsStillReportsPower) {
   // Regression: with max_iterations == 0 the loop body never ran and the
   // result used to carry an all-zero PowerBreakdown.
-  const auto dev = characterizer().characterize(25.0);
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
   core::GuardbandOptions opt;
-  opt.t_amb_c = 25.0;
+  opt.t_amb_c = units::Celsius(25.0);
   opt.max_iterations = 0;
   const auto r = core::guardband(sha_impl(), dev, opt);
   EXPECT_EQ(r.iterations, 0);
-  EXPECT_GT(r.power.dynamic_w, 0.0);
-  EXPECT_GT(r.power.leakage_w, 0.0);
+  EXPECT_GT(r.power.dynamic_w.value(), 0.0);
+  EXPECT_GT(r.power.leakage_w.value(), 0.0);
 }
 
 TEST(Grade, SelectionFollowsFieldRange) {
   std::vector<coffe::DeviceModel> devices;
   for (double t : {0.0, 25.0, 70.0, 100.0}) {
-    devices.push_back(characterizer().characterize(t));
+    devices.push_back(characterizer().characterize(units::Celsius(t)));
   }
   // Cold field -> cold-corner device wins; hot field -> hot corner wins.
-  const int cold = core::select_grade(devices, 0.0, 20.0);
-  const int hot = core::select_grade(devices, 80.0, 100.0);
+  const int cold = core::select_grade(devices, units::Celsius(0.0), units::Celsius(20.0));
+  const int hot = core::select_grade(devices, units::Celsius(80.0), units::Celsius(100.0));
   EXPECT_LT(devices[static_cast<std::size_t>(cold)].t_opt_c,
             devices[static_cast<std::size_t>(hot)].t_opt_c);
 }
 
 TEST(Grade, ThrowsOnEmptyDeviceList) {
-  EXPECT_THROW(core::select_grade({}, 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(core::select_grade({}, units::Celsius(0.0), units::Celsius(100.0)), std::invalid_argument);
 }
 
 TEST(Implement, ReportsRoutedDesign) {
@@ -257,13 +257,13 @@ TEST(Implement, Fig8ArchOptimizationDirection) {
   // The paper's Fig. 8 experiment in miniature: at a 70C field, the
   // 70C-optimized device must clock at least as fast as the 25C device
   // (both thermally guardbanded). ~6.7% average in the paper.
-  const auto d25 = characterizer().characterize(25.0);
-  const auto d70 = characterizer().characterize(70.0);
+  const auto d25 = characterizer().characterize(units::Celsius(25.0));
+  const auto d70 = characterizer().characterize(units::Celsius(70.0));
   core::GuardbandOptions opt;
-  opt.t_amb_c = 70.0;
+  opt.t_amb_c = units::Celsius(70.0);
   const auto r25 = core::guardband(sha_impl(), d25, opt);
   const auto r70 = core::guardband(sha_impl(), d70, opt);
-  EXPECT_GE(r70.fmax_mhz, r25.fmax_mhz * 0.995);
+  EXPECT_GE(r70.fmax_mhz.value(), r25.fmax_mhz.value() * 0.995);
 }
 
 }  // namespace

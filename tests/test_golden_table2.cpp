@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "util/env.hpp"
 #include "coffe/device_model.hpp"
 
 #ifndef TAF_GOLDEN_DIR
@@ -43,8 +44,8 @@ FlatGolden flatten(const coffe::DeviceModel& dev) {
     flat[base + ".area_um2"] = rc.area_um2;
     flat[base + ".pdyn_uw_100mhz"] = rc.pdyn_uw_100mhz;
     for (std::size_t i = 0; i < std::size(kCorners); ++i) {
-      flat[base + ".delay_ps[" + std::to_string(i) + "]"] = dev.delay_ps(k, kCorners[i]);
-      flat[base + ".plkg_uw[" + std::to_string(i) + "]"] = dev.leakage_uw(k, kCorners[i]);
+      flat[base + ".delay_ps[" + std::to_string(i) + "]"] = dev.delay(k, units::Celsius(kCorners[i])).value();
+      flat[base + ".plkg_uw[" + std::to_string(i) + "]"] = dev.leakage(k, units::Celsius(kCorners[i])).value();
     }
   }
   return flat;
@@ -54,7 +55,7 @@ void write_golden(const coffe::DeviceModel& dev) {
   std::ofstream out(golden_path());
   ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
   out.precision(12);
-  out << "{\n  \"t_opt_c\": " << dev.t_opt_c << ",\n  \"corners_c\": [";
+  out << "{\n  \"t_opt_c\": " << dev.t_opt_c.value() << ",\n  \"corners_c\": [";
   for (std::size_t i = 0; i < std::size(kCorners); ++i)
     out << (i ? ", " : "") << kCorners[i];
   out << "],\n  \"resources\": {\n";
@@ -67,10 +68,10 @@ void write_golden(const coffe::DeviceModel& dev) {
     out << "      \"pdyn_uw_100mhz\": " << rc.pdyn_uw_100mhz << ",\n";
     out << "      \"delay_ps\": [";
     for (std::size_t i = 0; i < std::size(kCorners); ++i)
-      out << (i ? ", " : "") << dev.delay_ps(k, kCorners[i]);
+      out << (i ? ", " : "") << dev.delay(k, units::Celsius(kCorners[i])).value();
     out << "],\n      \"plkg_uw\": [";
     for (std::size_t i = 0; i < std::size(kCorners); ++i)
-      out << (i ? ", " : "") << dev.leakage_uw(k, kCorners[i]);
+      out << (i ? ", " : "") << dev.leakage(k, units::Celsius(kCorners[i])).value();
     out << "]\n    }" << (ki + 1 < kinds.size() ? "," : "") << "\n";
   }
   out << "  }\n}\n";
@@ -127,10 +128,10 @@ void read_golden(FlatGolden& flat) {
 
 TEST(GoldenTable2, CharacterizationReproducesSnapshot) {
   const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
-  const coffe::DeviceModel dev = ch.characterize(25.0);
+  const coffe::DeviceModel dev = ch.characterize(units::Celsius(25.0));
   const FlatGolden actual = flatten(dev);
 
-  if (std::getenv("TAF_UPDATE_GOLDEN")) {
+  if (util::env_set("TAF_UPDATE_GOLDEN")) {
     write_golden(dev);
     GTEST_SKIP() << "golden file regenerated at " << golden_path();
   }

@@ -27,7 +27,7 @@ const arch::ArchParams& test_arch() {
 
 const coffe::DeviceModel& device() {
   static const coffe::DeviceModel dev =
-      coffe::Characterizer(tech::ptm22(), test_arch()).characterize(25.0);
+      coffe::Characterizer(tech::ptm22(), test_arch()).characterize(units::Celsius(25.0));
   return dev;
 }
 
@@ -38,8 +38,8 @@ const std::vector<netlist::BenchmarkSpec>& suite() {
 
 core::GuardbandOptions base_options(double t_amb_c, core::IncrementalMode mode) {
   core::GuardbandOptions opt;
-  opt.t_amb_c = t_amb_c;
-  opt.delta_t_c = 0.2;  // stricter than default so the loop actually iterates
+  opt.t_amb_c = units::Celsius(t_amb_c);
+  opt.delta_t_c = units::Kelvin(0.2);  // stricter than default so the loop actually iterates
   opt.incremental = mode;
   return opt;
 }
@@ -50,22 +50,22 @@ void expect_equivalent(const core::GuardbandResult& full,
   EXPECT_EQ(full.iterations, inc.iterations);
   EXPECT_EQ(full.converged, inc.converged);
   // The baseline corner never goes through the incremental session.
-  EXPECT_DOUBLE_EQ(full.baseline_fmax_mhz, inc.baseline_fmax_mhz);
-  EXPECT_NEAR(full.fmax_mhz, inc.fmax_mhz, 1e-9);
-  EXPECT_NEAR(full.timing.critical_path_ps, inc.timing.critical_path_ps, 1e-9);
+  EXPECT_DOUBLE_EQ(full.baseline_fmax_mhz.value(), inc.baseline_fmax_mhz.value());
+  EXPECT_NEAR(full.fmax_mhz.value(), inc.fmax_mhz.value(), 1e-9);
+  EXPECT_NEAR(full.timing.critical_path_ps.value(), inc.timing.critical_path_ps.value(), 1e-9);
   ASSERT_EQ(full.tile_temp_c.size(), inc.tile_temp_c.size());
   for (std::size_t i = 0; i < full.tile_temp_c.size(); ++i) {
     ASSERT_NEAR(full.tile_temp_c[i], inc.tile_temp_c[i], 1e-9)
         << "tile " << i;
   }
-  EXPECT_NEAR(full.peak_temp_c, inc.peak_temp_c, 1e-9);
-  EXPECT_NEAR(full.mean_temp_c, inc.mean_temp_c, 1e-9);
+  EXPECT_NEAR(full.peak_temp_c.value(), inc.peak_temp_c.value(), 1e-9);
+  EXPECT_NEAR(full.mean_temp_c.value(), inc.mean_temp_c.value(), 1e-9);
   // Power feels the (tolerance-bounded) temperature difference only
   // through leakage; agreement is far tighter than physical relevance.
-  EXPECT_NEAR(full.power.dynamic_w, inc.power.dynamic_w,
-              1e-8 * std::max(1.0, full.power.dynamic_w));
-  EXPECT_NEAR(full.power.leakage_w, inc.power.leakage_w,
-              1e-8 * std::max(1.0, full.power.leakage_w));
+  EXPECT_NEAR(full.power.dynamic_w.value(), inc.power.dynamic_w.value(),
+              1e-8 * std::max(1.0, full.power.dynamic_w.value()));
+  EXPECT_NEAR(full.power.leakage_w.value(), inc.power.leakage_w.value(),
+              1e-8 * std::max(1.0, full.power.leakage_w.value()));
 }
 
 class IncrementalDifferential : public ::testing::TestWithParam<int> {};
@@ -93,9 +93,9 @@ TEST_P(IncrementalDifferential, ExactMatchesFullRecomputeAtBothAmbients) {
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, IncrementalDifferential,
                          ::testing::Range(0, static_cast<int>(netlist::vtr_suite().size())),
-                         [](const auto& info) {
+                         [](const auto& name_info) {
                            return netlist::vtr_suite()[static_cast<std::size_t>(
-                                                           info.param)]
+                                                           name_info.param)]
                                .name;
                          });
 
@@ -131,11 +131,11 @@ TEST(IncrementalDifferentialDetail, QuantizedStaysWithinEpsilonBounds) {
   // temperature stale by up to epsilon, so fmax can drift by roughly
   // (slope * epsilon / cp) — bound it loosely rather than exactly.
   auto opt = base_options(25.0, core::IncrementalMode::Quantized);
-  opt.incremental_epsilon_c = 0.05;
+  opt.incremental_epsilon_c = units::Kelvin(0.05);
   const auto full = core::guardband(sha_impl(), device(),
                                     base_options(25.0, core::IncrementalMode::Off));
   const auto q = core::guardband(sha_impl(), device(), opt);
-  EXPECT_NEAR(q.fmax_mhz, full.fmax_mhz, 0.005 * full.fmax_mhz);
+  EXPECT_NEAR(q.fmax_mhz.value(), full.fmax_mhz.value(), 0.005 * full.fmax_mhz.value());
   ASSERT_EQ(full.tile_temp_c.size(), q.tile_temp_c.size());
   for (std::size_t i = 0; i < full.tile_temp_c.size(); ++i) {
     ASSERT_NEAR(full.tile_temp_c[i], q.tile_temp_c[i], 0.1) << "tile " << i;
@@ -156,15 +156,15 @@ TEST(IncrementalMetamorphic, ZeroPowerConvergesInOneIterationWithZeroWork) {
   EXPECT_EQ(r.stats.delay_cache_hits, 0u);
   EXPECT_EQ(r.stats.cg_iterations, 0u);
   for (double t : r.tile_temp_c) EXPECT_EQ(t, 25.0);
-  EXPECT_EQ(r.power.dynamic_w, 0.0);
-  EXPECT_EQ(r.power.leakage_w, 0.0);
+  EXPECT_EQ(r.power.dynamic_w.value(), 0.0);
+  EXPECT_EQ(r.power.leakage_w.value(), 0.0);
 }
 
 TEST(IncrementalNonConvergence, ExhaustedLoopIsFlaggedAndCounted) {
   const core::FlowCounters before = core::thread_flow_counters();
   auto opt = base_options(25.0, core::IncrementalMode::Exact);
   opt.max_iterations = 1;
-  opt.delta_t_c = 1e-6;  // unreachable in one iteration from ambient
+  opt.delta_t_c = units::Kelvin(1e-6);  // unreachable in one iteration from ambient
   const auto r = core::guardband(sha_impl(), device(), opt);
   EXPECT_FALSE(r.converged);
   EXPECT_EQ(r.iterations, 1);

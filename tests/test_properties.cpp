@@ -59,14 +59,14 @@ TEST(Property, GainDependsOnlyWeaklyOnSeed) {
   // annealing seed: gains across seeds stay within a few points.
   const auto spec = spec_named("sha", 1.0 / 16);
   const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
-  const auto dev = ch.characterize(25.0);
+  const auto dev = ch.characterize(units::Celsius(25.0));
   util::Accumulator gains;
   for (unsigned seed : {1u, 7u, 23u}) {
     core::ImplementOptions io;
     io.seed = seed;
     const auto impl = core::implement(spec, arch::scaled_arch(), io);
     core::GuardbandOptions go;
-    go.t_amb_c = 25.0;
+    go.t_amb_c = units::Celsius(25.0);
     gains.add(core::guardband(*impl, dev, go).gain());
   }
   EXPECT_LT(gains.max() - gains.min(), 0.05);
@@ -77,10 +77,10 @@ TEST(Property, CriticalPathDelaysScaleWithFits) {
   const auto spec = spec_named("diffeq1", 1.0 / 4);
   const auto impl = core::implement(spec, arch::scaled_arch());
   const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
-  const auto dev = ch.characterize(25.0);
+  const auto dev = ch.characterize(units::Celsius(25.0));
   double prev = 0.0;
   for (double t = 0.0; t <= 100.0; t += 10.0) {
-    const double cp = impl->sta->analyze_uniform(dev, t).critical_path_ps;
+    const double cp = impl->sta->analyze_uniform(dev, units::Celsius(t)).critical_path_ps.value();
     EXPECT_GT(cp, prev);
     prev = cp;
   }
@@ -100,11 +100,11 @@ TEST(Property, WireUtilizationGrowsWithSize) {
 TEST(Property, GuardbandGainShrinksMonotonicallyWithAmbient) {
   const auto impl = core::implement(spec_named("or1200", 1.0 / 16), arch::scaled_arch());
   const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
-  const auto dev = ch.characterize(25.0);
+  const auto dev = ch.characterize(units::Celsius(25.0));
   double prev_gain = 1e9;
   for (double amb : {0.0, 25.0, 50.0, 70.0, 90.0}) {
     core::GuardbandOptions opt;
-    opt.t_amb_c = amb;
+    opt.t_amb_c = units::Celsius(amb);
     const double g = core::guardband(*impl, dev, opt).gain();
     EXPECT_LT(g, prev_gain) << "ambient " << amb;
     EXPECT_GE(g, -1e-9);
@@ -239,11 +239,11 @@ TEST(Property, SparseBackendReusesOneSymbolicAnalysis) {
 
 TEST(Property, HotterDeviceLeaksMoreEverywhere) {
   const coffe::Characterizer ch(tech::ptm22(), arch::scaled_arch());
-  const auto dev = ch.characterize(25.0);
+  const auto dev = ch.characterize(units::Celsius(25.0));
   for (coffe::ResourceKind k : coffe::all_resource_kinds()) {
     double prev = 0.0;
     for (double t = 0.0; t <= 100.0; t += 20.0) {
-      const double lkg = dev.leakage_uw(k, t);
+      const double lkg = dev.leakage(k, units::Celsius(t)).value();
       EXPECT_GT(lkg, prev) << coffe::resource_name(k) << " at " << t;
       prev = lkg;
     }

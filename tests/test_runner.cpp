@@ -182,17 +182,24 @@ TEST(Sweep, ParallelMatchesSerialBitForBit) {
     const auto& p = parallel[i].guardband;
     // Exact double equality, not tolerance: same inputs, same seeds, same
     // reduction order must give the same bits whatever the scheduling.
-    EXPECT_EQ(s.fmax_mhz, p.fmax_mhz) << "cell " << i;
-    EXPECT_EQ(s.baseline_fmax_mhz, p.baseline_fmax_mhz) << "cell " << i;
+    EXPECT_EQ(s.fmax_mhz.value(), p.fmax_mhz.value()) << "cell " << i;
+    EXPECT_EQ(s.baseline_fmax_mhz.value(), p.baseline_fmax_mhz.value()) << "cell " << i;
     EXPECT_EQ(s.iterations, p.iterations) << "cell " << i;
-    EXPECT_EQ(s.peak_temp_c, p.peak_temp_c) << "cell " << i;
-    EXPECT_EQ(s.power.total_w(), p.power.total_w()) << "cell " << i;
+    EXPECT_EQ(s.peak_temp_c.value(), p.peak_temp_c.value()) << "cell " << i;
+    EXPECT_EQ(s.power.total_w().value(), p.power.total_w().value()) << "cell " << i;
     ASSERT_EQ(s.tile_temp_c.size(), p.tile_temp_c.size());
     EXPECT_EQ(0, std::memcmp(s.tile_temp_c.data(), p.tile_temp_c.data(),
                              s.tile_temp_c.size() * sizeof(double)))
         << "cell " << i;
     EXPECT_EQ(serial[i].metrics.name, parallel[i].metrics.name);
   }
+  // Pinned regression: the auto-generated cell label must render the
+  // ambient as a plain number. A units::Celsius passed straight through
+  // the printf varargs boundary (caught by -Wformat during the units
+  // migration) would corrupt this string on ABIs that pass single-member
+  // structs on the stack.
+  EXPECT_EQ(serial[0].metrics.name, "sha@D25/amb25");
+  EXPECT_EQ(serial[1].metrics.name, "sha@D25/amb70");
 }
 
 TEST(Sweep, GridIsRowMajorSpecGradeAmbient) {
@@ -203,8 +210,8 @@ TEST(Sweep, GridIsRowMajorSpecGradeAmbient) {
   ASSERT_EQ(points.size(), 8u);
   EXPECT_EQ(points[0].spec.name, "sha");
   EXPECT_EQ(points[0].t_opt_c, 25.0);
-  EXPECT_EQ(points[0].guardband.t_amb_c, 25.0);
-  EXPECT_EQ(points[1].guardband.t_amb_c, 70.0);
+  EXPECT_EQ(points[0].guardband.t_amb_c.value(), 25.0);
+  EXPECT_EQ(points[1].guardband.t_amb_c.value(), 70.0);
   EXPECT_EQ(points[2].t_opt_c, 70.0);
   EXPECT_EQ(points[4].spec.name, "or1200");
 }
@@ -214,11 +221,11 @@ TEST(Sweep, GridIsRowMajorSpecGradeAmbient) {
 TEST(Metrics, ObserverAccumulatesPhasesAndIterations) {
   runner::TaskMetrics m;
   const core::FlowObserver obs = runner::observe_into(m);
-  obs.on_phase(core::FlowPhase::Route, 0.25);
-  obs.on_phase(core::FlowPhase::Route, 0.25);
-  obs.on_phase(core::FlowPhase::Sta, 0.5);
-  obs.on_iteration(1, 100.0, 3.0);
-  obs.on_iteration(2, 99.0, 0.2);
+  obs.on_phase(core::FlowPhase::Route, units::Seconds(0.25));
+  obs.on_phase(core::FlowPhase::Route, units::Seconds(0.25));
+  obs.on_phase(core::FlowPhase::Sta, units::Seconds(0.5));
+  obs.on_iteration(1, units::Megahertz(100.0), units::Kelvin(3.0));
+  obs.on_iteration(2, units::Megahertz(99.0), units::Kelvin(0.2));
   EXPECT_DOUBLE_EQ(m.phases.seconds[static_cast<std::size_t>(core::FlowPhase::Route)],
                    0.5);
   EXPECT_DOUBLE_EQ(m.phases.total(), 1.0);
@@ -322,7 +329,7 @@ TEST(Determinism, FullFlowMatchesAcrossThreadCountsWithIncrementalEngine) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     const auto& s = serial[i].guardband;
     const auto& p = parallel[i].guardband;
-    EXPECT_EQ(s.fmax_mhz, p.fmax_mhz) << "cell " << i;
+    EXPECT_EQ(s.fmax_mhz.value(), p.fmax_mhz.value()) << "cell " << i;
     EXPECT_EQ(s.iterations, p.iterations) << "cell " << i;
     EXPECT_EQ(s.converged, p.converged) << "cell " << i;
     EXPECT_EQ(s.stats.edges_reevaluated, p.stats.edges_reevaluated) << "cell " << i;

@@ -12,13 +12,14 @@
 namespace {
 
 using namespace taf::spice;
+namespace units = taf::util::units;
 using taf::tech::Flavor;
 using taf::tech::Technology;
 using taf::tech::ptm22;
 
 SolverOptions opts_at(double temp_c) {
   SolverOptions o;
-  o.temp_c = temp_c;
+  o.temp_c = units::Celsius(temp_c);
   return o;
 }
 

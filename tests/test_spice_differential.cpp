@@ -45,10 +45,10 @@ TEST_P(PathDifferentialTest, BackendsAgree) {
   const auto arch = arch::scaled_arch();
   const auto tech = tech::ptm22();
   const coffe::PathSpec spec = coffe::spec_for(pc.kind, arch);
-  const coffe::PathCircuitProbe probe = coffe::build_path_circuit(spec, tech, temp_c);
+  const coffe::PathCircuitProbe probe = coffe::build_path_circuit(spec, tech, units::Celsius(temp_c));
 
   spice::SolverOptions opt;
-  opt.temp_c = temp_c;
+  opt.temp_c = units::Celsius(temp_c);
   opt.dt_ps = probe.dt_ps;
   const std::string label =
       std::string(pc.name) + " @ " + std::to_string(temp_c) + "C";
@@ -69,9 +69,9 @@ TEST_P(PathDifferentialTest, BackendsAgree) {
 INSTANTIATE_TEST_SUITE_P(
     AllPaths, PathDifferentialTest,
     ::testing::Combine(::testing::ValuesIn(kPathCases), ::testing::ValuesIn(kCorners)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param).name) + "_" +
-             std::to_string(static_cast<int>(std::get<1>(info.param))) + "C";
+    [](const auto& name_info) {
+      return std::string(std::get<0>(name_info.param).name) + "_" +
+             std::to_string(static_cast<int>(std::get<1>(name_info.param))) + "C";
     });
 
 class CellDifferentialTest
@@ -85,7 +85,7 @@ TEST_P(CellDifferentialTest, BackendsAgree) {
       coffe::stdcell::build_cell_circuit(tech, type, /*w_um=*/2.0, /*load_ff=*/6.0);
 
   spice::SolverOptions opt;
-  opt.temp_c = temp_c;
+  opt.temp_c = units::Celsius(temp_c);
   opt.dt_ps = probe.dt_ps;
   const std::string label = std::string(coffe::stdcell::cell_name(type)) + " @ " +
                             std::to_string(temp_c) + "C";
@@ -102,10 +102,10 @@ INSTANTIATE_TEST_SUITE_P(
     AllCells, CellDifferentialTest,
     ::testing::Combine(::testing::Range(0, coffe::stdcell::kNumCellTypes),
                        ::testing::ValuesIn(kCorners)),
-    [](const auto& info) {
+    [](const auto& name_info) {
       return std::string(coffe::stdcell::cell_name(
-                 static_cast<coffe::stdcell::CellType>(std::get<0>(info.param)))) +
-             "_" + std::to_string(static_cast<int>(std::get<1>(info.param))) + "C";
+                 static_cast<coffe::stdcell::CellType>(std::get<0>(name_info.param)))) +
+             "_" + std::to_string(static_cast<int>(std::get<1>(name_info.param))) + "C";
     });
 
 }  // namespace

@@ -16,7 +16,7 @@ const tech::Technology& test_tech() {
 }
 
 const Liberty& lib25() {
-  static const Liberty lib = characterize_library(test_tech(), 25.0);
+  static const Liberty lib = characterize_library(test_tech(), units::Celsius(25.0));
   return lib;
 }
 
@@ -62,7 +62,7 @@ TEST(StdCell, ComplexityOrderingAtFixedLoad) {
 }
 
 TEST(StdCell, HotterLibraryIsSlower) {
-  const Liberty hot = characterize_library(test_tech(), 100.0);
+  const Liberty hot = characterize_library(test_tech(), units::Celsius(100.0));
   for (int t = 0; t < kNumCellTypes; ++t) {
     const auto type = static_cast<CellType>(t);
     EXPECT_GT(hot.arc(type, 0).delay_ps(6.0), lib25().arc(type, 0).delay_ps(6.0) * 1.2)
@@ -83,16 +83,16 @@ TEST(StdCell, MacPathDelayIsSumOfArcs) {
 
 TEST(StdCell, SynthesisImprovesOnUnitDrives) {
   const auto unit = mac27_critical_path();
-  const auto synth = synthesize_mac(test_tech(), 25.0);
+  const auto synth = synthesize_mac(test_tech(), units::Celsius(25.0));
   EXPECT_LE(sta_path_delay_ps(synth, lib25()), sta_path_delay_ps(unit, lib25()) + 1e-9);
 }
 
 TEST(StdCell, TemperatureSensitivityMatchesDspRow) {
   // The liberty sweep over the synthesized MAC must land near Table II's
   // DSP temperature sensitivity (+81% over 0..100C).
-  const auto path = synthesize_mac(test_tech(), 25.0);
-  const Liberty lib0 = characterize_library(test_tech(), 0.0);
-  const Liberty lib100 = characterize_library(test_tech(), 100.0);
+  const auto path = synthesize_mac(test_tech(), units::Celsius(25.0));
+  const Liberty lib0 = characterize_library(test_tech(), units::Celsius(0.0));
+  const Liberty lib100 = characterize_library(test_tech(), units::Celsius(100.0));
   const double ratio =
       sta_path_delay_ps(path, lib100) / sta_path_delay_ps(path, lib0);
   EXPECT_GT(ratio, 1.5);

@@ -17,7 +17,7 @@ using thermal::ThermalGrid;
 
 ThermalGrid make_grid(int w = 12, int h = 12, double tamb = 25.0) {
   ThermalConfig cfg;
-  cfg.ambient_c = tamb;
+  cfg.ambient_c = units::Celsius(tamb);
   return ThermalGrid(arch::FpgaGrid(w, h), cfg);
 }
 
@@ -188,7 +188,7 @@ TEST(Thermal, HigherPackageResistanceRunsHotter) {
   std::vector<double> p(100, 2e-3);
   const auto tc = ThermalGrid(fg, cold).solve(p);
   const auto th = ThermalGrid(fg, hot).solve(p);
-  EXPECT_GT(ThermalGrid::peak_c(th), ThermalGrid::peak_c(tc));
+  EXPECT_GT(ThermalGrid::peak(th).value(), ThermalGrid::peak(tc).value());
 }
 
 TEST(Thermal, AsciiHeatmapDimensions) {
@@ -212,8 +212,8 @@ TEST(ThermalTransient, ConvergesToSteadyState) {
   p[45] = 0.05;
   const auto steady = g.solve(p);
   std::vector<double> t(100, 25.0);
-  const double tau = g.tile_time_constant_s();
-  for (int i = 0; i < 400; ++i) g.step(p, tau, t);
+  const double tau = g.tile_time_constant().value();
+  for (int i = 0; i < 400; ++i) g.step(p, units::Seconds(tau), t);
   for (int i = 0; i < 100; ++i) {
     EXPECT_NEAR(t[static_cast<size_t>(i)], steady[static_cast<size_t>(i)], 0.05);
   }
@@ -224,10 +224,10 @@ TEST(ThermalTransient, MonotonicWarmup) {
   std::vector<double> p(64, 2e-3);
   std::vector<double> t(64, 25.0);
   double prev = 25.0;
-  const double tau = g.tile_time_constant_s();
+  const double tau = g.tile_time_constant().value();
   for (int i = 0; i < 20; ++i) {
-    g.step(p, tau, t);
-    const double now = ThermalGrid::peak_c(t);
+    g.step(p, units::Seconds(tau), t);
+    const double now = ThermalGrid::peak(t).value();
     EXPECT_GE(now, prev - 1e-9);
     prev = now;
   }
@@ -238,12 +238,12 @@ TEST(ThermalTransient, CoolsBackToAmbient) {
   const ThermalGrid g = make_grid(8, 8);
   std::vector<double> hot_p(64, 2e-3);
   std::vector<double> t(64, 25.0);
-  const double tau = g.tile_time_constant_s();
-  for (int i = 0; i < 200; ++i) g.step(hot_p, tau, t);
-  ASSERT_GT(ThermalGrid::peak_c(t), 25.5);
+  const double tau = g.tile_time_constant().value();
+  for (int i = 0; i < 200; ++i) g.step(hot_p, units::Seconds(tau), t);
+  ASSERT_GT(ThermalGrid::peak(t).value(), 25.5);
   const std::vector<double> zero(64, 0.0);
-  for (int i = 0; i < 800; ++i) g.step(zero, tau, t);
-  EXPECT_NEAR(ThermalGrid::peak_c(t), 25.0, 0.05);
+  for (int i = 0; i < 800; ++i) g.step(zero, units::Seconds(tau), t);
+  EXPECT_NEAR(ThermalGrid::peak(t).value(), 25.0, 0.05);
 }
 
 TEST(ThermalTransient, ZeroPowerStepStaysAtAmbient) {
@@ -252,9 +252,9 @@ TEST(ThermalTransient, ZeroPowerStepStaysAtAmbient) {
   const ThermalGrid g = make_grid(9, 9, 31.0);
   const std::vector<double> zero(81, 0.0);
   std::vector<double> t(81, 31.0);
-  const double tau = g.tile_time_constant_s();
+  const double tau = g.tile_time_constant().value();
   for (double dt : {tau / 100.0, tau, 50.0 * tau}) {
-    g.step(zero, dt, t);
+    g.step(zero, units::Seconds(dt), t);
     for (double v : t) EXPECT_NEAR(v, 31.0, 1e-9);
   }
 }
@@ -273,8 +273,8 @@ TEST(ThermalTransient, OneByOneGridStepConvergesToSolve) {
   const std::vector<double> p = {0.125};
   const auto steady = g.solve(p);
   std::vector<double> t = {25.0};
-  const double tau = g.tile_time_constant_s();
-  for (int i = 0; i < 200; ++i) g.step(p, tau, t);
+  const double tau = g.tile_time_constant().value();
+  for (int i = 0; i < 200; ++i) g.step(p, units::Seconds(tau), t);
   EXPECT_NEAR(t[0], steady[0], 1e-3);
 }
 
@@ -387,9 +387,9 @@ TEST(ThermalTransient, StepReportsConvergence) {
   std::vector<double> p(64, 2e-3);
   std::vector<double> t(64, 25.0);
   thermal::CgStats stats;
-  g.step(p, g.tile_time_constant_s(), t, &stats);
+  g.step(p, g.tile_time_constant(), t, &stats);
   EXPECT_LT(stats.iterations, 4 * 64);
-  EXPECT_LT(stats.residual_norm_w, 1e-6);
+  EXPECT_LT(stats.residual_norm_w.value(), 1e-6);
 }
 
 TEST(ThermalTransient, SmallStepTracksExponential) {
@@ -400,9 +400,9 @@ TEST(ThermalTransient, SmallStepTracksExponential) {
   std::vector<double> t(n, 25.0);
   const double dt_inf = 1e-3 * n * g.config().package_r_k_per_w;
   // Package time constant: C_total * R_package = (n * c_tile) * R.
-  const double tau = g.tile_time_constant_s();  // = c_tile / g_vert = c_tile * R * n
+  const double tau = g.tile_time_constant().value();  // = c_tile / g_vert = c_tile * R * n
   const int steps = 50;
-  for (int i = 0; i < steps; ++i) g.step(p, tau / steps, t);
+  for (int i = 0; i < steps; ++i) g.step(p, units::Seconds(tau / steps), t);
   // After one time constant: 1 - 1/e of the final rise (BE slightly under).
   const double expected = 25.0 + dt_inf * (1.0 - std::exp(-1.0));
   EXPECT_NEAR(t[0], expected, dt_inf * 0.05);

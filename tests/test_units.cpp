@@ -1,0 +1,179 @@
+// Tests for the strong physical-unit types (src/util/units.hpp):
+// compile-time algebra via static_assert, round-trip conversion
+// tolerances, the bit-identity contract frequency_of() gives the
+// migrated STA call sites, and the zero-overhead layout guarantees.
+// The operations that must NOT compile are covered by the negative-
+// compilation harness in tests/compile_fail/ (CMake try_compile).
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "util/units.hpp"
+
+namespace {
+
+using namespace taf::util::units;
+using namespace taf::util::units::literals;
+
+// ---------------------------------------------------------------------
+// Compile-time algebra. Everything here is checked by the compiler; the
+// TEST body only exists so the suite reports the coverage.
+
+// Vector-space units: closed under +, -, scalar *, scalar /.
+static_assert((Kelvin{1.5} + Kelvin{2.5}).value() == 4.0);
+static_assert((Watts{3.0} - Watts{1.0}).value() == 2.0);
+static_assert((-Picoseconds{7.0}).value() == -7.0);
+static_assert((Megahertz{100.0} * 2.0).value() == 200.0);
+static_assert((2.0 * Megahertz{100.0}).value() == 200.0);
+static_assert((Seconds{1.0} / 4.0).value() == 0.25);
+
+// Ratio of like quantities is a plain double (dimensionless).
+static_assert(std::is_same_v<decltype(Watts{1.0} / Watts{2.0}), double>);
+static_assert(Picoseconds{30.0} / Picoseconds{60.0} == 0.5);
+
+// Affine temperature: points move by deltas; point differences are deltas.
+static_assert((Celsius{25.0} + Kelvin{10.0}).value() == 35.0);
+static_assert((Kelvin{10.0} + Celsius{25.0}).value() == 35.0);
+static_assert((Celsius{25.0} - Kelvin{10.0}).value() == 15.0);
+static_assert(std::is_same_v<decltype(Celsius{70.0} - Celsius{25.0}), Kelvin>);
+static_assert((Celsius{70.0} - Celsius{25.0}).value() == 45.0);
+
+// Scale conversions are explicit functions, exact at the representative
+// points used throughout the flow.
+static_assert(to_kelvin(Celsius{0.0}).value() == 273.15);
+static_assert(to_kelvin(Celsius{25.0}).value() == 298.15);
+static_assert(to_celsius(Kelvin{273.15}).value() == 0.0);
+static_assert(to_seconds(Picoseconds{1.0}).value() == 1e-12);
+static_assert(to_picoseconds(Seconds{1.0}).value() == 1e12);
+static_assert(to_watts(Microwatts{1.0}).value() == 1e-6);
+static_assert(to_hertz(Megahertz{1.0}).value() == 1e6);
+
+// Cross-unit products from the curated allow-list.
+static_assert((Ohms{2.0} * Farads{3.0}).value() == 6.0);
+static_assert((Farads{3.0} * Ohms{2.0}).value() == 6.0);
+static_assert(std::is_same_v<decltype(Ohms{1.0} * Farads{1.0}), Seconds>);
+static_assert(Seconds{2.0} * Hertz{3.0} == 6.0);  // cycles: dimensionless
+static_assert(dissipation(Volts{2.0}, Ohms{4.0}).value() == 1.0);
+
+// Period <-> frequency in both unit systems.
+static_assert(frequency_of(Picoseconds{1000.0}).value() == 1000.0);  // MHz
+static_assert(period_of(Megahertz{1000.0}).value() == 1000.0);       // ps
+static_assert(frequency_of(Seconds{0.5}).value() == 2.0);            // Hz
+static_assert(period_of(Hertz{2.0}).value() == 0.5);                 // s
+
+// Literals.
+static_assert(25_degC == Celsius{25.0});
+static_assert(0.05_K == Kelvin{0.05});
+static_assert(30_ps == Picoseconds{30.0});
+static_assert(100_MHz == Megahertz{100.0});
+static_assert((1_fF).value() == 1e-15);
+
+// Ordering and value-initialization.
+static_assert(Celsius{25.0} < Celsius{70.0});
+static_assert(Kelvin{} == Kelvin{0.0});
+static_assert(Celsius{}.value() == 0.0);
+
+// ---------------------------------------------------------------------
+// Zero-overhead contract: each unit is layout-identical to double,
+// trivially copyable and destructible, and usable in constexpr context.
+
+template <class U>
+constexpr bool layout_is_double() {
+  return sizeof(U) == sizeof(double) && alignof(U) == alignof(double) &&
+         std::is_trivially_copyable_v<U> && std::is_trivially_destructible_v<U> &&
+         std::is_standard_layout_v<U>;
+}
+static_assert(layout_is_double<Celsius>());
+static_assert(layout_is_double<Kelvin>());
+static_assert(layout_is_double<Watts>());
+static_assert(layout_is_double<Microwatts>());
+static_assert(layout_is_double<Seconds>());
+static_assert(layout_is_double<Picoseconds>());
+static_assert(layout_is_double<Hertz>());
+static_assert(layout_is_double<Megahertz>());
+static_assert(layout_is_double<Volts>());
+static_assert(layout_is_double<Ohms>());
+static_assert(layout_is_double<Farads>());
+
+// Construction from double is explicit — no implicit raw-number entry.
+static_assert(!std::is_convertible_v<double, Celsius>);
+static_assert(!std::is_convertible_v<double, Kelvin>);
+static_assert(!std::is_convertible_v<double, Picoseconds>);
+// ...and no implicit exit either.
+static_assert(!std::is_convertible_v<Celsius, double>);
+static_assert(!std::is_convertible_v<Watts, double>);
+
+// Distinct tags produce unrelated types even at identical scale.
+static_assert(!std::is_same_v<Watts, Microwatts>);
+static_assert(!std::is_same_v<Seconds, Picoseconds>);
+static_assert(!std::is_convertible_v<Seconds, Picoseconds>);
+
+TEST(Units, CompileTimeAlgebraHolds) {
+  SUCCEED() << "all static_asserts above compiled";
+}
+
+// ---------------------------------------------------------------------
+// Runtime round-trips: conversions must invert to within one ulp-scale
+// tolerance across the magnitudes the flow actually uses.
+
+TEST(Units, TemperatureRoundTripIsExactAtFlowCorners) {
+  for (double t : {0.0, 25.0, 45.0, 70.0, 85.0, 100.0}) {
+    const Celsius c{t};
+    EXPECT_DOUBLE_EQ(to_celsius(to_kelvin(c)).value(), t);
+  }
+}
+
+TEST(Units, TimeRoundTripAcrossTwelveOrdersOfMagnitude) {
+  for (double ps : {1.0, 30.0, 166.0, 902.0, 1e6}) {
+    EXPECT_DOUBLE_EQ(to_picoseconds(to_seconds(Picoseconds{ps})).value(), ps);
+  }
+  for (double s : {1e-12, 2.5e-10, 1.0}) {
+    EXPECT_DOUBLE_EQ(to_seconds(to_picoseconds(Seconds{s})).value(), s);
+  }
+}
+
+TEST(Units, PowerRoundTrip) {
+  for (double uw : {0.15, 5.74, 879.0, 2.4e6}) {
+    EXPECT_DOUBLE_EQ(to_microwatts(to_watts(Microwatts{uw})).value(), uw);
+  }
+}
+
+TEST(Units, FrequencyPeriodRoundTrip) {
+  for (double mhz : {0.5, 100.0, 250.0, 1234.5}) {
+    EXPECT_DOUBLE_EQ(frequency_of(period_of(Megahertz{mhz})).value(), mhz);
+  }
+}
+
+// Pinned bit-identity contract (s/ps audit, DESIGN.md section 9): the
+// typed fmax must reproduce the flow's historical `1e6 / cp_ps`
+// expression bit-for-bit. STA results and the bench_all golden stdout
+// depend on this exact arithmetic, not on a mathematically equivalent
+// rearrangement (e.g. via Hz or seconds), which can differ in the last
+// ulp and would shift Algorithm 1's convergence trajectory.
+TEST(Units, FrequencyOfMatchesHistoricalExpressionBitwise) {
+  for (double cp_ps : {166.3, 1000.0, 3333.333, 4812.77}) {
+    const double legacy = 1e6 / cp_ps;
+    EXPECT_EQ(frequency_of(Picoseconds{cp_ps}).value(), legacy);
+    // The seconds/Hertz route is NOT the contract; document that it may
+    // differ by an ulp rather than silently relying on it.
+    const double via_si = 1e-6 / (cp_ps * 1e-12);
+    EXPECT_NEAR(via_si, legacy, legacy * 1e-12);
+  }
+}
+
+TEST(Units, AffineTemperatureAccumulation) {
+  Celsius t{25.0};
+  t += Kelvin{10.0};
+  t -= Kelvin{2.5};
+  EXPECT_DOUBLE_EQ(t.value(), 32.5);
+  EXPECT_DOUBLE_EQ((t - Celsius{25.0}).value(), 7.5);
+}
+
+TEST(Units, RcProductGivesElmoreTimeConstant) {
+  // 1 kOhm * 1 fF = 1e3 * 1e-15 s = 1 ps.
+  const Seconds tau = Ohms{1e3} * (1_fF);
+  EXPECT_DOUBLE_EQ(to_picoseconds(tau).value(), 1.0);
+}
+
+}  // namespace
