@@ -10,14 +10,23 @@
 // so `diff` against the serial transcript validates the parallel run.
 //
 // Usage: bench_all [-j N] [--metrics out.json] [--csv out.csv]
-//                  [--list] [--only name ...]
+//                  [--artifact-dir DIR] [--list] [--only name ...]
+//
+// --artifact-dir DIR (or TAF_ARTIFACT_DIR) enables the on-disk artifact
+// store: implementations stream their pack/place/route/activity stages
+// to DIR, and a rerun — including after a kill — reloads every stage a
+// previous run completed instead of recomputing it. stdout is
+// byte-identical either way; the disk-tier traffic is reported on stderr
+// and in the --metrics/--csv output.
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "runner/artifact_store.hpp"
 #include "runner/metrics.hpp"
 #include "util/timer.hpp"
 
@@ -26,7 +35,7 @@ namespace {
 int usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s [-j N] [--metrics out.json] [--csv out.csv] "
-               "[--list] [--only name ...]\n",
+               "[--artifact-dir DIR] [--list] [--only name ...]\n",
                argv0);
   return code;
 }
@@ -48,7 +57,7 @@ int main(int argc, char** argv) {
   using namespace taf;
 
   int jobs = 0;  // 0 = auto (TAF_BENCH_THREADS or hardware)
-  std::string metrics_path, csv_path;
+  std::string metrics_path, csv_path, artifact_dir;
   std::vector<std::string> only;
   bool list_only = false;
   for (int i = 1; i < argc; ++i) {
@@ -61,6 +70,8 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--csv" && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (arg == "--artifact-dir" && i + 1 < argc) {
+      artifact_dir = argv[++i];
     } else if (arg == "--list") {
       list_only = true;
     } else if (arg == "--only" && i + 1 < argc) {
@@ -73,6 +84,20 @@ int main(int argc, char** argv) {
     }
   }
   if (jobs > 0) bench::set_pool_threads(jobs);
+
+  // Disk tier: --artifact-dir wins over TAF_ARTIFACT_DIR; neither means
+  // no store. Attached for the whole process so both the warm-up phase
+  // and any --only subset builds go through it.
+  std::unique_ptr<runner::ArtifactStore> store;
+  try {
+    store = artifact_dir.empty()
+                ? runner::ArtifactStore::from_env()
+                : std::make_unique<runner::ArtifactStore>(artifact_dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_all: %s\n", e.what());
+    return 2;
+  }
+  if (store) runner::FlowCache::global().set_artifact_store(store.get());
 
   auto experiments = bench::experiment_registry();
   std::sort(experiments.begin(), experiments.end(),
@@ -128,6 +153,7 @@ int main(int argc, char** argv) {
       m.kind = warm[i].kind;
       const runner::SpiceCounterScope spice_scope(m);
       const runner::FlowCounterScope flow_scope(m);
+      const runner::ArtifactCounterScope artifact_scope(m);
       util::Stopwatch sw;
       if (warm[i].spec) {
         core::ImplementOptions iopt;
@@ -160,6 +186,7 @@ int main(int argc, char** argv) {
       // counters via bench::collected_sweep_metrics() below.
       const runner::SpiceCounterScope spice_scope(m);
       const runner::FlowCounterScope flow_scope(m);
+      const runner::ArtifactCounterScope artifact_scope(m);
       code = experiments[i].fn();
     }
     m.wall_s = sw.seconds();
@@ -211,6 +238,16 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(report.cache.device_hits),
                static_cast<unsigned long long>(report.cache.device_hits +
                                                report.cache.device_misses));
+  if (store) {
+    const runner::ArtifactStore::Stats d = store->stats();
+    std::fprintf(stderr,
+                 "[bench_all] artifact store %s: %llu disk hits, %llu misses "
+                 "(%llu rejected), %llu writes\n",
+                 store->root().c_str(), static_cast<unsigned long long>(d.disk_hits),
+                 static_cast<unsigned long long>(d.disk_misses),
+                 static_cast<unsigned long long>(d.disk_errors),
+                 static_cast<unsigned long long>(d.disk_writes));
+  }
 
   if (!metrics_path.empty() && !write_file(metrics_path, report.to_json())) rc = 1;
   if (!csv_path.empty() && !write_file(csv_path, report.to_csv())) rc = 1;

@@ -112,4 +112,24 @@ double average_density(const std::vector<SignalStats>& stats) {
   return s / static_cast<double>(stats.size());
 }
 
+void serialize(const std::vector<SignalStats>& stats, util::codec::Encoder& enc) {
+  enc.u64(stats.size());
+  for (const SignalStats& st : stats) {
+    enc.f64(st.prob);
+    enc.f64(st.density);
+  }
+}
+
+std::vector<SignalStats> deserialize(util::codec::Decoder& dec) {
+  std::vector<SignalStats> stats;
+  const std::uint64_t n = dec.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SignalStats st;
+    st.prob = dec.f64();
+    st.density = dec.f64();
+    stats.push_back(st);
+  }
+  return stats;
+}
+
 }  // namespace taf::activity

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/codec.hpp"
 
 namespace taf::activity {
 
@@ -31,5 +32,10 @@ std::vector<SignalStats> estimate(const netlist::Netlist& nl,
 
 /// Average switching density over all nets (the design's alpha).
 double average_density(const std::vector<SignalStats>& stats);
+
+/// Artifact codec (util/codec.hpp): exact round-trip, byte-identical on
+/// re-serialization (probabilities/densities through the f64 bit path).
+void serialize(const std::vector<SignalStats>& stats, util::codec::Encoder& enc);
+std::vector<SignalStats> deserialize(util::codec::Decoder& dec);
 
 }  // namespace taf::activity

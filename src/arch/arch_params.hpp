@@ -4,6 +4,8 @@
 
 #include <cstdint>
 
+#include "util/hash.hpp"
+
 namespace taf::arch {
 
 struct ArchParams {
@@ -28,6 +30,28 @@ struct ArchParams {
   /// reports congestion failure (PathFinder works toward zero overuse).
   double max_channel_utilization = 1.0;
 };
+
+/// Order-sensitive FNV-1a hash over every field. Lives next to the
+/// struct so the field list cannot drift from the hash; shared by the
+/// runner's cache keys and the core stage graph's artifact hashes.
+inline std::uint64_t params_hash(const ArchParams& arch) {
+  util::Fnv1a h;
+  h.add(arch.lut_k);
+  h.add(arch.cluster_n);
+  h.add(arch.channel_tracks);
+  h.add(arch.wire_segment_length);
+  h.add(arch.cluster_inputs);
+  h.add(arch.sb_mux_size);
+  h.add(arch.cb_mux_size);
+  h.add(arch.local_mux_size);
+  h.add(arch.vdd);
+  h.add(arch.vdd_low_power);
+  h.add(arch.bram_words);
+  h.add(arch.bram_width);
+  h.add(arch.tile_edge_um);
+  h.add(arch.max_channel_utilization);
+  return h.state;
+}
 
 /// The paper's Table I configuration.
 inline ArchParams paper_arch() { return ArchParams{}; }

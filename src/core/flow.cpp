@@ -7,10 +7,11 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "core/stage_graph.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
-#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -77,40 +78,14 @@ struct PhaseClock {
 std::unique_ptr<Implementation> implement(const netlist::BenchmarkSpec& spec,
                                           const arch::ArchParams& arch,
                                           const ImplementOptions& opt) {
-  PhaseClock clock(opt.observer);
-  util::Rng rng(opt.seed ^ std::hash<std::string>{}(spec.name));
-  netlist::Netlist nl = netlist::generate(spec, rng);
-
-  pack::PackedNetlist packed = pack::pack(nl, arch);
-  const arch::FpgaGrid grid = arch::FpgaGrid::fit(packed.count(pack::BlockKind::Clb),
-                                                  packed.count(pack::BlockKind::Bram),
-                                                  packed.count(pack::BlockKind::Dsp));
-
-  auto impl = std::make_unique<Implementation>(arch, std::move(nl), grid);
-  impl->packed = std::move(packed);
-  impl->packed.source = &impl->nl;
-  clock.mark(FlowPhase::Pack);
-
-  place::PlaceOptions popt;
-  popt.seed = opt.seed;
-  popt.effort = opt.place_effort;
-  impl->placement = place::place(impl->packed, impl->grid, popt);
-  clock.mark(FlowPhase::Place);
-
-  impl->routes = route::route(impl->rr, impl->packed, impl->placement, opt.route);
-  if (!impl->routes.success) {
-    util::log_warn("implement(%s): routing left %d overused nodes after %d iterations",
-                   spec.name.c_str(), impl->routes.overused_nodes,
-                   impl->routes.iterations);
-  }
-  clock.mark(FlowPhase::Route);
-
-  impl->activity = activity::estimate(impl->nl);
-  clock.mark(FlowPhase::Activity);
-  impl->sta = std::make_unique<timing::TimingAnalyzer>(
-      impl->nl, impl->packed, impl->placement, impl->rr, impl->routes, impl->grid);
-  clock.mark(FlowPhase::StaBuild);
-  return impl;
+  // The monolithic pack -> place -> route -> activity -> STA-build body
+  // now lives in the stage graph (core/stage_graph.cpp), which preserves
+  // its exact computation order and RNG usage; opt.stage_hooks lets the
+  // runner's artifact store substitute stored artifacts per stage.
+  const FlowGraph graph = FlowGraph::standard(spec, arch, opt);
+  FlowBuild build(spec, arch, opt);
+  graph.run(build, opt.stage_hooks);
+  return std::move(build.impl);
 }
 
 GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& dev,
@@ -195,10 +170,6 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
     util::log_debug("guardband iter %d: fmax %.1f MHz, max dT %.3f C", iter, fmax,
                     max_delta);
     if (opt.observer != nullptr && opt.observer->on_iteration) {
-      opt.observer->on_iteration(iter, units::Megahertz{fmax},
-                                 units::Kelvin{max_delta});
-    }
-    if (opt.observer != nullptr && opt.observer->on_iteration_info) {
       FlowObserver::IterationInfo info;
       info.iteration = iter;
       info.fmax_mhz = units::Megahertz{fmax};
@@ -208,7 +179,7 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
         info.delay_cache_hits = session->counters().delay_cache_hits - last_hits;
       }
       info.cg_iterations = static_cast<std::uint64_t>(cg.iterations);
-      opt.observer->on_iteration_info(info);
+      opt.observer->on_iteration(info);
     }
     if (session) {
       last_edges = session->counters().edges_reevaluated;
@@ -262,11 +233,17 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
 int select_grade(const std::vector<coffe::DeviceModel>& devices, units::Celsius t_min,
                  units::Celsius t_max) {
   if (devices.empty()) throw std::invalid_argument("select_grade: no devices");
+  if (t_max < t_min) std::swap(t_min, t_max);
+  // Degenerate range: the uniform expectation collapses to the point
+  // delay (expected_cp_delay's integral would divide by zero).
+  const auto expected = [&](const coffe::DeviceModel& dev) {
+    return t_min == t_max ? dev.rep_cp_delay(t_min).value()
+                          : dev.expected_cp_delay(t_min, t_max).value();
+  };
   int best = 0;
-  double best_d = devices[0].expected_cp_delay(t_min, t_max).value();
+  double best_d = expected(devices[0]);
   for (int i = 1; i < static_cast<int>(devices.size()); ++i) {
-    const double d =
-        devices[static_cast<std::size_t>(i)].expected_cp_delay(t_min, t_max).value();
+    const double d = expected(devices[static_cast<std::size_t>(i)]);
     if (d < best_d) {
       best_d = d;
       best = i;

@@ -131,18 +131,24 @@ struct FlowObserver {
 
   /// Called after each phase with its wall-clock duration.
   std::function<void(FlowPhase, units::Seconds)> on_phase;
-  /// Called after each Algorithm 1 iteration.
-  std::function<void(int iteration, units::Megahertz fmax, units::Kelvin max_delta)>
-      on_iteration;
-  /// Richer per-iteration hook (superset of on_iteration).
-  std::function<void(const IterationInfo&)> on_iteration_info;
+  /// Called once after each Algorithm 1 iteration with its outcome and
+  /// work. (Formerly two hooks — a narrow on_iteration plus a richer
+  /// on_iteration_info — dispatched back to back; consolidated into this
+  /// single IterationInfo callback.)
+  std::function<void(const IterationInfo&)> on_iteration;
 };
+
+/// Storage seam for the stage graph (see core/stage_graph.hpp): lets the
+/// runner's artifact store substitute stored artifacts for stage
+/// computations and capture fresh ones, without core knowing about disk.
+struct StageHooks;
 
 struct ImplementOptions {
   unsigned seed = 1;
   double place_effort = 0.5;
   route::RouteOptions route;
   const FlowObserver* observer = nullptr;  ///< not owned; may be null
+  const StageHooks* stage_hooks = nullptr; ///< not owned; may be null
 };
 
 /// Run the full implementation flow on a benchmark spec.
@@ -178,7 +184,10 @@ struct GuardbandResult {
   bool converged = false;
   /// Work performed by the Algorithm 1 loop (see GuardbandStats).
   GuardbandStats stats;
-  std::vector<double> tile_temp_c; ///< converged temperature map [degC]
+  /// Converged temperature map [degC]. Bulk solver payload, raw double
+  /// by design (units.hpp keeps vectors raw to stay solver-compatible);
+  /// scalar access goes through the typed tile_temp() accessor.
+  std::vector<double> tile_temp_c;
   units::Celsius peak_temp_c{0.0};
   units::Celsius mean_temp_c{0.0};
   timing::TimingResult timing;     ///< final thermal-aware STA
@@ -191,6 +200,11 @@ struct GuardbandResult {
   double gain() const {
     return baseline_fmax_mhz.value() > 0.0 ? fmax_mhz / baseline_fmax_mhz - 1.0 : 0.0;
   }
+
+  /// Typed view of one tile of the converged temperature map.
+  units::Celsius tile_temp(int tile) const {
+    return units::Celsius{tile_temp_c[static_cast<std::size_t>(tile)]};
+  }
 };
 
 /// Algorithm 1: iterate STA / power / thermal to convergence, then apply
@@ -200,7 +214,9 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
 
 /// Eq. (1)-based grade selection: the device (by index) with the lowest
 /// expected representative-CP delay over a uniform [t_min, t_max] field
-/// temperature range.
+/// temperature range. Throws std::invalid_argument for an empty device
+/// list. A reversed range is normalized (swapped); a degenerate range
+/// (t_min == t_max) compares the point delay at that temperature.
 int select_grade(const std::vector<coffe::DeviceModel>& devices, units::Celsius t_min,
                  units::Celsius t_max);
 

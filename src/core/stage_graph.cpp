@@ -1,0 +1,304 @@
+#include "core/stage_graph.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "util/codec.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace taf::core {
+
+const char* artifact_kind_name(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::Netlist: return "netlist";
+    case ArtifactKind::Packed: return "packed";
+    case ArtifactKind::Placement: return "placement";
+    case ArtifactKind::Routes: return "routes";
+    case ArtifactKind::Activity: return "activity";
+    case ArtifactKind::Sta: return "sta";
+  }
+  return "unknown";
+}
+
+void FlowGraph::seed_artifact(ArtifactKind kind, std::uint64_t content_hash) {
+  assert(!available(kind));
+  artifacts_.emplace_back(kind, content_hash);
+}
+
+bool FlowGraph::available(ArtifactKind kind) const {
+  for (const auto& [k, h] : artifacts_) {
+    if (k == kind) return true;
+  }
+  return false;
+}
+
+std::uint64_t FlowGraph::hash_of(ArtifactKind kind) const {
+  for (const auto& [k, h] : artifacts_) {
+    if (k == kind) return h;
+  }
+  assert(false && "artifact not produced");
+  return 0;
+}
+
+void FlowGraph::add(FlowStage stage) {
+  for (ArtifactKind input : stage.inputs) {
+    if (!available(input)) {
+      throw std::logic_error(std::string("FlowGraph: stage ") + stage.name +
+                             " consumes " + artifact_kind_name(input) +
+                             " before any stage produces it");
+    }
+  }
+  if (available(stage.output)) {
+    throw std::logic_error(std::string("FlowGraph: stage ") + stage.name +
+                           " re-produces " + artifact_kind_name(stage.output));
+  }
+  util::Fnv1a h;
+  h.add(std::string_view(stage.name));
+  h.add(stage.param_hash);
+  for (ArtifactKind input : stage.inputs) h.add(hash_of(input));
+  stage.input_hash = h.state;
+  artifacts_.emplace_back(stage.output, stage.input_hash);
+  stages_.push_back(std::move(stage));
+}
+
+namespace {
+
+/// Forwards phase durations to an observer, if any; all state is local
+/// to the running task, keeping implement() re-entrant.
+struct PhaseClock {
+  explicit PhaseClock(const FlowObserver* obs) : obs_(obs) {}
+  void mark(FlowPhase phase) {
+    const double s = watch_.lap();
+    if (obs_ != nullptr && obs_->on_phase) obs_->on_phase(phase, units::Seconds{s});
+  }
+  const FlowObserver* obs_;
+  util::Stopwatch watch_;
+};
+
+}  // namespace
+
+void FlowGraph::run(FlowBuild& build, const StageHooks* hooks) const {
+  PhaseClock clock(build.opt.observer);
+  util::Rng rng(build.opt.seed ^ std::hash<std::string>{}(build.spec.name));
+  build.nl = netlist::generate(build.spec, rng);
+
+  std::string payload;
+  for (const FlowStage& stage : stages_) {
+    bool loaded = false;
+    if (hooks != nullptr && stage.storable && hooks->fetch && stage.load) {
+      payload.clear();
+      if (hooks->fetch(stage, payload)) {
+        try {
+          stage.load(build, payload);
+          loaded = true;
+        } catch (const util::codec::Error& e) {
+          util::log_warn("flow stage %s(%s): stored artifact rejected (%s); "
+                         "recomputing",
+                         stage.name, build.spec.name.c_str(), e.what());
+        }
+      }
+    }
+    if (!loaded) stage.run(build);
+    if (stage.finalize) stage.finalize(build);
+    if (!loaded && hooks != nullptr && stage.storable && hooks->store && stage.save) {
+      hooks->store(stage, stage.save(build));
+    }
+    clock.mark(stage.phase);
+  }
+}
+
+namespace {
+
+// --- Pack ------------------------------------------------------------------
+
+void run_pack(FlowBuild& b) { b.packed = pack::pack(b.nl, b.arch); }
+
+void finalize_pack(FlowBuild& b) {
+  const arch::FpgaGrid grid =
+      arch::FpgaGrid::fit(b.packed.count(pack::BlockKind::Clb),
+                          b.packed.count(pack::BlockKind::Bram),
+                          b.packed.count(pack::BlockKind::Dsp));
+  b.impl = std::make_unique<Implementation>(b.arch, std::move(b.nl), grid);
+  b.impl->packed = std::move(b.packed);
+  b.impl->packed.source = &b.impl->nl;
+}
+
+std::string save_pack(const FlowBuild& b) {
+  util::codec::Encoder e;
+  pack::serialize(b.impl->packed, e);
+  return e.take();
+}
+
+void load_pack(FlowBuild& b, std::string_view payload) {
+  util::codec::Decoder d(payload);
+  b.packed = pack::deserialize(d);
+  d.expect_done();
+}
+
+// --- Place -----------------------------------------------------------------
+
+void run_place(FlowBuild& b) {
+  place::PlaceOptions popt;
+  popt.seed = b.opt.seed;
+  popt.effort = b.opt.place_effort;
+  b.impl->placement = place::place(b.impl->packed, b.impl->grid, popt);
+}
+
+std::string save_place(const FlowBuild& b) {
+  util::codec::Encoder e;
+  place::serialize(b.impl->placement, e);
+  return e.take();
+}
+
+void load_place(FlowBuild& b, std::string_view payload) {
+  util::codec::Decoder d(payload);
+  b.impl->placement = place::deserialize(d);
+  d.expect_done();
+}
+
+// --- Route -----------------------------------------------------------------
+
+void run_route(FlowBuild& b) {
+  b.impl->routes = route::route(b.impl->rr, b.impl->packed, b.impl->placement,
+                                b.opt.route);
+}
+
+void finalize_route(FlowBuild& b) {
+  if (!b.impl->routes.success) {
+    util::log_warn("implement(%s): routing left %d overused nodes after %d iterations",
+                   b.spec.name.c_str(), b.impl->routes.overused_nodes,
+                   b.impl->routes.iterations);
+  }
+}
+
+std::string save_route(const FlowBuild& b) {
+  util::codec::Encoder e;
+  route::serialize(b.impl->routes, e);
+  return e.take();
+}
+
+void load_route(FlowBuild& b, std::string_view payload) {
+  util::codec::Decoder d(payload);
+  b.impl->routes = route::deserialize(d);
+  d.expect_done();
+}
+
+// --- Activity --------------------------------------------------------------
+
+void run_activity(FlowBuild& b) { b.impl->activity = activity::estimate(b.impl->nl); }
+
+std::string save_activity(const FlowBuild& b) {
+  util::codec::Encoder e;
+  activity::serialize(b.impl->activity, e);
+  return e.take();
+}
+
+void load_activity(FlowBuild& b, std::string_view payload) {
+  util::codec::Decoder d(payload);
+  b.impl->activity = activity::deserialize(d);
+  d.expect_done();
+}
+
+// --- StaBuild --------------------------------------------------------------
+
+void run_sta_build(FlowBuild& b) {
+  b.impl->sta = std::make_unique<timing::TimingAnalyzer>(
+      b.impl->nl, b.impl->packed, b.impl->placement, b.impl->rr, b.impl->routes,
+      b.impl->grid);
+}
+
+}  // namespace
+
+FlowGraph FlowGraph::standard(const netlist::BenchmarkSpec& spec,
+                              const arch::ArchParams& arch,
+                              const ImplementOptions& opt) {
+  FlowGraph g;
+
+  {
+    util::Fnv1a h;
+    h.add(netlist::spec_hash(spec));
+    h.add(opt.seed);
+    g.seed_artifact(ArtifactKind::Netlist, h.state);
+  }
+
+  {
+    FlowStage s;
+    s.name = "pack";
+    s.phase = FlowPhase::Pack;
+    s.output = ArtifactKind::Packed;
+    s.inputs = {ArtifactKind::Netlist};
+    s.param_hash = arch::params_hash(arch);
+    s.storable = true;
+    s.run = run_pack;
+    s.finalize = finalize_pack;
+    s.save = save_pack;
+    s.load = load_pack;
+    g.add(std::move(s));
+  }
+  {
+    FlowStage s;
+    s.name = "place";
+    s.phase = FlowPhase::Place;
+    s.output = ArtifactKind::Placement;
+    s.inputs = {ArtifactKind::Packed};
+    util::Fnv1a h;
+    h.add(opt.seed);
+    h.add(opt.place_effort);
+    s.param_hash = h.state;
+    s.storable = true;
+    s.run = run_place;
+    s.save = save_place;
+    s.load = load_place;
+    g.add(std::move(s));
+  }
+  {
+    FlowStage s;
+    s.name = "route";
+    s.phase = FlowPhase::Route;
+    s.output = ArtifactKind::Routes;
+    s.inputs = {ArtifactKind::Packed, ArtifactKind::Placement};
+    util::Fnv1a h;
+    h.add(opt.route.max_iterations);
+    h.add(opt.route.first_iter_pres_fac);
+    h.add(opt.route.pres_fac_mult);
+    h.add(opt.route.hist_fac);
+    h.add(opt.route.astar_fac);
+    s.param_hash = h.state;
+    s.storable = true;
+    s.run = run_route;
+    s.finalize = finalize_route;
+    s.save = save_route;
+    s.load = load_route;
+    g.add(std::move(s));
+  }
+  {
+    FlowStage s;
+    s.name = "activity";
+    s.phase = FlowPhase::Activity;
+    s.output = ArtifactKind::Activity;
+    s.inputs = {ArtifactKind::Netlist};
+    s.storable = true;
+    s.run = run_activity;
+    s.save = save_activity;
+    s.load = load_activity;
+    g.add(std::move(s));
+  }
+  {
+    FlowStage s;
+    s.name = "sta_build";
+    s.phase = FlowPhase::StaBuild;
+    s.output = ArtifactKind::Sta;
+    s.inputs = {ArtifactKind::Netlist, ArtifactKind::Packed, ArtifactKind::Placement,
+                ArtifactKind::Routes};
+    s.storable = false;
+    s.run = run_sta_build;
+    g.add(std::move(s));
+  }
+  return g;
+}
+
+}  // namespace taf::core

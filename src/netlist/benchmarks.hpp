@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace taf::netlist {
@@ -26,6 +27,23 @@ struct BenchmarkSpec {
   int logic_depth = 10;       ///< target combinational LUT depth
   double ff_ratio = 0.3;      ///< fraction of LUT outputs that are registered
 };
+
+/// Order-sensitive FNV-1a hash over every spec field. Lives next to the
+/// struct so the field list cannot drift from the hash; shared by the
+/// runner's cache keys and the core stage graph's artifact hashes.
+inline std::uint64_t spec_hash(const BenchmarkSpec& spec) {
+  util::Fnv1a h;
+  h.add(std::string_view(spec.name));
+  h.add(spec.num_luts);
+  h.add(spec.num_ffs);
+  h.add(spec.num_brams);
+  h.add(spec.num_dsps);
+  h.add(spec.num_inputs);
+  h.add(spec.num_outputs);
+  h.add(spec.logic_depth);
+  h.add(spec.ff_ratio);
+  return h.state;
+}
 
 /// The 19 VTR circuits with their published (full-size) resource mixes.
 std::vector<BenchmarkSpec> vtr_suite();

@@ -211,4 +211,52 @@ PackedNetlist pack(const Netlist& nl, const arch::ArchParams& arch,
   return result;
 }
 
+void serialize(const PackedNetlist& packed, util::codec::Encoder& enc) {
+  enc.u64(packed.blocks.size());
+  for (const Block& b : packed.blocks) {
+    enc.u8(static_cast<std::uint8_t>(b.kind));
+    enc.u64(b.bles.size());
+    for (const Ble& ble : b.bles) {
+      enc.i32(ble.lut);
+      enc.i32(ble.ff);
+    }
+    enc.i32_vec(b.prims);
+  }
+  enc.i32_vec(packed.block_of_prim);
+  enc.u64(packed.block_nets.size());
+  for (const BlockNet& n : packed.block_nets) {
+    enc.i32(n.net);
+    enc.i32(n.driver_block);
+    enc.i32_vec(n.sink_blocks);
+  }
+}
+
+PackedNetlist deserialize(util::codec::Decoder& dec) {
+  PackedNetlist packed;
+  const std::uint64_t num_blocks = dec.u64();
+  for (std::uint64_t i = 0; i < num_blocks; ++i) {
+    Block b;
+    b.kind = static_cast<BlockKind>(dec.u8());
+    const std::uint64_t num_bles = dec.u64();
+    for (std::uint64_t j = 0; j < num_bles; ++j) {
+      Ble ble;
+      ble.lut = dec.i32();
+      ble.ff = dec.i32();
+      b.bles.push_back(ble);
+    }
+    b.prims = dec.i32_vec();
+    packed.blocks.push_back(std::move(b));
+  }
+  packed.block_of_prim = dec.i32_vec();
+  const std::uint64_t num_nets = dec.u64();
+  for (std::uint64_t i = 0; i < num_nets; ++i) {
+    BlockNet n;
+    n.net = dec.i32();
+    n.driver_block = dec.i32();
+    n.sink_blocks = dec.i32_vec();
+    packed.block_nets.push_back(std::move(n));
+  }
+  return packed;
+}
+
 }  // namespace taf::pack

@@ -10,6 +10,7 @@
 
 #include "arch/arch_params.hpp"
 #include "netlist/netlist.hpp"
+#include "util/codec.hpp"
 
 namespace taf::pack {
 
@@ -52,5 +53,12 @@ struct PackOptions {
 /// Pack the netlist for the given architecture.
 PackedNetlist pack(const netlist::Netlist& nl, const arch::ArchParams& arch,
                    const PackOptions& opt = {});
+
+/// Artifact codec (util/codec.hpp): exact round-trip, serialize ->
+/// deserialize -> re-serialize is byte-identical. `source` is not
+/// serialized; deserialize() leaves it null and the caller rebinds it to
+/// the owning netlist.
+void serialize(const PackedNetlist& packed, util::codec::Encoder& enc);
+PackedNetlist deserialize(util::codec::Decoder& dec);
 
 }  // namespace taf::pack

@@ -222,4 +222,26 @@ Placement place(const PackedNetlist& packed, const FpgaGrid& grid,
   return pl;
 }
 
+void serialize(const Placement& pl, util::codec::Encoder& enc) {
+  enc.u64(pl.pos.size());
+  for (const arch::TilePos& p : pl.pos) {
+    enc.i32(p.x);
+    enc.i32(p.y);
+  }
+  enc.f64(pl.cost);
+}
+
+Placement deserialize(util::codec::Decoder& dec) {
+  Placement pl;
+  const std::uint64_t n = dec.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    arch::TilePos p;
+    p.x = dec.i32();
+    p.y = dec.i32();
+    pl.pos.push_back(p);
+  }
+  pl.cost = dec.f64();
+  return pl;
+}
+
 }  // namespace taf::place

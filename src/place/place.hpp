@@ -10,6 +10,7 @@
 
 #include "arch/fpga_grid.hpp"
 #include "pack/pack.hpp"
+#include "util/codec.hpp"
 #include "util/rng.hpp"
 
 namespace taf::place {
@@ -34,5 +35,10 @@ Placement place(const pack::PackedNetlist& packed, const arch::FpgaGrid& grid,
 
 /// Total q-corrected HPWL of a placement (for testing / reporting).
 double wirelength_cost(const pack::PackedNetlist& packed, const Placement& pl);
+
+/// Artifact codec (util/codec.hpp): exact round-trip, byte-identical on
+/// re-serialization (cost survives bit-for-bit through the f64 path).
+void serialize(const Placement& pl, util::codec::Encoder& enc);
+Placement deserialize(util::codec::Decoder& dec);
 
 }  // namespace taf::place

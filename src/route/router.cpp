@@ -225,4 +225,45 @@ RouteResult route(const RrGraph& rr, const pack::PackedNetlist& packed,
   return result;
 }
 
+void serialize(const RouteResult& result, util::codec::Encoder& enc) {
+  enc.u8(result.success ? 1 : 0);
+  enc.i32(result.iterations);
+  enc.i32(result.overused_nodes);
+  enc.f64(result.wire_utilization);
+  enc.u64(result.routes.size());
+  for (const NetRoute& net : result.routes) {
+    enc.u64(net.paths.size());
+    for (const std::vector<RrNodeId>& path : net.paths) enc.i32_vec(path);
+    enc.i32_vec(net.nodes);
+    enc.u64(net.parents.size());
+    for (const auto& [node, parent] : net.parents) {
+      enc.i32(node);
+      enc.i32(parent);
+    }
+  }
+}
+
+RouteResult deserialize(util::codec::Decoder& dec) {
+  RouteResult result;
+  result.success = dec.u8() != 0;
+  result.iterations = dec.i32();
+  result.overused_nodes = dec.i32();
+  result.wire_utilization = dec.f64();
+  const std::uint64_t num_nets = dec.u64();
+  for (std::uint64_t i = 0; i < num_nets; ++i) {
+    NetRoute net;
+    const std::uint64_t num_paths = dec.u64();
+    for (std::uint64_t p = 0; p < num_paths; ++p) net.paths.push_back(dec.i32_vec());
+    net.nodes = dec.i32_vec();
+    const std::uint64_t num_parents = dec.u64();
+    for (std::uint64_t p = 0; p < num_parents; ++p) {
+      const RrNodeId node = dec.i32();
+      const RrNodeId parent = dec.i32();
+      net.parents.emplace_back(node, parent);
+    }
+    result.routes.push_back(std::move(net));
+  }
+  return result;
+}
+
 }  // namespace taf::route

@@ -13,6 +13,7 @@
 #include "pack/pack.hpp"
 #include "place/place.hpp"
 #include "route/rr_graph.hpp"
+#include "util/codec.hpp"
 
 namespace taf::route {
 
@@ -49,5 +50,11 @@ struct RouteOptions {
 
 RouteResult route(const RrGraph& rr, const pack::PackedNetlist& packed,
                   const place::Placement& pl, const RouteOptions& opt = {});
+
+/// Artifact codec (util/codec.hpp): exact round-trip, byte-identical on
+/// re-serialization. RR node ids are stored raw; they are only valid for
+/// the RrGraph deterministically rebuilt from the same grid/arch.
+void serialize(const RouteResult& result, util::codec::Encoder& enc);
+RouteResult deserialize(util::codec::Decoder& dec);
 
 }  // namespace taf::route

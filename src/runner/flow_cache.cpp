@@ -1,71 +1,22 @@
 #include "runner/flow_cache.hpp"
 
-#include <bit>
 #include <cmath>
+#include <string>
 #include <string_view>
+
+#include "core/stage_graph.hpp"
+#include "runner/artifact_store.hpp"
+#include "util/hash.hpp"
 
 namespace taf::runner {
 
-namespace {
+// The cache's field combiner is the shared util::Fnv1a; spec and arch
+// hashing live next to their structs (netlist::spec_hash,
+// arch::params_hash) so the field lists cannot drift from the hashes.
+using util::Fnv1a;
+using Hasher = Fnv1a;
 
-/// 64-bit FNV-1a, used as an order-sensitive field combiner. With the
-/// handful of distinct corners/specs/arches a process touches, a 64-bit
-/// key makes accidental collisions negligible.
-struct Hasher {
-  std::uint64_t state = 1469598103934665603ull;
-
-  void bytes(const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      state ^= p[i];
-      state *= 1099511628211ull;
-    }
-  }
-  void add(std::uint64_t v) { bytes(&v, sizeof v); }
-  void add(std::int64_t v) { bytes(&v, sizeof v); }
-  void add(int v) { add(static_cast<std::int64_t>(v)); }
-  void add(unsigned v) { add(static_cast<std::uint64_t>(v)); }
-  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
-  void add(std::string_view s) {
-    add(static_cast<std::uint64_t>(s.size()));
-    bytes(s.data(), s.size());
-  }
-};
-
-std::uint64_t spec_hash(const netlist::BenchmarkSpec& spec) {
-  Hasher h;
-  h.add(std::string_view(spec.name));
-  h.add(spec.num_luts);
-  h.add(spec.num_ffs);
-  h.add(spec.num_brams);
-  h.add(spec.num_dsps);
-  h.add(spec.num_inputs);
-  h.add(spec.num_outputs);
-  h.add(spec.logic_depth);
-  h.add(spec.ff_ratio);
-  return h.state;
-}
-
-}  // namespace
-
-std::uint64_t arch_hash(const arch::ArchParams& arch) {
-  Hasher h;
-  h.add(arch.lut_k);
-  h.add(arch.cluster_n);
-  h.add(arch.channel_tracks);
-  h.add(arch.wire_segment_length);
-  h.add(arch.cluster_inputs);
-  h.add(arch.sb_mux_size);
-  h.add(arch.cb_mux_size);
-  h.add(arch.local_mux_size);
-  h.add(arch.vdd);
-  h.add(arch.vdd_low_power);
-  h.add(arch.bram_words);
-  h.add(arch.bram_width);
-  h.add(arch.tile_edge_um);
-  h.add(arch.max_channel_utilization);
-  return h.state;
-}
+std::uint64_t arch_hash(const arch::ArchParams& arch) { return arch::params_hash(arch); }
 
 std::uint64_t tech_hash(const tech::Technology& tech) {
   Hasher h;
@@ -169,7 +120,7 @@ const core::Implementation& FlowCache::implementation(const netlist::BenchmarkSp
                                                       double scale,
                                                       const core::ImplementOptions& opt) {
   Hasher h;
-  h.add(spec_hash(spec));
+  h.add(netlist::spec_hash(spec));
   h.add(opt.seed);
   h.add(scale);
   h.add(arch_hash(arch));
@@ -181,7 +132,22 @@ const core::Implementation& FlowCache::implementation(const netlist::BenchmarkSp
   h.add(opt.route.hist_fac);
   h.add(opt.route.astar_fac);
   return get_or_build(impls_, h.state, &impl_hits_, &impl_misses_, [&] {
-    return core::implement(netlist::scaled(spec, scale), arch, opt);
+    // Disk tier: consulted only here, inside a build — i.e. only after an
+    // in-memory miss — keyed per stage by the stage graph's chained input
+    // hash. A caller-supplied stage_hooks takes precedence.
+    ArtifactStore* store = store_.load(std::memory_order_acquire);
+    core::ImplementOptions iopt = opt;
+    core::StageHooks hooks;
+    if (store != nullptr && iopt.stage_hooks == nullptr) {
+      hooks.fetch = [store](const core::FlowStage& s, std::string& payload) {
+        return store->load(s.name, s.input_hash, payload);
+      };
+      hooks.store = [store](const core::FlowStage& s, const std::string& payload) {
+        store->save(s.name, s.input_hash, payload);
+      };
+      iopt.stage_hooks = &hooks;
+    }
+    return core::implement(netlist::scaled(spec, scale), arch, iopt);
   });
 }
 
@@ -191,6 +157,13 @@ FlowCache::Stats FlowCache::stats() const {
   s.device_misses = device_misses_.load(std::memory_order_relaxed);
   s.impl_hits = impl_hits_.load(std::memory_order_relaxed);
   s.impl_misses = impl_misses_.load(std::memory_order_relaxed);
+  if (const ArtifactStore* store = store_.load(std::memory_order_acquire)) {
+    const ArtifactStore::Stats d = store->stats();
+    s.disk_hits = d.disk_hits;
+    s.disk_misses = d.disk_misses;
+    s.disk_writes = d.disk_writes;
+    s.disk_errors = d.disk_errors;
+  }
   return s;
 }
 

@@ -33,6 +33,8 @@
 
 namespace taf::runner {
 
+class ArtifactStore;
+
 /// Order-sensitive FNV-1a style hash of the architecture parameters.
 std::uint64_t arch_hash(const arch::ArchParams& arch);
 /// Hash of the technology corner.
@@ -45,6 +47,14 @@ class FlowCache {
     std::uint64_t device_misses = 0;
     std::uint64_t impl_hits = 0;
     std::uint64_t impl_misses = 0;
+    // Disk tier (all zero when no artifact store is attached). These are
+    // per-*stage* counters — one implementation build probes up to four
+    // storable stages — and are only ever incremented inside a build, so
+    // an in-memory hit never touches them (no double counting).
+    std::uint64_t disk_hits = 0;
+    std::uint64_t disk_misses = 0;
+    std::uint64_t disk_writes = 0;
+    std::uint64_t disk_errors = 0;
   };
 
   FlowCache() = default;
@@ -68,10 +78,19 @@ class FlowCache {
 
   /// Implemented benchmark at `scale`. `opt.observer` (if any) only fires
   /// for the call that actually builds the entry; cache hits are silent.
+  /// When an artifact store is attached and `opt.stage_hooks` is unset,
+  /// the build consults the disk tier stage by stage.
   const core::Implementation& implementation(const netlist::BenchmarkSpec& spec,
                                              const arch::ArchParams& arch,
                                              double scale,
                                              const core::ImplementOptions& opt = {});
+
+  /// Attach (or detach, with nullptr) the disk tier. Not owned; must
+  /// outlive the cache's use. The disk tier is consulted only inside
+  /// implementation() builds — i.e. only after an in-memory miss — so
+  /// in-memory hit/miss accounting is unchanged by attaching a store.
+  void set_artifact_store(ArtifactStore* store) { store_ = store; }
+  ArtifactStore* artifact_store() const { return store_; }
 
   Stats stats() const;
 
@@ -105,6 +124,8 @@ class FlowCache {
   std::atomic<std::uint64_t> device_misses_{0};
   std::atomic<std::uint64_t> impl_hits_{0};
   std::atomic<std::uint64_t> impl_misses_{0};
+
+  std::atomic<ArtifactStore*> store_{nullptr};  // not owned
 };
 
 }  // namespace taf::runner

@@ -52,7 +52,11 @@ std::string RunReport::to_json() const {
   out += "  \"cache\": {\"device_hits\": " + std::to_string(cache.device_hits) +
          ", \"device_misses\": " + std::to_string(cache.device_misses) +
          ", \"impl_hits\": " + std::to_string(cache.impl_hits) +
-         ", \"impl_misses\": " + std::to_string(cache.impl_misses) + "},\n";
+         ", \"impl_misses\": " + std::to_string(cache.impl_misses) +
+         ", \"disk_hits\": " + std::to_string(cache.disk_hits) +
+         ", \"disk_misses\": " + std::to_string(cache.disk_misses) +
+         ", \"disk_writes\": " + std::to_string(cache.disk_writes) +
+         ", \"disk_errors\": " + std::to_string(cache.disk_errors) + "},\n";
   out += "  \"tasks\": [\n";
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const TaskMetrics& t = tasks[i];
@@ -69,6 +73,9 @@ std::string RunReport::to_json() const {
            ", \"sta_delay_cache_hits\": " + std::to_string(t.sta_delay_cache_hits) +
            ", \"thermal_cg_iters\": " + std::to_string(t.thermal_cg_iters) +
            ", \"guardband_nonconverged\": " + std::to_string(t.guardband_nonconverged) +
+           ", \"disk_hits\": " + std::to_string(t.disk_hits) +
+           ", \"disk_misses\": " + std::to_string(t.disk_misses) +
+           ", \"disk_writes\": " + std::to_string(t.disk_writes) +
            ", \"phases\": ";
     append_phases_json(out, t.phases);
     out += i + 1 < tasks.size() ? "},\n" : "}\n";
@@ -81,7 +88,7 @@ std::string RunReport::to_csv() const {
   std::string out =
       "name,kind,wall_s,iterations,spice_factorizations,spice_pattern_reuses,"
       "spice_newton_iters,sta_edges_reevaluated,sta_delay_cache_hits,"
-      "thermal_cg_iters,guardband_nonconverged";
+      "thermal_cg_iters,guardband_nonconverged,disk_hits,disk_misses,disk_writes";
   for (int p = 0; p < core::kNumFlowPhases; ++p) {
     out += ',';
     out += core::flow_phase_name(static_cast<core::FlowPhase>(p));
@@ -97,7 +104,9 @@ std::string RunReport::to_csv() const {
            std::to_string(t.sta_edges_reevaluated) + ',' +
            std::to_string(t.sta_delay_cache_hits) + ',' +
            std::to_string(t.thermal_cg_iters) + ',' +
-           std::to_string(t.guardband_nonconverged);
+           std::to_string(t.guardband_nonconverged) + ',' +
+           std::to_string(t.disk_hits) + ',' + std::to_string(t.disk_misses) + ',' +
+           std::to_string(t.disk_writes);
     for (double s : t.phases.seconds) {
       out += ',';
       out += fmt(s);
@@ -112,8 +121,8 @@ core::FlowObserver observe_into(TaskMetrics& metrics) {
   obs.on_phase = [&metrics](core::FlowPhase phase, units::Seconds s) {
     metrics.phases.add(phase, s.value());
   };
-  obs.on_iteration = [&metrics](int iteration, units::Megahertz, units::Kelvin) {
-    metrics.iterations = iteration;
+  obs.on_iteration = [&metrics](const core::FlowObserver::IterationInfo& info) {
+    metrics.iterations = info.iteration;
   };
   return obs;
 }

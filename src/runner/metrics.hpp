@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/flow.hpp"
+#include "runner/artifact_store.hpp"
 #include "runner/flow_cache.hpp"
 #include "spice/linear.hpp"
 
@@ -52,6 +53,12 @@ struct TaskMetrics {
   std::uint64_t sta_delay_cache_hits = 0;
   std::uint64_t thermal_cg_iters = 0;
   std::uint64_t guardband_nonconverged = 0;
+  /// Disk artifact-store traffic attributable to this task (per stage:
+  /// one implement build probes up to four storable stages). All zero
+  /// when no store is attached.
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_misses = 0;
+  std::uint64_t disk_writes = 0;
 };
 
 /// RAII capture of the thread-local SPICE solver counters: snapshots at
@@ -94,6 +101,26 @@ class FlowCounterScope {
  private:
   TaskMetrics& m_;
   core::FlowCounters before_;
+};
+
+/// RAII capture of the thread-local artifact-store counters, same
+/// snapshot/delta contract as SpiceCounterScope.
+class ArtifactCounterScope {
+ public:
+  explicit ArtifactCounterScope(TaskMetrics& m)
+      : m_(m), before_(thread_artifact_counters()) {}
+  ~ArtifactCounterScope() {
+    const ArtifactCounters d = thread_artifact_counters() - before_;
+    m_.disk_hits += d.disk_hits;
+    m_.disk_misses += d.disk_misses;
+    m_.disk_writes += d.disk_writes;
+  }
+  ArtifactCounterScope(const ArtifactCounterScope&) = delete;
+  ArtifactCounterScope& operator=(const ArtifactCounterScope&) = delete;
+
+ private:
+  TaskMetrics& m_;
+  ArtifactCounters before_;
 };
 
 /// A full runner report: every task plus process-wide cache statistics.

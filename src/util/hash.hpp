@@ -1,0 +1,42 @@
+#pragma once
+// Order-sensitive 64-bit FNV-1a field combiner, shared by the runner's
+// flow-cache keys and the core stage graph's per-stage input hashes.
+// With the handful of distinct corners/specs/arches a process touches, a
+// 64-bit key makes accidental collisions negligible.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace taf::util {
+
+struct Fnv1a {
+  std::uint64_t state = 1469598103934665603ull;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state ^= p[i];
+      state *= 1099511628211ull;
+    }
+  }
+  void add(std::uint64_t v) { bytes(&v, sizeof v); }
+  void add(std::int64_t v) { bytes(&v, sizeof v); }
+  void add(int v) { add(static_cast<std::int64_t>(v)); }
+  void add(unsigned v) { add(static_cast<std::uint64_t>(v)); }
+  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+  void add(std::string_view s) {
+    add(static_cast<std::uint64_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+};
+
+/// One-shot FNV-1a of a byte range (artifact payload checksums).
+inline std::uint64_t fnv1a_bytes(const void* data, std::size_t n) {
+  Fnv1a h;
+  h.bytes(data, n);
+  return h.state;
+}
+
+}  // namespace taf::util

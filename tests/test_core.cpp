@@ -214,6 +214,8 @@ TEST(Guardband, PowerIsReportedAtTheOperatingPoint) {
   EXPECT_DOUBLE_EQ(r.power.dynamic_w.value(), expected.dynamic_w.value());
   EXPECT_DOUBLE_EQ(r.power.leakage_w.value(), expected.leakage_w.value());
   EXPECT_DOUBLE_EQ(r.power.total_w().value(), expected.total_w().value());
+  // The typed accessor views the same bulk payload.
+  EXPECT_DOUBLE_EQ(r.tile_temp(0).value(), r.tile_temp_c[0]);
 }
 
 TEST(Guardband, ZeroIterationsStillReportsPower) {
@@ -243,6 +245,49 @@ TEST(Grade, SelectionFollowsFieldRange) {
 
 TEST(Grade, ThrowsOnEmptyDeviceList) {
   EXPECT_THROW(core::select_grade({}, units::Celsius(0.0), units::Celsius(100.0)), std::invalid_argument);
+}
+
+TEST(Grade, SingleDeviceAlwaysSelected) {
+  std::vector<coffe::DeviceModel> devices;
+  devices.push_back(characterizer().characterize(units::Celsius(70.0)));
+  EXPECT_EQ(core::select_grade(devices, units::Celsius(0.0), units::Celsius(100.0)), 0);
+  EXPECT_EQ(core::select_grade(devices, units::Celsius(25.0), units::Celsius(25.0)), 0);
+}
+
+TEST(Grade, DegenerateRangeComparesPointDelay) {
+  // t_min == t_max would divide by zero in the trapezoid expectation; the
+  // contract is to compare rep_cp_delay at the single temperature, so the
+  // device optimized for that exact corner must win.
+  std::vector<coffe::DeviceModel> devices;
+  for (double t : {0.0, 25.0, 70.0, 100.0}) {
+    devices.push_back(characterizer().characterize(units::Celsius(t)));
+  }
+  const int at70 =
+      core::select_grade(devices, units::Celsius(70.0), units::Celsius(70.0));
+  int best = 0;
+  double best_d = devices[0].rep_cp_delay(units::Celsius(70.0)).value();
+  for (int i = 1; i < 4; ++i) {
+    const double d =
+        devices[static_cast<std::size_t>(i)].rep_cp_delay(units::Celsius(70.0)).value();
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  EXPECT_EQ(at70, best);
+}
+
+TEST(Grade, ReversedRangeIsNormalized) {
+  // (t_max, t_min) in the wrong order selects the same grade as the
+  // normalized range instead of hitting UB in the expectation integral.
+  std::vector<coffe::DeviceModel> devices;
+  for (double t : {0.0, 25.0, 70.0, 100.0}) {
+    devices.push_back(characterizer().characterize(units::Celsius(t)));
+  }
+  EXPECT_EQ(core::select_grade(devices, units::Celsius(100.0), units::Celsius(80.0)),
+            core::select_grade(devices, units::Celsius(80.0), units::Celsius(100.0)));
+  EXPECT_EQ(core::select_grade(devices, units::Celsius(20.0), units::Celsius(0.0)),
+            core::select_grade(devices, units::Celsius(0.0), units::Celsius(20.0)));
 }
 
 TEST(Implement, ReportsRoutedDesign) {

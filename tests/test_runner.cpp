@@ -224,8 +224,15 @@ TEST(Metrics, ObserverAccumulatesPhasesAndIterations) {
   obs.on_phase(core::FlowPhase::Route, units::Seconds(0.25));
   obs.on_phase(core::FlowPhase::Route, units::Seconds(0.25));
   obs.on_phase(core::FlowPhase::Sta, units::Seconds(0.5));
-  obs.on_iteration(1, units::Megahertz(100.0), units::Kelvin(3.0));
-  obs.on_iteration(2, units::Megahertz(99.0), units::Kelvin(0.2));
+  core::FlowObserver::IterationInfo info;
+  info.iteration = 1;
+  info.fmax_mhz = units::Megahertz(100.0);
+  info.max_delta_c = units::Kelvin(3.0);
+  obs.on_iteration(info);
+  info.iteration = 2;
+  info.fmax_mhz = units::Megahertz(99.0);
+  info.max_delta_c = units::Kelvin(0.2);
+  obs.on_iteration(info);
   EXPECT_DOUBLE_EQ(m.phases.seconds[static_cast<std::size_t>(core::FlowPhase::Route)],
                    0.5);
   EXPECT_DOUBLE_EQ(m.phases.total(), 1.0);
@@ -270,10 +277,12 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   EXPECT_NE(csv.find("name,kind,wall_s,iterations,spice_factorizations,"
                      "spice_pattern_reuses,spice_newton_iters,"
                      "sta_edges_reevaluated,sta_delay_cache_hits,"
-                     "thermal_cg_iters,guardband_nonconverged,pack_s"),
+                     "thermal_cg_iters,guardband_nonconverged,"
+                     "disk_hits,disk_misses,disk_writes,pack_s"),
             std::string::npos);
-  EXPECT_NE(csv.find("sha@D25/amb70,guardband,0.250000,3,120,118,120,450,9000,37,1"),
-            std::string::npos);
+  EXPECT_NE(
+      csv.find("sha@D25/amb70,guardband,0.250000,3,120,118,120,450,9000,37,1,0,0,0"),
+      std::string::npos);
 }
 
 TEST(Metrics, FlowCounterScopeCapturesGuardbandWork) {
