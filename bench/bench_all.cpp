@@ -28,6 +28,7 @@
 #include "bench_common.hpp"
 #include "runner/artifact_store.hpp"
 #include "runner/metrics.hpp"
+#include "thermal/thermal_grid.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -206,19 +207,21 @@ int main(int argc, char** argv) {
   {
     const std::lock_guard<std::mutex> lock(bench::sweep_metrics_mutex());
     const auto& cells = bench::collected_sweep_metrics();
-    unsigned long long edges = 0, hits = 0, cg = 0, nonconv = 0;
+    unsigned long long edges = 0, hits = 0, cg = 0, pcg = 0, nonconv = 0;
     for (const auto& m : cells) {
       edges += m.sta_edges_reevaluated;
       hits += m.sta_delay_cache_hits;
       cg += m.thermal_cg_iters;
+      pcg += m.thermal_precond_iters;
       nonconv += m.guardband_nonconverged;
     }
     std::fprintf(stderr,
-                 "[bench_all] guardband (%s incremental): %zu sweep cells, "
-                 "%llu edges re-evaluated, %llu delay-cache hits, %llu CG iters, "
-                 "%llu non-converged\n",
+                 "[bench_all] guardband (%s incremental, %s thermal): %zu sweep "
+                 "cells, %llu edges re-evaluated, %llu delay-cache hits, "
+                 "%llu CG iters (%llu preconditioned), %llu non-converged\n",
                  core::incremental_mode_name(core::default_incremental_mode()),
-                 cells.size(), edges, hits, cg, nonconv);
+                 thermal::thermal_backend_name(thermal::default_thermal_backend()),
+                 cells.size(), edges, hits, cg, pcg, nonconv);
     if (nonconv > 0) {
       std::fprintf(stderr,
                    "[bench_all] WARNING: %llu guardband run(s) exhausted the "

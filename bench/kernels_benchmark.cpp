@@ -66,6 +66,48 @@ void BM_ThermalSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_ThermalSolve)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 
+/// Guardband-cell thermal workload with an explicitly pinned backend:
+/// one cold solve plus five warm-started re-solves under ~1% power
+/// perturbations — the solve sequence Algorithm 1 drives per sweep
+/// cell — for generic-vs-stencil A/B timing regardless of
+/// TAF_THERMAL_BACKEND. The stencil/generic ratio is the tracked
+/// speedup of the blocked stencil hot path (target >= 3x at 64x64).
+void BM_ThermalGuardbandCell(benchmark::State& state,
+                             thermal::ThermalBackend backend) {
+  const auto n = static_cast<int>(state.range(0));
+  const arch::FpgaGrid grid(n, n);
+  thermal::ThermalConfig cfg;
+  cfg.backend = backend;
+  const thermal::ThermalGrid tg(grid, cfg);
+  std::vector<double> p(static_cast<std::size_t>(n) * n, 1e-4);
+  p[static_cast<std::size_t>(n * n / 2)] = 0.05;
+  std::vector<double> q(p.size());
+  for (auto _ : state) {
+    auto temps = tg.solve(p);
+    for (int iter = 1; iter <= 5; ++iter) {
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        q[i] = p[i] * (1.0 + 0.01 * static_cast<double>((i + static_cast<std::size_t>(iter)) % 3));
+      }
+      temps = tg.solve(q, temps);
+    }
+    benchmark::DoNotOptimize(temps);
+  }
+}
+void BM_ThermalGuardbandCellGeneric(benchmark::State& state) {
+  BM_ThermalGuardbandCell(state, thermal::ThermalBackend::Generic);
+}
+void BM_ThermalGuardbandCellStencil(benchmark::State& state) {
+  BM_ThermalGuardbandCell(state, thermal::ThermalBackend::Stencil);
+}
+BENCHMARK(BM_ThermalGuardbandCellGeneric)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ThermalGuardbandCellStencil)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ThermalAwareSta(benchmark::State& state) {
   const auto& impl = bench::implementation_of("sha");
   const auto& dev = bench::device_at(25.0);

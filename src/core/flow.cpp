@@ -158,6 +158,9 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
         incremental ? tgrid.solve(power.tile_w, temps, &cg)
                     : tgrid.solve(power.tile_w, &cg);
     result.stats.cg_iterations += static_cast<std::uint64_t>(cg.iterations);
+    if (cg.preconditioned) {
+      result.stats.precond_cg_iterations += static_cast<std::uint64_t>(cg.iterations);
+    }
     clock.mark(FlowPhase::Thermal);
     double max_delta = 0.0;
     for (std::size_t i = 0; i < n_tiles; ++i) {
@@ -222,6 +225,7 @@ GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& 
   fc.sta_edges_reevaluated += result.stats.edges_reevaluated;
   fc.sta_delay_cache_hits += result.stats.delay_cache_hits;
   fc.thermal_cg_iterations += result.stats.cg_iterations;
+  fc.thermal_precond_iterations += result.stats.precond_cg_iterations;
 
   util::Accumulator acc;
   for (double t : result.tile_temp_c) acc.add(t);

@@ -87,6 +87,10 @@ struct GuardbandStats {
   std::uint64_t edges_reevaluated = 0;  ///< connection delays re-derived
   std::uint64_t delay_cache_hits = 0;   ///< cached connection delays reused
   std::uint64_t cg_iterations = 0;      ///< thermal CG iterations (all solves)
+  /// Subset of cg_iterations performed by a preconditioned solver (the
+  /// stencil backend's SSOR-PCG). Kept separate so backend comparisons
+  /// never conflate preconditioned with plain-CG iteration counts.
+  std::uint64_t precond_cg_iterations = 0;
 };
 
 /// Per-thread accumulation of guardband work counters, in the mold of
@@ -97,6 +101,7 @@ struct FlowCounters {
   std::uint64_t sta_edges_reevaluated = 0;
   std::uint64_t sta_delay_cache_hits = 0;
   std::uint64_t thermal_cg_iterations = 0;
+  std::uint64_t thermal_precond_iterations = 0;
 
   FlowCounters operator-(const FlowCounters& rhs) const {
     FlowCounters d;
@@ -105,6 +110,7 @@ struct FlowCounters {
     d.sta_edges_reevaluated = sta_edges_reevaluated - rhs.sta_edges_reevaluated;
     d.sta_delay_cache_hits = sta_delay_cache_hits - rhs.sta_delay_cache_hits;
     d.thermal_cg_iterations = thermal_cg_iterations - rhs.thermal_cg_iterations;
+    d.thermal_precond_iterations = thermal_precond_iterations - rhs.thermal_precond_iterations;
     return d;
   }
 };

@@ -52,6 +52,9 @@ struct TaskMetrics {
   std::uint64_t sta_edges_reevaluated = 0;
   std::uint64_t sta_delay_cache_hits = 0;
   std::uint64_t thermal_cg_iters = 0;
+  /// Subset of thermal_cg_iters run preconditioned (stencil SSOR-PCG);
+  /// zero under the generic oracle backend.
+  std::uint64_t thermal_precond_iters = 0;
   std::uint64_t guardband_nonconverged = 0;
   /// Disk artifact-store traffic attributable to this task (per stage:
   /// one implement build probes up to four storable stages). All zero
@@ -93,6 +96,7 @@ class FlowCounterScope {
     m_.sta_edges_reevaluated += d.sta_edges_reevaluated;
     m_.sta_delay_cache_hits += d.sta_delay_cache_hits;
     m_.thermal_cg_iters += d.thermal_cg_iterations;
+    m_.thermal_precond_iters += d.thermal_precond_iterations;
     m_.guardband_nonconverged += d.guardband_nonconverged;
   }
   FlowCounterScope(const FlowCounterScope&) = delete;

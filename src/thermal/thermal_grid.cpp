@@ -3,9 +3,33 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <stdexcept>
 #include <string>
 
+#include "thermal/stencil_solver.hpp"
+#include "util/env.hpp"
+#include "util/log.hpp"
+
 namespace taf::thermal {
+
+ThermalBackend default_thermal_backend() {
+  static const ThermalBackend b = [] {
+    if (const char* env = util::env_cstr("TAF_THERMAL_BACKEND")) {
+      if (std::strcmp(env, "generic") == 0) return ThermalBackend::Generic;
+      if (std::strcmp(env, "stencil") == 0) return ThermalBackend::Stencil;
+      util::log_warn(
+          "TAF_THERMAL_BACKEND='%s' is not 'generic' or 'stencil'; using stencil",
+          env);
+    }
+    return ThermalBackend::Stencil;
+  }();
+  return b;
+}
+
+const char* thermal_backend_name(ThermalBackend b) {
+  return b == ThermalBackend::Generic ? "generic" : "stencil";
+}
 
 ThermalGrid::ThermalGrid(const arch::FpgaGrid& grid, ThermalConfig config)
     : width_(grid.width()), height_(grid.height()), config_(config) {
@@ -34,20 +58,19 @@ void ThermalGrid::apply(const std::vector<double>& x, std::vector<double>& y) co
   }
 }
 
-double ThermalGrid::cg_tolerance(double rr0) const {
-  // A per-tile residual of g_vert_ * solve_tol_k watts maps to a
-  // temperature error of solve_tol_k kelvin through the weakest
-  // (vertical) conductance — far below physical significance, but a hard
-  // absolute floor: a relative-only criterion (rr0 * 1e-20) made CG
-  // chase rounding noise for the full 4n iterations whenever the initial
-  // residual was already near zero (tiny power maps, warm starts at the
-  // solution).
+double ThermalGrid::cg_tolerance(double rr0, double g_diag) const {
+  // A per-tile residual of g_diag * solve_tol_k watts maps to a
+  // temperature error of solve_tol_k kelvin through the weakest per-tile
+  // conductance of the operator being solved (g_vert_ steady-state,
+  // g_vert_ + C/dt transient) — far below physical significance, but a
+  // hard absolute floor; see the header for why both the floor and its
+  // conductance matter.
   const int n = width_ * height_;
-  const double floor_per_tile = g_vert_ * config_.solve_tol_k.value();
+  const double floor_per_tile = g_diag * config_.solve_tol_k.value();
   return std::max(rr0 * 1e-20, n * floor_per_tile * floor_per_tile);
 }
 
-void ThermalGrid::cg_core(std::vector<double>& x, std::vector<double>& r,
+void ThermalGrid::cg_core(std::vector<double>& x, std::vector<double>& r, double g_c,
                           CgStats* stats) const {
   const int n = width_ * height_;
   std::vector<double> p = r;
@@ -58,13 +81,32 @@ void ThermalGrid::cg_core(std::vector<double>& x, std::vector<double>& r,
     for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
     return s;
   };
+  auto apply_sys = [&](const std::vector<double>& v, std::vector<double>& out) {
+    apply(v, out);
+    if (g_c != 0.0) {
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += g_c * v[i];
+    }
+  };
 
   double rr = dot(r, r);
-  const double tol = cg_tolerance(rr);
+  if (!std::isfinite(rr)) {
+    throw std::invalid_argument(
+        "thermal solve: non-finite right-hand side (power map)");
+  }
+  const double tol = cg_tolerance(rr, g_vert_ + g_c);
   int iters = 0;
   for (; iters < 4 * n && rr > tol; ++iters) {
-    apply(p, ap);
-    const double alpha = rr / dot(p, ap);
+    apply_sys(p, ap);
+    const double pap = dot(p, ap);
+    if (!(pap > 0.0)) {
+      // alpha = rr / pap would be a silent NaN/inf spreading through the
+      // temperature field; fail loudly in release builds too (same
+      // contract as util::fit_exponential).
+      throw std::runtime_error(
+          "thermal CG breakdown: dot(p, Ap) = " + std::to_string(pap) +
+          " is not positive (singular or non-SPD operator configuration)");
+    }
+    const double alpha = rr / pap;
     for (std::size_t i = 0; i < x.size(); ++i) {
       x[i] += alpha * p[i];
       r[i] -= alpha * ap[i];
@@ -77,6 +119,20 @@ void ThermalGrid::cg_core(std::vector<double>& x, std::vector<double>& r,
   if (stats != nullptr) {
     stats->iterations = iters;
     stats->residual_norm_w = units::Watts{std::sqrt(rr)};
+    stats->preconditioned = false;
+  }
+}
+
+void ThermalGrid::stencil_solve(const std::vector<double>& rhs, std::vector<double>& x,
+                                double g_c, CgStats* stats) const {
+  const StencilOp op(width_, height_, g_lat_, g_vert_, g_c);
+  const StencilSolver solver(op, StencilPreconditioner::Ssor);
+  const StencilSolveInfo info =
+      solver.solve(rhs.data(), x.data(), 1e-20, cg_tolerance(0.0, g_vert_ + g_c));
+  if (stats != nullptr) {
+    stats->iterations = info.iterations;
+    stats->residual_norm_w = units::Watts{std::sqrt(info.rr)};
+    stats->preconditioned = true;
   }
 }
 
@@ -87,8 +143,12 @@ std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w,
 
   // Cold start: x = 0, so r = P exactly (no operator application needed).
   std::vector<double> x(static_cast<size_t>(n), 0.0);
-  std::vector<double> r = power_w;
-  cg_core(x, r, stats);
+  if (config_.backend == ThermalBackend::Stencil) {
+    stencil_solve(power_w, x, 0.0, stats);
+  } else {
+    std::vector<double> r = power_w;
+    cg_core(x, r, 0.0, stats);
+  }
 
   for (double& t : x) t += config_.ambient_c.value();
   return x;
@@ -106,14 +166,55 @@ std::vector<double> ThermalGrid::solve(const std::vector<double>& power_w,
   for (int i = 0; i < n; ++i)
     x[static_cast<size_t>(i)] =
         initial_temp_c[static_cast<size_t>(i)] - config_.ambient_c.value();
-  std::vector<double> r(static_cast<size_t>(n));
-  apply(x, r);
-  for (int i = 0; i < n; ++i)
-    r[static_cast<size_t>(i)] = power_w[static_cast<size_t>(i)] - r[static_cast<size_t>(i)];
-  cg_core(x, r, stats);
+  if (config_.backend == ThermalBackend::Stencil) {
+    stencil_solve(power_w, x, 0.0, stats);
+  } else {
+    std::vector<double> r(static_cast<size_t>(n));
+    apply(x, r);
+    for (int i = 0; i < n; ++i)
+      r[static_cast<size_t>(i)] =
+          power_w[static_cast<size_t>(i)] - r[static_cast<size_t>(i)];
+    cg_core(x, r, 0.0, stats);
+  }
 
   for (double& t : x) t += config_.ambient_c.value();
   return x;
+}
+
+std::vector<std::vector<double>> ThermalGrid::solve_batch(
+    const std::vector<std::vector<double>>& power_w, std::vector<CgStats>* stats) const {
+  const int n = width_ * height_;
+  const auto nrhs = power_w.size();
+  if (stats != nullptr) stats->assign(nrhs, CgStats{});
+  std::vector<std::vector<double>> temps(nrhs);
+  if (config_.backend != ThermalBackend::Stencil) {
+    for (std::size_t k = 0; k < nrhs; ++k) {
+      temps[k] = solve(power_w[k], stats != nullptr ? &(*stats)[k] : nullptr);
+    }
+    return temps;
+  }
+  std::vector<double> b(static_cast<std::size_t>(n) * nrhs);
+  std::vector<double> x(static_cast<std::size_t>(n) * nrhs, 0.0);
+  for (std::size_t k = 0; k < nrhs; ++k) {
+    assert(static_cast<int>(power_w[k].size()) == n);
+    std::copy(power_w[k].begin(), power_w[k].end(),
+              b.begin() + static_cast<std::ptrdiff_t>(k) * n);
+  }
+  const StencilOp op(width_, height_, g_lat_, g_vert_, 0.0);
+  const StencilSolver solver(op, StencilPreconditioner::Ssor);
+  const std::vector<StencilSolveInfo> info = solver.solve_batch(
+      static_cast<int>(nrhs), b.data(), x.data(), 1e-20, cg_tolerance(0.0, g_vert_));
+  for (std::size_t k = 0; k < nrhs; ++k) {
+    temps[k].assign(x.begin() + static_cast<std::ptrdiff_t>(k) * n,
+                    x.begin() + static_cast<std::ptrdiff_t>(k + 1) * n);
+    for (double& t : temps[k]) t += config_.ambient_c.value();
+    if (stats != nullptr) {
+      (*stats)[k].iterations = info[k].iterations;
+      (*stats)[k].residual_norm_w = units::Watts{std::sqrt(info[k].rr)};
+      (*stats)[k].preconditioned = true;
+    }
+  }
+  return temps;
 }
 
 void ThermalGrid::step(const std::vector<double>& power_w, units::Seconds dt,
@@ -122,7 +223,10 @@ void ThermalGrid::step(const std::vector<double>& power_w, units::Seconds dt,
   assert(static_cast<int>(power_w.size()) == n);
   assert(static_cast<int>(temps.size()) == n);
   // Backward Euler: (C/dt + A) dT_next = P + (C/dt) dT_now. The system
-  // stays SPD, so the same CG machinery applies with an extra diagonal.
+  // stays SPD, so the same CG machinery applies with an extra diagonal —
+  // cg_core/stencil_solve parameterized by g_c, including the
+  // termination floor, which must be derived from the augmented
+  // diagonal g_vert_ + C/dt (see cg_tolerance).
   const double g_c = c_tile_ / dt.value();
 
   std::vector<double> x(static_cast<std::size_t>(n));
@@ -130,47 +234,25 @@ void ThermalGrid::step(const std::vector<double>& power_w, units::Seconds dt,
     x[static_cast<std::size_t>(i)] =
         temps[static_cast<std::size_t>(i)] - config_.ambient_c.value();
 
-  auto apply_aug = [&](const std::vector<double>& v, std::vector<double>& out) {
-    apply(v, out);
-    for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] += g_c * v[static_cast<std::size_t>(i)];
-  };
-
   std::vector<double> rhs(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
-    rhs[static_cast<std::size_t>(i)] = power_w[static_cast<std::size_t>(i)] + g_c * x[static_cast<std::size_t>(i)];
+    rhs[static_cast<std::size_t>(i)] =
+        power_w[static_cast<std::size_t>(i)] + g_c * x[static_cast<std::size_t>(i)];
 
-  // CG from the current state.
-  std::vector<double> r(static_cast<std::size_t>(n)), p(static_cast<std::size_t>(n)),
-      ap(static_cast<std::size_t>(n));
-  apply_aug(x, ap);
-  for (int i = 0; i < n; ++i) r[static_cast<std::size_t>(i)] = rhs[static_cast<std::size_t>(i)] - ap[static_cast<std::size_t>(i)];
-  p = r;
-  auto dot = [](const std::vector<double>& a, const std::vector<double>& b) {
-    double s = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-    return s;
-  };
-  double rr = dot(r, r);
-  const double tol = cg_tolerance(rr);
-  int iters = 0;
-  for (; iters < 4 * n && rr > tol; ++iters) {
-    apply_aug(p, ap);
-    const double alpha = rr / dot(p, ap);
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * ap[i];
-    }
-    const double rr_new = dot(r, r);
-    const double beta = rr_new / rr;
-    rr = rr_new;
-    for (std::size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
-  }
-  if (stats != nullptr) {
-    stats->iterations = iters;
-    stats->residual_norm_w = units::Watts{std::sqrt(rr)};
+  if (config_.backend == ThermalBackend::Stencil) {
+    stencil_solve(rhs, x, g_c, stats);
+  } else {
+    std::vector<double> r(static_cast<std::size_t>(n));
+    apply(x, r);
+    for (int i = 0; i < n; ++i)
+      r[static_cast<std::size_t>(i)] =
+          rhs[static_cast<std::size_t>(i)] -
+          (r[static_cast<std::size_t>(i)] + g_c * x[static_cast<std::size_t>(i)]);
+    cg_core(x, r, g_c, stats);
   }
   for (int i = 0; i < n; ++i)
-    temps[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)] + config_.ambient_c.value();
+    temps[static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(i)] + config_.ambient_c.value();
 }
 
 units::Seconds ThermalGrid::tile_time_constant() const {
@@ -178,11 +260,21 @@ units::Seconds ThermalGrid::tile_time_constant() const {
 }
 
 units::Celsius ThermalGrid::peak(const std::vector<double>& temps) {
+  if (temps.empty()) {
+    throw std::invalid_argument("ThermalGrid::peak: empty temperature map");
+  }
   return units::Celsius{*std::max_element(temps.begin(), temps.end())};
 }
 
 std::string ThermalGrid::ascii_heatmap(const std::vector<double>& temps, int width,
                                        int height) {
+  if (width <= 0 || height <= 0 ||
+      temps.size() != static_cast<std::size_t>(width) * static_cast<std::size_t>(height)) {
+    throw std::invalid_argument(
+        "ThermalGrid::ascii_heatmap: temps.size() = " + std::to_string(temps.size()) +
+        " does not match " + std::to_string(width) + "x" + std::to_string(height) +
+        " grid");
+  }
   static const char kRamp[] = " .:-=+*#%@";
   const double lo = *std::min_element(temps.begin(), temps.end());
   const double hi = *std::max_element(temps.begin(), temps.end());

@@ -7,7 +7,13 @@
 //   (G_lateral + G_vertical) * (T - Tamb) = P
 // gives the per-tile temperature map Algorithm 1 iterates on. The system
 // is symmetric positive definite, solved matrix-free with conjugate
-// gradients.
+// gradients by one of two interchangeable backends:
+//   * Stencil — matrix-free blocked stencil PCG with an SSOR
+//     preconditioner and batched multi-RHS solves (the hot path; see
+//     thermal/stencil_solver.hpp and DESIGN.md section 11);
+//   * Generic — the original unpreconditioned CG, kept alive as the
+//     differential-testing oracle (same role as the dense MNA backend
+//     in src/spice).
 
 #include <string>
 #include <vector>
@@ -16,6 +22,15 @@
 #include "util/units.hpp"
 
 namespace taf::thermal {
+
+enum class ThermalBackend { Generic, Stencil };
+
+/// Backend used when ThermalConfig does not name one: Stencil, unless
+/// the TAF_THERMAL_BACKEND environment variable ("generic" | "stencil")
+/// overrides it. Read once per process. Mirrors spice::default_backend().
+ThermalBackend default_thermal_backend();
+
+const char* thermal_backend_name(ThermalBackend b);
 
 struct ThermalConfig {
   units::Celsius ambient_c{25.0};
@@ -35,12 +50,17 @@ struct ThermalConfig {
   /// Volumetric heat capacity of silicon [J/(m^3 K)] for transients.
   double volumetric_c_j_m3k = 1.63e6;
   /// Per-tile temperature accuracy the CG termination criterion targets.
-  /// The absolute residual floor is g_vert * solve_tol_k per tile,
-  /// which bounds the worst-case solution error by sqrt(n_tiles) *
-  /// solve_tol_k through the weakest (vertical) conductance — at the
-  /// default, comfortably below the 1e-9 degC the incremental-vs-full
-  /// guardband differential contract asserts (DESIGN.md section 8).
+  /// The absolute residual floor is (weakest per-tile conductance of the
+  /// operator being solved) * solve_tol_k per tile — g_vert for the
+  /// steady-state system, g_vert + C/dt for the backward-Euler transient
+  /// system — which bounds the worst-case solution error by
+  /// sqrt(n_tiles) * solve_tol_k. At the default, comfortably below the
+  /// 1e-9 degC the incremental-vs-full guardband differential contract
+  /// asserts (DESIGN.md section 8).
   units::Kelvin solve_tol_k{1e-11};
+  /// Which solver serves solve()/step(); both honour the same
+  /// termination contract (DESIGN.md section 11).
+  ThermalBackend backend = default_thermal_backend();
 
   double lateral_g_w_per_k() const {
     return silicon_k_w_mk * die_thickness_um * 1e-6;
@@ -51,6 +71,10 @@ struct ThermalConfig {
 struct CgStats {
   int iterations = 0;
   units::Watts residual_norm_w;  ///< ||P - A dT||_2 at termination
+  /// True when the iterations were preconditioned (stencil backend):
+  /// surfaced through GuardbandStats/TaskMetrics so iteration counts of
+  /// the two backends are never conflated in reports.
+  bool preconditioned = false;
 };
 
 class ThermalGrid {
@@ -71,6 +95,15 @@ class ThermalGrid {
                             const std::vector<double>& initial_temp_c,
                             CgStats* stats = nullptr) const;
 
+  /// Batched steady-state solve: one temperature map per power map, all
+  /// corners sharing a single blocked operator traversal per CG
+  /// iteration (stencil backend; the generic oracle solves sequentially).
+  /// Results are bit-identical to calling solve() per map. stats, when
+  /// given, is resized to one entry per map.
+  std::vector<std::vector<double>> solve_batch(
+      const std::vector<std::vector<double>>& power_w,
+      std::vector<CgStats>* stats = nullptr) const;
+
   /// Transient step: advance the temperature field by dt under constant
   /// power (backward Euler on C dT/dt + A (T - Tamb) = P). `temps` is
   /// updated in place. Used to study warm-up after a frequency change.
@@ -81,7 +114,7 @@ class ThermalGrid {
   /// useful to pick transient step sizes.
   units::Seconds tile_time_constant() const;
 
-  /// Peak temperature of a solve result.
+  /// Peak temperature of a solve result. temps must be non-empty.
   static units::Celsius peak(const std::vector<double>& temps);
 
   const ThermalConfig& config() const { return config_; }
@@ -89,7 +122,8 @@ class ThermalGrid {
   int height() const { return height_; }
 
   /// Render the temperature map as a coarse ASCII heat map (for the
-  /// thermal_profile example and debugging).
+  /// thermal_profile example and debugging). Throws std::invalid_argument
+  /// unless temps.size() == width * height with positive dimensions.
   static std::string ascii_heatmap(const std::vector<double>& temps, int width,
                                    int height);
 
@@ -105,17 +139,30 @@ class ThermalGrid {
   /// Squared-residual CG termination threshold: relative to the initial
   /// residual, with an absolute floor at the residual a per-tile
   /// temperature error of config_.solve_tol_k would produce through the
-  /// vertical conductance — without it a near-zero power map (early
-  /// Algorithm 1 iterations, idle regions) grinds through 4n iterations
-  /// of noise. The same floor is what lets a warm start that is already
-  /// at the solution terminate in zero iterations.
-  double cg_tolerance(double rr0) const;
+  /// weakest per-tile conductance of the system being solved — g_vert_
+  /// for the steady-state operator, g_vert_ + C/dt (`g_diag`) for the
+  /// backward-Euler one. Deriving the transient floor from the
+  /// steady-state conductance was a real bug: for small dt the g_vert_
+  /// floor sits below what the huge (C/dt)-scaled right-hand side can
+  /// reach in double precision, so every step ground through the full
+  /// 4n-iteration cap and still returned an unconverged field (see the
+  /// SmallDtStep regression tests). Without the floor a relative-only
+  /// criterion (rr0 * 1e-20) made CG chase rounding noise for the full
+  /// 4n iterations whenever the initial residual was already near zero
+  /// (tiny power maps, warm starts at the solution).
+  double cg_tolerance(double rr0, double g_diag) const;
 
-  /// Shared CG core: solves A x = P for x = T - Tamb, starting from x
-  /// (callers pass zeros for a cold start and must supply the matching
-  /// residual r = P - A x).
-  void cg_core(std::vector<double>& x, std::vector<double>& r,
+  /// Shared generic-CG core: solves (A + g_c I) x = rhs for x = T - Tamb,
+  /// starting from x (callers supply the matching residual
+  /// r = rhs - (A + g_c I) x; pass g_c = 0 for the steady-state system).
+  /// One parameterized loop serves solve() and step() so tolerance and
+  /// stats fixes cannot diverge between the two paths again.
+  void cg_core(std::vector<double>& x, std::vector<double>& r, double g_c,
                CgStats* stats) const;
+
+  /// Stencil-backend equivalent of cg_core (thermal/stencil_solver.hpp).
+  void stencil_solve(const std::vector<double>& rhs, std::vector<double>& x,
+                     double g_c, CgStats* stats) const;
 
   int width_;
   int height_;

@@ -256,6 +256,7 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   m.sta_edges_reevaluated = 450;
   m.sta_delay_cache_hits = 9000;
   m.thermal_cg_iters = 37;
+  m.thermal_precond_iters = 21;
   m.guardband_nonconverged = 1;
   m.phases.add(core::FlowPhase::Thermal, 0.125);
   report.tasks.push_back(m);
@@ -270,6 +271,7 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   EXPECT_NE(json.find("\"sta_edges_reevaluated\": 450"), std::string::npos);
   EXPECT_NE(json.find("\"sta_delay_cache_hits\": 9000"), std::string::npos);
   EXPECT_NE(json.find("\"thermal_cg_iters\": 37"), std::string::npos);
+  EXPECT_NE(json.find("\"thermal_precond_iters\": 21"), std::string::npos);
   EXPECT_NE(json.find("\"guardband_nonconverged\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"thermal\":0.125000"), std::string::npos);
 
@@ -277,11 +279,13 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   EXPECT_NE(csv.find("name,kind,wall_s,iterations,spice_factorizations,"
                      "spice_pattern_reuses,spice_newton_iters,"
                      "sta_edges_reevaluated,sta_delay_cache_hits,"
-                     "thermal_cg_iters,guardband_nonconverged,"
+                     "thermal_cg_iters,thermal_precond_iters,"
+                     "guardband_nonconverged,"
                      "disk_hits,disk_misses,disk_writes,pack_s"),
             std::string::npos);
   EXPECT_NE(
-      csv.find("sha@D25/amb70,guardband,0.250000,3,120,118,120,450,9000,37,1,0,0,0"),
+      csv.find(
+          "sha@D25/amb70,guardband,0.250000,3,120,118,120,450,9000,37,21,1,0,0,0"),
       std::string::npos);
 }
 
