@@ -218,6 +218,35 @@ struct GuardbandResult {
 GuardbandResult guardband(const Implementation& impl, const coffe::DeviceModel& dev,
                           const GuardbandOptions& opt = {});
 
+/// One independent operating corner of a batched guardband evaluation:
+/// everything in GuardbandOptions is shared across the batch except the
+/// ambient and the power (activity) scale.
+struct GuardbandCorner {
+  units::Celsius t_amb_c{25.0};
+  double power_scale = 1.0;
+};
+
+/// The options guardband_batch() evaluates corner `c` under: `base` with
+/// the corner's ambient and power scale substituted.
+GuardbandOptions with_corner(const GuardbandOptions& base, const GuardbandCorner& c);
+
+/// Algorithm 1 over many independent corners of ONE implementation.
+/// results[k] is bit-identical to guardband(impl, dev, with_corner(base,
+/// corners[k])) — same fmax, temperatures, iteration and work counts —
+/// but all corners still iterating share one blocked stencil traversal
+/// per thermal solve through ThermalGrid::solve_batch (the ambient only
+/// enters the T = Tamb + dT shift, never the conductance operator). The
+/// sharing engages under the stencil backend with an incremental mode;
+/// the generic backend and IncrementalMode::Off solve corner by corner
+/// (still through one lockstep loop, so results cannot diverge from the
+/// sequential path either way). base.observer fires for every corner; in
+/// a batch its callbacks interleave across corners by iteration rather
+/// than corner by corner.
+std::vector<GuardbandResult> guardband_batch(const Implementation& impl,
+                                             const coffe::DeviceModel& dev,
+                                             const GuardbandOptions& base,
+                                             const std::vector<GuardbandCorner>& corners);
+
 /// Eq. (1)-based grade selection: the device (by index) with the lowest
 /// expected representative-CP delay over a uniform [t_min, t_max] field
 /// temperature range. Throws std::invalid_argument for an empty device

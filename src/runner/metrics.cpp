@@ -57,6 +57,14 @@ std::string RunReport::to_json() const {
          ", \"disk_misses\": " + std::to_string(cache.disk_misses) +
          ", \"disk_writes\": " + std::to_string(cache.disk_writes) +
          ", \"disk_errors\": " + std::to_string(cache.disk_errors) + "},\n";
+  out += "  \"scalars\": {";
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"';
+    append_escaped(out, scalars[i].first);
+    out += "\": " + fmt(scalars[i].second);
+  }
+  out += "},\n";
   out += "  \"tasks\": [\n";
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const TaskMetrics& t = tasks[i];
@@ -97,6 +105,9 @@ std::string RunReport::to_csv() const {
     out += "_s";
   }
   out += '\n';
+  for (const auto& [name, value] : scalars) {
+    out += "scalar," + name + ',' + fmt(value) + '\n';
+  }
   for (const TaskMetrics& t : tasks) {
     out += t.name + ',' + t.kind + ',' + fmt(t.wall_s) + ',' +
            std::to_string(t.iterations) + ',' +

@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -131,6 +132,11 @@ class ArtifactCounterScope {
 struct RunReport {
   int threads = 1;
   double wall_s = 0.0;
+  /// Run-level scalar metrics (throughput, latency percentiles, ...) in
+  /// insertion order — the fleet simulator's p50/p99/qps live here.
+  /// Serialized as a "scalars" object in to_json() and as one
+  /// scalar,<name>,<value> row per entry at the top of to_csv().
+  std::vector<std::pair<std::string, double>> scalars;
   std::vector<TaskMetrics> tasks;
   FlowCache::Stats cache;
 

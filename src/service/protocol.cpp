@@ -1,0 +1,138 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/codec.hpp"
+
+namespace taf::service::protocol {
+
+namespace codec = util::codec;
+
+std::string encode_request(const GuardbandRequest& req) {
+  codec::Encoder e;
+  e.u64(req.request_id);
+  e.str(req.design);
+  e.f64(req.grade_t_opt_c);
+  e.f64(req.ambient_c);
+  e.f64(req.activity_scale);
+  return codec::wrap(kRequestKind, e.take());
+}
+
+GuardbandRequest decode_request(std::string_view envelope) {
+  codec::Decoder d(codec::unwrap(envelope, kRequestKind));
+  GuardbandRequest req;
+  req.request_id = d.u64();
+  req.design = d.str();
+  req.grade_t_opt_c = d.f64();
+  req.ambient_c = d.f64();
+  req.activity_scale = d.f64();
+  d.expect_done();
+  return req;
+}
+
+std::string encode_response(const GuardbandResponse& resp) {
+  codec::Encoder e;
+  e.u64(resp.request_id);
+  e.str(resp.design);
+  e.i64(resp.grade_mdeg);
+  e.i64(resp.ambient_mdeg);
+  e.i64(resp.activity_permille);
+  e.f64(resp.fmax_mhz);
+  e.f64(resp.baseline_fmax_mhz);
+  e.f64(resp.margin_c);
+  e.f64(resp.peak_temp_c);
+  e.f64(resp.mean_temp_c);
+  e.i32(resp.iterations);
+  e.u8(resp.converged);
+  e.u64(resp.edges_reevaluated);
+  e.u64(resp.delay_cache_hits);
+  e.u64(resp.cg_iterations);
+  return codec::wrap(kResponseKind, e.take());
+}
+
+GuardbandResponse decode_response(std::string_view envelope) {
+  codec::Decoder d(codec::unwrap(envelope, kResponseKind));
+  GuardbandResponse resp;
+  resp.request_id = d.u64();
+  resp.design = d.str();
+  resp.grade_mdeg = d.i64();
+  resp.ambient_mdeg = d.i64();
+  resp.activity_permille = d.i64();
+  resp.fmax_mhz = d.f64();
+  resp.baseline_fmax_mhz = d.f64();
+  resp.margin_c = d.f64();
+  resp.peak_temp_c = d.f64();
+  resp.mean_temp_c = d.f64();
+  resp.iterations = d.i32();
+  resp.converged = d.u8();
+  resp.edges_reevaluated = d.u64();
+  resp.delay_cache_hits = d.u64();
+  resp.cg_iterations = d.u64();
+  d.expect_done();
+  return resp;
+}
+
+std::string encode_error(const ErrorResponse& err) {
+  codec::Encoder e;
+  e.u64(err.request_id);
+  e.u32(err.code);
+  e.str(err.message);
+  return codec::wrap(kErrorKind, e.take());
+}
+
+ErrorResponse decode_error(std::string_view envelope) {
+  codec::Decoder d(codec::unwrap(envelope, kErrorKind));
+  ErrorResponse err;
+  err.request_id = d.u64();
+  err.code = d.u32();
+  err.message = d.str();
+  d.expect_done();
+  return err;
+}
+
+bool is_error_envelope(std::string_view envelope) {
+  // Envelope layout: u32 magic, u32 version, u64 kind id, ...
+  if (envelope.size() < 16) return false;
+  codec::Decoder d(envelope);
+  d.u32();
+  d.u32();
+  return d.u64() == codec::kind_id(kErrorKind);
+}
+
+std::string frame(std::string_view envelope) {
+  if (envelope.size() > kMaxFrameBytes) {
+    throw std::length_error("protocol: frame exceeds kMaxFrameBytes");
+  }
+  codec::Encoder e;
+  e.u32(static_cast<std::uint32_t>(envelope.size()));
+  std::string out = e.take();
+  out.append(envelope);
+  return out;
+}
+
+bool FrameReader::feed(std::string_view bytes) {
+  if (error_ != nullptr) return false;
+  buf_.append(bytes);
+  return true;
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (error_ != nullptr || buf_.size() < kFramePrefixBytes) return std::nullopt;
+  codec::Decoder d(buf_);
+  const std::uint32_t size = d.u32();
+  if (size == 0) {
+    error_ = "zero-length frame";
+    return std::nullopt;
+  }
+  if (size > kMaxFrameBytes) {
+    error_ = "frame length exceeds kMaxFrameBytes";
+    return std::nullopt;
+  }
+  if (buf_.size() - kFramePrefixBytes < size) return std::nullopt;
+  std::string envelope = buf_.substr(kFramePrefixBytes, size);
+  buf_.erase(0, kFramePrefixBytes + size);
+  return envelope;
+}
+
+}  // namespace taf::service::protocol

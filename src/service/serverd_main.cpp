@@ -1,0 +1,104 @@
+// guardband_serverd: the fleet-facing guardband daemon. Binds a unix or
+// TCP-loopback socket, owns the warm flow state (FlowCache + optional
+// ArtifactStore + ThreadPool), and serves protocol.hpp frames until
+// SIGINT/SIGTERM. The "listening ..." line on stdout is the readiness
+// handshake the CI smoke job and the fleet simulator wait for.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/guardband_server.hpp"
+#include "service/socket_transport.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--unix PATH | --port N) [--threads N] [--scale S]\n"
+               "          [--max-batch N] [--artifact-dir DIR]\n"
+               "  --unix PATH      bind a unix stream socket at PATH\n"
+               "  --port N         bind 127.0.0.1:N (0 = ephemeral, printed)\n"
+               "  --threads N      evaluation thread-pool size (default 1)\n"
+               "  --scale S        benchmark scale (default 1/16)\n"
+               "  --max-batch N    corners per batched thermal solve (default 8)\n"
+               "  --artifact-dir D on-disk artifact store root (default: off)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  taf::service::ServerConfig config;
+  taf::service::ListenerConfig listen;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      listen.unix_path = value();
+    } else if (arg == "--port") {
+      listen.tcp_port = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (arg == "--threads") {
+      config.threads = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (arg == "--scale") {
+      config.scale = std::strtod(value(), nullptr);
+    } else if (arg == "--max-batch") {
+      config.max_batch = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--artifact-dir") {
+      config.artifact_dir = value();
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (listen.unix_path.empty() && listen.tcp_port < 0) return usage(argv[0]);
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGPIPE, SIG_IGN);  // peers may vanish mid-write
+
+  try {
+    taf::service::GuardbandServer server(config);
+    taf::service::SocketListener listener(server, listen);
+    listener.start();
+    if (!listen.unix_path.empty()) {
+      std::printf("listening unix %s\n", listen.unix_path.c_str());
+    } else {
+      std::printf("listening tcp 127.0.0.1:%d\n", listener.bound_port());
+    }
+    std::fflush(stdout);
+
+    while (g_stop == 0) {
+      // Signals interrupt the sleep; poll cheaply otherwise.
+      struct timespec ts = {0, 200 * 1000 * 1000};
+      nanosleep(&ts, nullptr);
+    }
+    listener.stop();
+    const taf::service::GuardbandServer::Stats s = server.stats();
+    std::printf(
+        "served requests=%llu tuple_hits=%llu tuples_evaluated=%llu "
+        "groups=%llu batched_corners=%llu admission_batches=%llu errors=%llu\n",
+        static_cast<unsigned long long>(s.requests),
+        static_cast<unsigned long long>(s.tuple_hits),
+        static_cast<unsigned long long>(s.tuples_evaluated),
+        static_cast<unsigned long long>(s.groups_evaluated),
+        static_cast<unsigned long long>(s.batched_corners),
+        static_cast<unsigned long long>(s.admission_batches),
+        static_cast<unsigned long long>(s.errors));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "guardband_serverd: %s\n", e.what());
+    return 1;
+  }
+}

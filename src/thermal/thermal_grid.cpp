@@ -217,6 +217,62 @@ std::vector<std::vector<double>> ThermalGrid::solve_batch(
   return temps;
 }
 
+std::vector<std::vector<double>> ThermalGrid::solve_batch(
+    const std::vector<std::vector<double>>& power_w,
+    const std::vector<std::vector<double>>& initial_temp_c,
+    const std::vector<double>& ambient_c, std::vector<CgStats>* stats) const {
+  const int n = width_ * height_;
+  const auto un = static_cast<std::size_t>(n);
+  const auto nrhs = power_w.size();
+  assert(initial_temp_c.size() == nrhs);
+  assert(ambient_c.size() == nrhs);
+  if (stats != nullptr) stats->assign(nrhs, CgStats{});
+  std::vector<std::vector<double>> temps(nrhs);
+  if (config_.backend != ThermalBackend::Stencil) {
+    // Sequential oracle path: the warm-started solve() arithmetic with
+    // the per-map ambient substituted for config_.ambient_c.
+    for (std::size_t k = 0; k < nrhs; ++k) {
+      assert(power_w[k].size() == un);
+      assert(initial_temp_c[k].size() == un);
+      std::vector<double> x(un);
+      for (std::size_t i = 0; i < un; ++i) x[i] = initial_temp_c[k][i] - ambient_c[k];
+      std::vector<double> r(un);
+      apply(x, r);
+      for (std::size_t i = 0; i < un; ++i) r[i] = power_w[k][i] - r[i];
+      cg_core(x, r, 0.0, stats != nullptr ? &(*stats)[k] : nullptr);
+      for (double& t : x) t += ambient_c[k];
+      temps[k] = std::move(x);
+    }
+    return temps;
+  }
+  std::vector<double> b(un * nrhs);
+  std::vector<double> x(un * nrhs);
+  for (std::size_t k = 0; k < nrhs; ++k) {
+    assert(power_w[k].size() == un);
+    assert(initial_temp_c[k].size() == un);
+    std::copy(power_w[k].begin(), power_w[k].end(),
+              b.begin() + static_cast<std::ptrdiff_t>(k * un));
+    for (std::size_t i = 0; i < un; ++i) {
+      x[k * un + i] = initial_temp_c[k][i] - ambient_c[k];
+    }
+  }
+  const StencilOp op(width_, height_, g_lat_, g_vert_, 0.0);
+  const StencilSolver solver(op, StencilPreconditioner::Ssor);
+  const std::vector<StencilSolveInfo> info = solver.solve_batch(
+      static_cast<int>(nrhs), b.data(), x.data(), 1e-20, cg_tolerance(0.0, g_vert_));
+  for (std::size_t k = 0; k < nrhs; ++k) {
+    temps[k].assign(x.begin() + static_cast<std::ptrdiff_t>(k * un),
+                    x.begin() + static_cast<std::ptrdiff_t>((k + 1) * un));
+    for (double& t : temps[k]) t += ambient_c[k];
+    if (stats != nullptr) {
+      (*stats)[k].iterations = info[k].iterations;
+      (*stats)[k].residual_norm_w = units::Watts{std::sqrt(info[k].rr)};
+      (*stats)[k].preconditioned = true;
+    }
+  }
+  return temps;
+}
+
 void ThermalGrid::step(const std::vector<double>& power_w, units::Seconds dt,
                        std::vector<double>& temps, CgStats* stats) const {
   const int n = width_ * height_;

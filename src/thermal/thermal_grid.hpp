@@ -104,6 +104,21 @@ class ThermalGrid {
       const std::vector<std::vector<double>>& power_w,
       std::vector<CgStats>* stats = nullptr) const;
 
+  /// Warm-started batched solve for independent ambient corners that
+  /// share this grid's conductance operator (the ambient never enters the
+  /// operator, only the T = Tamb + dT shift): map k starts from
+  /// initial_temp_c[k] and is solved against ambient_c[k], overriding
+  /// config().ambient_c. Result k is bit-identical to calling
+  /// solve(power_w[k], initial_temp_c[k]) on a grid configured with
+  /// ambient ambient_c[k] — the guardband corner-batching contract
+  /// (DESIGN.md section 12). All three vectors must have one entry per
+  /// map; every map must match the grid tile count.
+  std::vector<std::vector<double>> solve_batch(
+      const std::vector<std::vector<double>>& power_w,
+      const std::vector<std::vector<double>>& initial_temp_c,
+      const std::vector<double>& ambient_c,
+      std::vector<CgStats>* stats = nullptr) const;
+
   /// Transient step: advance the temperature field by dt under constant
   /// power (backward Euler on C dT/dt + A (T - Tamb) = P). `temps` is
   /// updated in place. Used to study warm-up after a frequency change.

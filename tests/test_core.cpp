@@ -298,6 +298,107 @@ TEST(Implement, ReportsRoutedDesign) {
   EXPECT_EQ(impl.nl.validate(), "");
 }
 
+void expect_bit_identical(const core::GuardbandResult& solo,
+                          const core::GuardbandResult& batch) {
+  EXPECT_EQ(solo.fmax_mhz.value(), batch.fmax_mhz.value());
+  EXPECT_EQ(solo.baseline_fmax_mhz.value(), batch.baseline_fmax_mhz.value());
+  EXPECT_EQ(solo.iterations, batch.iterations);
+  EXPECT_EQ(solo.converged, batch.converged);
+  EXPECT_EQ(solo.stats.edges_reevaluated, batch.stats.edges_reevaluated);
+  EXPECT_EQ(solo.stats.delay_cache_hits, batch.stats.delay_cache_hits);
+  EXPECT_EQ(solo.stats.cg_iterations, batch.stats.cg_iterations);
+  EXPECT_EQ(solo.stats.precond_cg_iterations, batch.stats.precond_cg_iterations);
+  ASSERT_EQ(solo.tile_temp_c.size(), batch.tile_temp_c.size());
+  for (std::size_t i = 0; i < solo.tile_temp_c.size(); ++i) {
+    ASSERT_EQ(solo.tile_temp_c[i], batch.tile_temp_c[i]) << "tile " << i;
+  }
+  EXPECT_EQ(solo.peak_temp_c.value(), batch.peak_temp_c.value());
+  EXPECT_EQ(solo.mean_temp_c.value(), batch.mean_temp_c.value());
+  EXPECT_EQ(solo.timing.critical_path_ps.value(), batch.timing.critical_path_ps.value());
+  EXPECT_EQ(solo.power.dynamic_w.value(), batch.power.dynamic_w.value());
+  EXPECT_EQ(solo.power.leakage_w.value(), batch.power.leakage_w.value());
+}
+
+TEST(GuardbandBatch, WithCornerSubstitutesOnlyAmbientAndPowerScale) {
+  core::GuardbandOptions base;
+  base.delta_t_c = units::Kelvin(0.3);
+  base.max_iterations = 7;
+  base.power_scale = 2.0;
+  const core::GuardbandCorner corner{units::Celsius(55.0), 0.5};
+  const core::GuardbandOptions opt = core::with_corner(base, corner);
+  EXPECT_EQ(opt.t_amb_c.value(), 55.0);
+  EXPECT_EQ(opt.power_scale, 0.5);
+  EXPECT_EQ(opt.delta_t_c.value(), base.delta_t_c.value());
+  EXPECT_EQ(opt.max_iterations, base.max_iterations);
+  EXPECT_EQ(opt.incremental, base.incremental);
+}
+
+TEST(GuardbandBatch, BitIdenticalToSequentialCornerLoop) {
+  // The corner-batching contract (flow.hpp): results[k] must equal a
+  // standalone guardband() at with_corner(base, corners[k]) bit for bit
+  // — whatever the batch composition, the shared stencil traversal
+  // cannot perturb any corner's arithmetic.
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
+  core::GuardbandOptions base;
+  base.delta_t_c = units::Kelvin(0.2);  // make the loop iterate
+  base.incremental = core::IncrementalMode::Exact;
+  base.thermal.backend = thermal::ThermalBackend::Stencil;
+  const std::vector<core::GuardbandCorner> corners = {
+      {units::Celsius(25.0), 1.0},
+      {units::Celsius(55.0), 0.75},
+      {units::Celsius(70.0), 1.0},
+      {units::Celsius(25.0), 0.5},
+  };
+  const auto batch = core::guardband_batch(sha_impl(), dev, base, corners);
+  ASSERT_EQ(batch.size(), corners.size());
+  for (std::size_t k = 0; k < corners.size(); ++k) {
+    SCOPED_TRACE("corner " + std::to_string(k));
+    const auto solo = core::guardband(sha_impl(), dev, core::with_corner(base, corners[k]));
+    expect_bit_identical(solo, batch[k]);
+  }
+}
+
+TEST(GuardbandBatch, FallbackPathsStayBitIdentical) {
+  // Off mode (cold per-corner solves) and the generic oracle backend
+  // never engage the shared traversal but run the same lockstep loop —
+  // still pinned bit-identical to the sequential corner loop.
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
+  const std::vector<core::GuardbandCorner> corners = {
+      {units::Celsius(25.0), 1.0},
+      {units::Celsius(70.0), 0.75},
+  };
+  for (const bool generic : {false, true}) {
+    for (const auto mode : {core::IncrementalMode::Off, core::IncrementalMode::Exact}) {
+      core::GuardbandOptions base;
+      base.delta_t_c = units::Kelvin(0.2);
+      base.incremental = mode;
+      base.thermal.backend =
+          generic ? thermal::ThermalBackend::Generic : thermal::ThermalBackend::Stencil;
+      SCOPED_TRACE(std::string(generic ? "generic" : "stencil") + "/" +
+                   core::incremental_mode_name(mode));
+      const auto batch = core::guardband_batch(sha_impl(), dev, base, corners);
+      ASSERT_EQ(batch.size(), corners.size());
+      for (std::size_t k = 0; k < corners.size(); ++k) {
+        SCOPED_TRACE("corner " + std::to_string(k));
+        const auto solo =
+            core::guardband(sha_impl(), dev, core::with_corner(base, corners[k]));
+        expect_bit_identical(solo, batch[k]);
+      }
+    }
+  }
+}
+
+TEST(GuardbandBatch, EmptyAndSingletonBatches) {
+  const auto dev = characterizer().characterize(units::Celsius(25.0));
+  core::GuardbandOptions base;
+  EXPECT_TRUE(core::guardband_batch(sha_impl(), dev, base, {}).empty());
+  const std::vector<core::GuardbandCorner> one = {{units::Celsius(40.0), 1.0}};
+  const auto batch = core::guardband_batch(sha_impl(), dev, base, one);
+  ASSERT_EQ(batch.size(), 1u);
+  expect_bit_identical(core::guardband(sha_impl(), dev, core::with_corner(base, one[0])),
+                       batch[0]);
+}
+
 TEST(Implement, Fig8ArchOptimizationDirection) {
   // The paper's Fig. 8 experiment in miniature: at a 70C field, the
   // 70C-optimized device must clock at least as fast as the 25C device

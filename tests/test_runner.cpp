@@ -245,6 +245,8 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   report.wall_s = 1.5;
   report.cache.impl_hits = 3;
   report.cache.impl_misses = 2;
+  report.scalars.emplace_back("throughput_qps", 1234.5);
+  report.scalars.emplace_back("latency_p99_ms", 0.25);
   runner::TaskMetrics m;
   m.name = "sha@D25/amb70";
   m.kind = "guardband";
@@ -274,6 +276,9 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   EXPECT_NE(json.find("\"thermal_precond_iters\": 21"), std::string::npos);
   EXPECT_NE(json.find("\"guardband_nonconverged\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"thermal\":0.125000"), std::string::npos);
+  EXPECT_NE(json.find("\"scalars\": {\"throughput_qps\": 1234.500000, "
+                      "\"latency_p99_ms\": 0.250000}"),
+            std::string::npos);
 
   const std::string csv = report.to_csv();
   EXPECT_NE(csv.find("name,kind,wall_s,iterations,spice_factorizations,"
@@ -287,6 +292,8 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
       csv.find(
           "sha@D25/amb70,guardband,0.250000,3,120,118,120,450,9000,37,21,1,0,0,0"),
       std::string::npos);
+  EXPECT_NE(csv.find("scalar,throughput_qps,1234.500000"), std::string::npos);
+  EXPECT_NE(csv.find("scalar,latency_p99_ms,0.250000"), std::string::npos);
 }
 
 TEST(Metrics, FlowCounterScopeCapturesGuardbandWork) {

@@ -1,0 +1,294 @@
+// Guardband service tests (ISSUE 7 / DESIGN.md section 12):
+//
+//  * Determinism: N concurrent clients with interleaved queries get
+//    responses byte-identical to a serial replay of the same request
+//    list, for pool sizes 1 and 4 (the PR 1 pool(1)==pool(4) pinning
+//    lifted to the wire). Runs under the TSan CI gate.
+//  * Differential: every served tuple re-run through the cold batch
+//    implement()/guardband() oracle must match to the PR 3
+//    incremental-vs-full contract bounds.
+//  * Admission/batching semantics: duplicate tuples coalesce, distinct
+//    (design, grade) groups fan out, stats add up.
+//  * ArtifactStore-backed restarts: a server started on a warm artifact
+//    directory serves byte-identical responses (and actually reads the
+//    disk tier).
+//  * Socket transport: a framed request over a real unix socket gets
+//    the same bytes the in-process path produces.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "service/guardband_server.hpp"
+#include "service/protocol.hpp"
+#include "service/socket_transport.hpp"
+
+namespace {
+
+using namespace taf;
+using service::GuardbandServer;
+using service::ServerConfig;
+namespace protocol = service::protocol;
+
+struct TempDir {
+  TempDir() {
+    std::string tmpl = "/tmp/taf-service-XXXXXX";
+    if (::mkdtemp(tmpl.data()) == nullptr) throw std::runtime_error("mkdtemp failed");
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// Small designs only: the suite runs under TSan in CI.
+ServerConfig small_config(int threads) {
+  ServerConfig config;
+  config.threads = threads;
+  config.scale = 1.0 / 16.0;
+  config.max_batch = 4;
+  return config;
+}
+
+/// Interleaved fleet of queries over two designs, three ambients, two
+/// activities — with duplicates, so caching and coalescing both engage.
+std::vector<protocol::GuardbandRequest> request_stream(std::size_t count) {
+  const char* designs[] = {"mkPktMerge", "diffeq2"};
+  const double ambients[] = {30.0, 45.0, 60.0};
+  const double activities[] = {0.5, 1.0};
+  std::vector<protocol::GuardbandRequest> stream;
+  stream.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    protocol::GuardbandRequest req;
+    req.request_id = i + 1;
+    req.design = designs[i % 2];
+    req.grade_t_opt_c = 25.0;
+    req.ambient_c = ambients[(i / 2) % 3];
+    req.activity_scale = activities[(i / 6) % 2];
+    stream.push_back(std::move(req));
+  }
+  return stream;
+}
+
+std::vector<std::string> serial_replay(const std::vector<protocol::GuardbandRequest>& stream) {
+  GuardbandServer server(small_config(1));
+  std::vector<std::string> bytes;
+  bytes.reserve(stream.size());
+  for (const auto& req : stream) {
+    bytes.push_back(protocol::encode_response(server.handle(req)));
+  }
+  return bytes;
+}
+
+TEST(ServiceDeterminism, ConcurrentClientsMatchSerialReplayByteForByte) {
+  const auto stream = request_stream(36);
+  const std::vector<std::string> expected = serial_replay(stream);
+
+  for (const int pool_threads : {1, 4}) {
+    SCOPED_TRACE("pool " + std::to_string(pool_threads));
+    GuardbandServer server(small_config(pool_threads));
+    constexpr int kClients = 4;
+    std::vector<std::string> got(stream.size());
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        // Client c takes every kClients-th request: interleaved streams.
+        for (std::size_t i = static_cast<std::size_t>(c); i < stream.size();
+             i += kClients) {
+          got[i] = protocol::encode_response(server.handle(stream[i]));
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "request " << i;
+    }
+    const GuardbandServer::Stats s = server.stats();
+    EXPECT_EQ(s.requests, stream.size());
+    EXPECT_EQ(s.tuples_evaluated + s.tuple_hits, stream.size());
+    EXPECT_EQ(s.tuples_evaluated, 12u);  // 2 designs x 3 ambients x 2 activities
+    EXPECT_EQ(s.errors, 0u);
+  }
+}
+
+TEST(ServiceDeterminism, HandleBatchMatchesPerRequestHandle) {
+  const auto stream = request_stream(24);
+  GuardbandServer batch_server(small_config(2));
+  const std::vector<protocol::GuardbandResponse> batched =
+      batch_server.handle_batch(stream);
+  ASSERT_EQ(batched.size(), stream.size());
+
+  GuardbandServer serial_server(small_config(1));
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(protocol::encode_response(batched[i]),
+              protocol::encode_response(serial_server.handle(stream[i])))
+        << "request " << i;
+  }
+  // One batch: every distinct tuple evaluated once, the rest coalesced.
+  const GuardbandServer::Stats s = batch_server.stats();
+  EXPECT_EQ(s.requests, stream.size());
+  EXPECT_EQ(s.tuples_evaluated, 12u);
+  EXPECT_EQ(s.tuple_hits, stream.size() - 12u);
+  EXPECT_EQ(s.groups_evaluated, 2u);  // one per (design, grade)
+  EXPECT_EQ(s.batched_corners, 12u);
+  EXPECT_EQ(s.admission_batches, 0u);  // handle_batch bypasses admission
+}
+
+TEST(ServiceDifferential, ServedTuplesMatchColdBatchOracle) {
+  // Every served tuple, re-run through the cold implement()/guardband()
+  // path with the full-recompute oracle, must agree to the PR 3
+  // incremental-vs-full contract bounds.
+  GuardbandServer server(small_config(2));
+  const auto stream = request_stream(12);
+  const std::vector<protocol::GuardbandResponse> responses = server.handle_batch(stream);
+
+  const arch::ArchParams arch = server.config().arch;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    const protocol::GuardbandResponse& resp = responses[i];
+    netlist::BenchmarkSpec spec;
+    for (const auto& s : netlist::vtr_suite()) {
+      if (s.name == resp.design) spec = s;
+    }
+    const auto impl = core::implement(netlist::scaled(spec, server.config().scale), arch);
+    const coffe::DeviceModel dev =
+        coffe::Characterizer(server.config().tech, arch)
+            .characterize(units::Celsius(static_cast<double>(resp.grade_mdeg) / 1000.0));
+    core::GuardbandOptions opt = server.config().guardband;
+    opt.t_amb_c = units::Celsius(static_cast<double>(resp.ambient_mdeg) / 1000.0);
+    opt.power_scale = static_cast<double>(resp.activity_permille) / 1000.0;
+    opt.incremental = core::IncrementalMode::Off;  // the full-recompute oracle
+    const core::GuardbandResult cold = core::guardband(*impl, dev, opt);
+
+    EXPECT_EQ(resp.iterations, cold.iterations);
+    EXPECT_EQ(resp.converged != 0, cold.converged);
+    EXPECT_DOUBLE_EQ(resp.baseline_fmax_mhz, cold.baseline_fmax_mhz.value());
+    EXPECT_NEAR(resp.fmax_mhz, cold.fmax_mhz.value(), 1e-9);
+    EXPECT_NEAR(resp.peak_temp_c, cold.peak_temp_c.value(), 1e-9);
+    EXPECT_NEAR(resp.mean_temp_c, cold.mean_temp_c.value(), 1e-9);
+  }
+}
+
+TEST(ServiceArtifacts, StoreBackedRestartServesIdenticalBytesFromDisk) {
+  const TempDir dir;
+  const auto stream = request_stream(8);
+  std::vector<std::string> first_bytes;
+  {
+    ServerConfig config = small_config(2);
+    config.artifact_dir = dir.path;
+    GuardbandServer server(config);
+    for (const auto& resp : server.handle_batch(stream)) {
+      first_bytes.push_back(protocol::encode_response(resp));
+    }
+    EXPECT_GT(server.flow_cache().stats().disk_writes, 0u);
+  }
+  // Cold process, warm disk: byte-identical responses, served with disk
+  // hits instead of recomputation of the stored stages.
+  {
+    ServerConfig config = small_config(2);
+    config.artifact_dir = dir.path;
+    GuardbandServer server(config);
+    const auto responses = server.handle_batch(stream);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      EXPECT_EQ(protocol::encode_response(responses[i]), first_bytes[i])
+          << "request " << i;
+    }
+    EXPECT_GT(server.flow_cache().stats().disk_hits, 0u);
+  }
+}
+
+TEST(ServiceTransport, UnixSocketRoundtripMatchesInProcessBytes) {
+  const std::string sock = "/tmp/taf-service-test-" + std::to_string(::getpid()) + ".sock";
+  GuardbandServer server(small_config(2));
+  service::SocketListener listener(server, {.unix_path = sock, .tcp_port = -1});
+  listener.start();
+
+  const auto stream = request_stream(6);
+  std::vector<std::string> wire_bytes;
+  {
+    service::FrameClient client = service::FrameClient::connect_unix(sock);
+    for (const auto& req : stream) {
+      wire_bytes.push_back(client.roundtrip(protocol::encode_request(req)));
+    }
+  }
+  listener.stop();
+  EXPECT_EQ(listener.connections_accepted(), 1u);
+
+  const std::vector<std::string> expected = serial_replay(stream);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(wire_bytes[i], expected[i]) << "request " << i;
+  }
+}
+
+TEST(ServiceTransport, TcpLoopbackServesAndReportsEphemeralPort) {
+  GuardbandServer server(small_config(1));
+  service::SocketListener listener(server, {.unix_path = "", .tcp_port = 0});
+  ASSERT_GT(listener.bound_port(), 0);
+  listener.start();
+  service::FrameClient client = service::FrameClient::connect_tcp(listener.bound_port());
+  const auto stream = request_stream(2);
+  const std::string reply = client.roundtrip(protocol::encode_request(stream[0]));
+  const protocol::GuardbandResponse resp = protocol::decode_response(reply);
+  EXPECT_EQ(resp.request_id, stream[0].request_id);
+  EXPECT_GT(resp.fmax_mhz, 0.0);
+  listener.stop();
+}
+
+TEST(ServiceValidation, RejectsBadRequestsWithTypedErrors) {
+  GuardbandServer server(small_config(1));
+  protocol::GuardbandRequest req;
+  req.request_id = 7;
+  req.design = "no-such-design";
+  EXPECT_TRUE(server.validate(req).has_value());
+  EXPECT_EQ(server.validate(req)->code, protocol::ErrorResponse::kUnknownDesign);
+  EXPECT_THROW((void)server.handle(req), std::invalid_argument);
+
+  req.design = "mkPktMerge";
+  req.ambient_c = 1e30;
+  ASSERT_TRUE(server.validate(req).has_value());
+  EXPECT_EQ(server.validate(req)->code, protocol::ErrorResponse::kBadParameter);
+
+  req.ambient_c = 45.0;
+  req.activity_scale = -1.0;
+  ASSERT_TRUE(server.validate(req).has_value());
+  EXPECT_EQ(server.validate(req)->code, protocol::ErrorResponse::kBadParameter);
+
+  // The wire path turns the same failures into typed error envelopes.
+  req.activity_scale = 1.0;
+  req.design = "no-such-design";
+  const std::string reply = server.serve_payload(protocol::encode_request(req));
+  ASSERT_TRUE(protocol::is_error_envelope(reply));
+  const protocol::ErrorResponse err = protocol::decode_error(reply);
+  EXPECT_EQ(err.request_id, 7u);
+  EXPECT_EQ(err.code, protocol::ErrorResponse::kUnknownDesign);
+}
+
+TEST(ServiceQuantization, NearbyDoublesCollapseOntoOneTuple) {
+  GuardbandServer server(small_config(1));
+  protocol::GuardbandRequest a;
+  a.request_id = 1;
+  a.design = "mkPktMerge";
+  a.ambient_c = 45.0;
+  protocol::GuardbandRequest b = a;
+  b.request_id = 2;
+  b.ambient_c = 45.0 + 4e-4;  // same millidegree
+  const protocol::GuardbandResponse ra = server.handle(a);
+  const protocol::GuardbandResponse rb = server.handle(b);
+  EXPECT_EQ(ra.ambient_mdeg, rb.ambient_mdeg);
+  EXPECT_EQ(ra.fmax_mhz, rb.fmax_mhz);
+  const GuardbandServer::Stats s = server.stats();
+  EXPECT_EQ(s.tuples_evaluated, 1u);
+  EXPECT_EQ(s.tuple_hits, 1u);
+}
+
+}  // namespace

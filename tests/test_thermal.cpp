@@ -91,6 +91,54 @@ TEST(Thermal, WarmStartFromAmbientMatchesColdStartBitwise) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << "tile " << i;
 }
 
+TEST(Thermal, AmbientCornerBatchMatchesPerCornerWarmSolvesBitwise) {
+  // The guardband corner-batching contract: independent ambient corners
+  // share one conductance operator (ambient only shifts T = Tamb + dT),
+  // so the per-map-ambient solve_batch overload must reproduce, bit for
+  // bit, a warm solve() on a grid configured at each corner's ambient.
+  // Pinned for both backends.
+  for (const auto backend : {thermal::ThermalBackend::Generic,
+                             thermal::ThermalBackend::Stencil}) {
+    SCOPED_TRACE(thermal::thermal_backend_name(backend));
+    const std::vector<double> ambients = {25.0, 45.0, 70.0};
+    const int w = 12, h = 10;
+    const std::size_t n = static_cast<std::size_t>(w * h);
+    std::vector<std::vector<double>> powers, initials;
+    for (std::size_t k = 0; k < ambients.size(); ++k) {
+      std::vector<double> p(n, 0.0), x0(n, ambients[k]);
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = 0.01 * static_cast<double>((i * (k + 3)) % 17);
+        x0[i] += 0.1 * static_cast<double>((i + k) % 5);  // off-solution warm start
+      }
+      powers.push_back(std::move(p));
+      initials.push_back(std::move(x0));
+    }
+
+    ThermalConfig shared_cfg;
+    shared_cfg.backend = backend;
+    const ThermalGrid shared(arch::FpgaGrid(w, h), shared_cfg);
+    std::vector<thermal::CgStats> batch_stats;
+    const auto batch = shared.solve_batch(powers, initials, ambients, &batch_stats);
+    ASSERT_EQ(batch.size(), ambients.size());
+    ASSERT_EQ(batch_stats.size(), ambients.size());
+
+    for (std::size_t k = 0; k < ambients.size(); ++k) {
+      SCOPED_TRACE("corner " + std::to_string(k));
+      ThermalConfig corner_cfg = shared_cfg;
+      corner_cfg.ambient_c = units::Celsius(ambients[k]);
+      const ThermalGrid solo_grid(arch::FpgaGrid(w, h), corner_cfg);
+      thermal::CgStats solo_stats;
+      const auto solo = solo_grid.solve(powers[k], initials[k], &solo_stats);
+      ASSERT_EQ(batch[k].size(), solo.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(batch[k][i], solo[i]) << "tile " << i;
+      }
+      EXPECT_EQ(batch_stats[k].iterations, solo_stats.iterations);
+      EXPECT_EQ(batch_stats[k].preconditioned, solo_stats.preconditioned);
+    }
+  }
+}
+
 TEST(Thermal, HotspotIsAtThePowerSource) {
   const ThermalGrid g = make_grid(11, 11);
   std::vector<double> p(121, 0.0);
