@@ -1,0 +1,133 @@
+// Thermal-aware task-to-tile allocation experiment (DESIGN.md section
+// 13): place N synthetic kernels on one implemented fabric with the
+// greedy Hung-style allocator (hottest kernels claim the thermally
+// cheapest regions, later kernels spread away from already-placed heat)
+// and compare against naive row-major packing — in steady-state peak
+// temperature, in the safe frequency timed at the resulting field, and
+// in the transient peak of a staggered activation schedule.
+
+#include "bench_common.hpp"
+#include "core/dynamic.hpp"
+#include "timing/timing.hpp"
+
+namespace {
+
+/// Per-tile power map [W] of an allocation: each task's power spread
+/// uniformly over the tiles it owns.
+std::vector<double> power_map(const std::vector<int>& tile_block,
+                              const std::vector<taf::core::TaskSpec>& tasks,
+                              const std::vector<int>& active) {
+  std::vector<double> power(tile_block.size(), 0.0);
+  for (std::size_t i = 0; i < tile_block.size(); ++i) {
+    const int task = tile_block[i];
+    if (task < 0 || !active[static_cast<std::size_t>(task)]) continue;
+    power[i] = tasks[static_cast<std::size_t>(task)].power_w.value() /
+               tasks[static_cast<std::size_t>(task)].tiles;
+  }
+  return power;
+}
+
+}  // namespace
+
+TAF_EXPERIMENT(task_allocation) {
+  using namespace taf;
+  using util::Table;
+  bench::print_header(
+      "Task allocation — greedy thermal-aware placement vs row-major packing",
+      "placing kernels to minimize the peak of the tentative steady solve "
+      "spreads heat across the fabric, lowering both the steady and the "
+      "transient peak of the same schedule");
+
+  const char* design = "sha";
+  const double ambient_c = 45.0;
+  const auto& dev = bench::device_at(25.0);
+  const auto& impl = bench::implementation_of(design);
+
+  thermal::ThermalConfig tcfg;
+  tcfg.ambient_c = units::Celsius{ambient_c};
+  tcfg.tile_edge_um = impl.arch.tile_edge_um;
+  const thermal::ThermalGrid grid(impl.grid, tcfg);
+  const int n = grid.width() * grid.height();
+
+  // Five synthetic kernels, deliberately mixed in power density so the
+  // greedy descending-density order matters. Footprints total well under
+  // the fabric so both allocators can always place.
+  const int kernel_tiles = std::max(1, n / 16);
+  const std::vector<core::TaskSpec> tasks = {
+      {units::Watts{0.80}, kernel_tiles},
+      {units::Watts{0.50}, kernel_tiles},
+      {units::Watts{0.45}, 2 * kernel_tiles},
+      {units::Watts{0.30}, kernel_tiles},
+      {units::Watts{0.20}, 2 * kernel_tiles},
+  };
+  std::printf("fabric %dx%d (%d tiles), %d kernels of %d/%d tiles, ambient %.0f C\n\n",
+              grid.width(), grid.height(), n, static_cast<int>(tasks.size()),
+              kernel_tiles, 2 * kernel_tiles, ambient_c);
+
+  // Greedy thermal-aware allocation.
+  const core::Allocation greedy = core::allocate_tasks(grid, tasks);
+
+  // Naive baseline: pack tiles row-major in task order from the corner.
+  std::vector<int> naive(static_cast<std::size_t>(n), -1);
+  {
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      for (int k = 0; k < tasks[i].tiles; ++k) naive[cursor++] = static_cast<int>(i);
+    }
+  }
+
+  const std::vector<int> all_active(tasks.size(), 1);
+  timing::IncrementalSta session(*impl.sta, dev);
+  thermal::TransientEngine engine(grid);
+  const double tau_s = grid.tile_time_constant().value();
+
+  Table t({"Allocation", "steady peak C", "fmax MHz", "transient peak C",
+           "candidate solves"});
+  const struct {
+    const char* name;
+    const std::vector<int>* tile_block;
+    std::uint64_t solves;
+  } rows[] = {
+      {"greedy thermal-aware", &greedy.tile_block, greedy.candidate_solves},
+      {"row-major packing", &naive, 0},
+  };
+  for (const auto& row : rows) {
+    const std::vector<double> steady_power = power_map(*row.tile_block, tasks, all_active);
+    const std::vector<double> steady_temps = grid.solve(steady_power);
+    const double steady_peak = thermal::ThermalGrid::peak(steady_temps).value();
+    const double fmax = session.analyze(steady_temps, false).fmax_mhz.value();
+
+    // Staggered schedule: tasks wake in adjacent pairs, half a time
+    // constant each, two passes — the transient peak rewards placements
+    // that keep simultaneously-active kernels apart.
+    std::vector<double> temps(static_cast<std::size_t>(n), ambient_c);
+    double transient_peak = ambient_c;
+    thermal::TransientStats stats;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t s = 0; s < tasks.size(); ++s) {
+        std::vector<int> active(tasks.size(), 0);
+        active[s] = 1;
+        active[(s + 1) % tasks.size()] = 1;
+        engine.advance(power_map(*row.tile_block, tasks, active),
+                       units::Seconds{0.5 * tau_s}, temps, &stats);
+        transient_peak =
+            std::max(transient_peak, thermal::ThermalGrid::peak(temps).value());
+      }
+    }
+    core::FlowCounters& fc = core::thread_flow_counters();
+    fc.transient_steps += stats.steps;
+    fc.transient_cg_iterations += stats.cg_iterations;
+
+    t.add_row({row.name, Table::num(steady_peak, 3), Table::num(fmax, 1),
+               Table::num(transient_peak, 3), std::to_string(row.solves)});
+  }
+  t.print();
+
+  std::printf("\nGreedy placement pays %llu tentative steady solves to separate the\n"
+              "hot kernels; row-major packing stacks them into one corner and eats\n"
+              "the resulting peak in both steady-state and staggered operation.\n"
+              "(fmax is set by the critical-path tiles, not the peak tile, so it\n"
+              "moves less than the peak temperature does.)\n",
+              static_cast<unsigned long long>(greedy.candidate_solves));
+  return 0;
+}

@@ -102,6 +102,11 @@ struct FlowCounters {
   std::uint64_t sta_delay_cache_hits = 0;
   std::uint64_t thermal_cg_iterations = 0;
   std::uint64_t thermal_precond_iterations = 0;
+  /// Transient-engine work (DynamicGuardband replays; see
+  /// core/dynamic.hpp). Kept apart from the steady-state thermal
+  /// counters so Algorithm 1 and trace-replay work never conflate.
+  std::uint64_t transient_steps = 0;
+  std::uint64_t transient_cg_iterations = 0;
 
   FlowCounters operator-(const FlowCounters& rhs) const {
     FlowCounters d;
@@ -111,6 +116,8 @@ struct FlowCounters {
     d.sta_delay_cache_hits = sta_delay_cache_hits - rhs.sta_delay_cache_hits;
     d.thermal_cg_iterations = thermal_cg_iterations - rhs.thermal_cg_iterations;
     d.thermal_precond_iterations = thermal_precond_iterations - rhs.thermal_precond_iterations;
+    d.transient_steps = transient_steps - rhs.transient_steps;
+    d.transient_cg_iterations = transient_cg_iterations - rhs.transient_cg_iterations;
     return d;
   }
 };

@@ -81,6 +81,8 @@ std::string RunReport::to_json() const {
            ", \"sta_delay_cache_hits\": " + std::to_string(t.sta_delay_cache_hits) +
            ", \"thermal_cg_iters\": " + std::to_string(t.thermal_cg_iters) +
            ", \"thermal_precond_iters\": " + std::to_string(t.thermal_precond_iters) +
+           ", \"transient_steps\": " + std::to_string(t.transient_steps) +
+           ", \"transient_cg_iters\": " + std::to_string(t.transient_cg_iters) +
            ", \"guardband_nonconverged\": " + std::to_string(t.guardband_nonconverged) +
            ", \"disk_hits\": " + std::to_string(t.disk_hits) +
            ", \"disk_misses\": " + std::to_string(t.disk_misses) +
@@ -97,8 +99,8 @@ std::string RunReport::to_csv() const {
   std::string out =
       "name,kind,wall_s,iterations,spice_factorizations,spice_pattern_reuses,"
       "spice_newton_iters,sta_edges_reevaluated,sta_delay_cache_hits,"
-      "thermal_cg_iters,thermal_precond_iters,guardband_nonconverged,disk_hits,"
-      "disk_misses,disk_writes";
+      "thermal_cg_iters,thermal_precond_iters,transient_steps,transient_cg_iters,"
+      "guardband_nonconverged,disk_hits,disk_misses,disk_writes";
   for (int p = 0; p < core::kNumFlowPhases; ++p) {
     out += ',';
     out += core::flow_phase_name(static_cast<core::FlowPhase>(p));
@@ -118,6 +120,8 @@ std::string RunReport::to_csv() const {
            std::to_string(t.sta_delay_cache_hits) + ',' +
            std::to_string(t.thermal_cg_iters) + ',' +
            std::to_string(t.thermal_precond_iters) + ',' +
+           std::to_string(t.transient_steps) + ',' +
+           std::to_string(t.transient_cg_iters) + ',' +
            std::to_string(t.guardband_nonconverged) + ',' +
            std::to_string(t.disk_hits) + ',' + std::to_string(t.disk_misses) + ',' +
            std::to_string(t.disk_writes);

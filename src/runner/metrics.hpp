@@ -56,6 +56,11 @@ struct TaskMetrics {
   /// Subset of thermal_cg_iters run preconditioned (stencil SSOR-PCG);
   /// zero under the generic oracle backend.
   std::uint64_t thermal_precond_iters = 0;
+  /// Transient-engine work (DynamicGuardband trace replays): backward-
+  /// Euler steps taken and the CG iterations they cost, kept apart from
+  /// the steady-state thermal counters above.
+  std::uint64_t transient_steps = 0;
+  std::uint64_t transient_cg_iters = 0;
   std::uint64_t guardband_nonconverged = 0;
   /// Disk artifact-store traffic attributable to this task (per stage:
   /// one implement build probes up to four storable stages). All zero
@@ -98,6 +103,8 @@ class FlowCounterScope {
     m_.sta_delay_cache_hits += d.sta_delay_cache_hits;
     m_.thermal_cg_iters += d.thermal_cg_iterations;
     m_.thermal_precond_iters += d.thermal_precond_iterations;
+    m_.transient_steps += d.transient_steps;
+    m_.transient_cg_iters += d.transient_cg_iterations;
     m_.guardband_nonconverged += d.guardband_nonconverged;
   }
   FlowCounterScope(const FlowCounterScope&) = delete;

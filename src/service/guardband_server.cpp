@@ -22,6 +22,14 @@ constexpr double kMinTempC = -55.0;
 constexpr double kMaxTempC = 150.0;
 constexpr double kMaxActivityScale = 100.0;
 
+/// Service-side trace caps, tighter than the structural
+/// core::kMaxTraceSegments: 256 segments x 16 samples each bounds a
+/// response at 4097 sample points (~135 KB enveloped), comfortably under
+/// protocol::kMaxFrameBytes — a valid request can never produce an
+/// unframeable response.
+constexpr int kMaxServiceTraceSegments = 256;
+constexpr int kMaxSamplesPerSegment = 16;
+
 std::int64_t quantize_permille(double scale) {
   return static_cast<std::int64_t>(std::llround(scale * 1000.0));
 }
@@ -69,6 +77,29 @@ std::uint64_t GuardbandServer::tuple_key(const Tuple& t) {
   return h.state;
 }
 
+GuardbandServer::TraceTuple GuardbandServer::canonicalize_trace(
+    const protocol::TraceRequest& request) {
+  TraceTuple t;
+  t.design = request.design;
+  t.grade_mdeg = runner::FlowCache::quantize_t_opt(request.grade_t_opt_c);
+  t.ambient_mdeg = runner::FlowCache::quantize_t_opt(request.ambient_c);
+  t.samples_per_segment = request.samples_per_segment;
+  util::codec::Encoder e;
+  request.trace.serialize(e);
+  t.trace_payload = e.take();
+  return t;
+}
+
+std::uint64_t GuardbandServer::trace_tuple_key(const TraceTuple& t) {
+  util::Fnv1a h;
+  h.add(std::string_view(t.design));
+  h.add(t.grade_mdeg);
+  h.add(t.ambient_mdeg);
+  h.add(static_cast<std::int64_t>(t.samples_per_segment));
+  h.add(std::string_view(t.trace_payload));
+  return h.state;
+}
+
 std::optional<protocol::ErrorResponse> GuardbandServer::validate(
     const protocol::GuardbandRequest& request) const {
   protocol::ErrorResponse err;
@@ -95,6 +126,58 @@ std::optional<protocol::ErrorResponse> GuardbandServer::validate(
       request.activity_scale > kMaxActivityScale) {
     err.code = protocol::ErrorResponse::kBadParameter;
     err.message = "activity_scale out of domain";
+    return err;
+  }
+  return std::nullopt;
+}
+
+std::optional<protocol::ErrorResponse> GuardbandServer::validate_trace(
+    const protocol::TraceRequest& request) const {
+  protocol::ErrorResponse err;
+  err.request_id = request.request_id;
+  if (suite_.find(request.design) == suite_.end()) {
+    err.code = protocol::ErrorResponse::kUnknownDesign;
+    err.message = "unknown design '" + request.design + "'";
+    return err;
+  }
+  const auto bad_temp = [](double v) {
+    return !std::isfinite(v) || v < kMinTempC || v > kMaxTempC;
+  };
+  if (bad_temp(request.grade_t_opt_c)) {
+    err.code = protocol::ErrorResponse::kBadParameter;
+    err.message = "grade_t_opt_c out of domain";
+    return err;
+  }
+  if (bad_temp(request.ambient_c)) {
+    err.code = protocol::ErrorResponse::kBadParameter;
+    err.message = "ambient_c out of domain";
+    return err;
+  }
+  if (request.samples_per_segment < 1 ||
+      request.samples_per_segment > kMaxSamplesPerSegment) {
+    err.code = protocol::ErrorResponse::kBadParameter;
+    err.message = "samples_per_segment out of domain";
+    return err;
+  }
+  // The frame decoded (structure is sound) but the trace's *contents* may
+  // still be out of domain — that is a bad parameter, not a malformed
+  // frame (the protocol.hpp error-classification contract).
+  try {
+    request.trace.validate();
+  } catch (const std::invalid_argument& e) {
+    err.code = protocol::ErrorResponse::kBadParameter;
+    err.message = e.what();
+    return err;
+  }
+  if (request.trace.blocks != 1) {
+    err.code = protocol::ErrorResponse::kBadParameter;
+    err.message = "service traces are whole-device (exactly one block)";
+    return err;
+  }
+  if (request.trace.segments.size() >
+      static_cast<std::size_t>(kMaxServiceTraceSegments)) {
+    err.code = protocol::ErrorResponse::kBadParameter;
+    err.message = "trace segment count exceeds the service cap";
     return err;
   }
   return std::nullopt;
@@ -193,6 +276,151 @@ void GuardbandServer::evaluate_group(
   }
 }
 
+void GuardbandServer::evaluate_trace_group(const std::string& design,
+                                           std::int64_t grade_mdeg,
+                                           const std::vector<TraceWork>& items) {
+  try {
+    runner::TaskMetrics tm;
+    tm.name = design + "@" + std::to_string(static_cast<double>(grade_mdeg) / 1000.0);
+    tm.kind = "service-trace-group";
+    util::Stopwatch wall;
+    {
+      const runner::SpiceCounterScope spice_scope(tm);
+      const runner::FlowCounterScope flow_scope(tm);
+      const runner::ArtifactCounterScope artifact_scope(tm);
+
+      const double grade_c = static_cast<double>(grade_mdeg) / 1000.0;
+      const coffe::DeviceModel& dev = cache_.device(config_.tech, config_.arch, grade_c);
+      const core::Implementation& impl =
+          cache_.implementation(suite_.at(design), config_.arch, config_.scale);
+
+      for (const TraceWork& item : items) {
+        // Same option mapping as the scalar path: the server's configured
+        // margin/backend/power model, the request's quantized ambient.
+        core::DynamicGuardbandOptions dopt;
+        dopt.t_amb_c =
+            units::Celsius{static_cast<double>(item.tuple.ambient_mdeg) / 1000.0};
+        dopt.margin_c = config_.guardband.delta_t_c;
+        dopt.thermal = config_.guardband.thermal;
+        dopt.power_scale = config_.guardband.power_scale;
+        dopt.samples_per_segment = item.tuple.samples_per_segment;
+        const core::DynamicGuardband dyn(impl, dev, std::move(dopt));
+        const core::DynamicResult r = dyn.replay(item.request->trace);
+
+        protocol::TraceResponse resp;
+        resp.design = item.tuple.design;
+        resp.grade_mdeg = item.tuple.grade_mdeg;
+        resp.ambient_mdeg = item.tuple.ambient_mdeg;
+        resp.samples_per_segment = item.tuple.samples_per_segment;
+        resp.min_fmax_mhz = r.min_fmax_mhz.value();
+        resp.peak_temp_c = r.peak_temp_c.value();
+        resp.throttled_s = r.throttled_s.value();
+        resp.transient_steps = r.stats.steps;
+        resp.cg_iterations = r.stats.cg_iterations;
+        resp.samples.reserve(r.samples.size());
+        for (const core::DynamicSample& s : r.samples) {
+          protocol::TraceSamplePoint p;
+          p.time_s = s.time_s;
+          p.peak_temp_c = s.peak_temp_c;
+          p.mean_temp_c = s.mean_temp_c;
+          p.fmax_mhz = s.fmax_mhz;
+          p.throttled = s.throttled ? 1 : 0;
+          resp.samples.push_back(p);
+        }
+        {
+          const std::lock_guard<std::mutex> lock(item.slot->mutex);
+          item.slot->value = std::move(resp);
+          item.slot->ready = true;
+        }
+        item.slot->ready_cv.notify_all();
+        ++traces_evaluated_;
+      }
+    }
+    tm.wall_s = wall.seconds();
+    {
+      const std::lock_guard<std::mutex> lock(metrics_mutex_);
+      metrics_.push_back(std::move(tm));
+    }
+    ++groups_evaluated_;
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (const TraceWork& item : items) {
+      {
+        const std::lock_guard<std::mutex> lock(item.slot->mutex);
+        if (!item.slot->ready) {
+          item.slot->error = error;
+          item.slot->ready = true;
+        }
+      }
+      item.slot->ready_cv.notify_all();
+    }
+  }
+}
+
+std::vector<protocol::TraceResponse> GuardbandServer::handle_trace_batch(
+    const std::vector<protocol::TraceRequest>& requests) {
+  for (const protocol::TraceRequest& req : requests) {
+    if (const auto err = validate_trace(req)) {
+      throw std::invalid_argument("guardband trace request " +
+                                  std::to_string(req.request_id) + ": " + err->message);
+    }
+  }
+  trace_requests_ += requests.size();
+
+  struct Lookup {
+    TraceTuple tuple;
+    TraceSlot* slot = nullptr;
+  };
+  std::vector<Lookup> lookups(requests.size());
+  std::map<std::pair<std::string, std::int64_t>, std::vector<TraceWork>> groups;
+  {
+    const std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      lookups[i].tuple = canonicalize_trace(requests[i]);
+      const std::uint64_t key = trace_tuple_key(lookups[i].tuple);
+      auto it = trace_slots_.find(key);
+      if (it == trace_slots_.end()) {
+        it = trace_slots_.emplace(key, std::make_unique<TraceSlot>()).first;
+        TraceWork work;
+        work.tuple = lookups[i].tuple;
+        work.request = &requests[i];
+        work.slot = it->second.get();
+        groups[{lookups[i].tuple.design, lookups[i].tuple.grade_mdeg}].push_back(
+            std::move(work));
+      } else {
+        ++trace_hits_;
+      }
+      lookups[i].slot = it->second.get();
+    }
+  }
+
+  if (!groups.empty()) {
+    std::vector<const std::pair<const std::pair<std::string, std::int64_t>,
+                                std::vector<TraceWork>>*>
+        group_list;
+    group_list.reserve(groups.size());
+    for (const auto& g : groups) group_list.push_back(&g);
+    pool_.parallel_for(group_list.size(), [&](std::size_t gi) {
+      const auto& [key, items] = *group_list[gi];
+      evaluate_trace_group(key.first, key.second, items);
+    });
+  }
+
+  std::vector<protocol::TraceResponse> responses;
+  responses.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    TraceSlot& slot = *lookups[i].slot;
+    std::unique_lock<std::mutex> lock(slot.mutex);
+    slot.ready_cv.wait(lock, [&] { return slot.ready; });
+    if (slot.error) std::rethrow_exception(slot.error);
+    protocol::TraceResponse resp = slot.value;
+    lock.unlock();
+    resp.request_id = requests[i].request_id;
+    responses.push_back(std::move(resp));
+  }
+  return responses;
+}
+
 std::vector<protocol::GuardbandResponse> GuardbandServer::handle_batch(
     const std::vector<protocol::GuardbandRequest>& requests) {
   for (const protocol::GuardbandRequest& req : requests) {
@@ -274,6 +502,23 @@ protocol::GuardbandResponse GuardbandServer::handle(
   return std::move(pending->response);
 }
 
+protocol::TraceResponse GuardbandServer::handle_trace(
+    const protocol::TraceRequest& request) {
+  auto pending = std::make_shared<PendingRequest>();
+  pending->is_trace = true;
+  pending->trace_request = request;
+  {
+    const std::lock_guard<std::mutex> lock(admission_mutex_);
+    if (stop_) throw std::runtime_error("guardband server is shutting down");
+    admission_queue_.push_back(pending);
+  }
+  admission_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(pending->mutex);
+  pending->done_cv.wait(lock, [&] { return pending->done; });
+  if (pending->error) std::rethrow_exception(pending->error);
+  return std::move(pending->trace_response);
+}
+
 void GuardbandServer::admission_loop() {
   for (;;) {
     std::vector<std::shared_ptr<PendingRequest>> batch;
@@ -290,50 +535,103 @@ void GuardbandServer::admission_loop() {
     }
     ++admission_batches_;
 
-    std::vector<protocol::GuardbandRequest> requests;
-    requests.reserve(batch.size());
-    for (const auto& p : batch) requests.push_back(p->request);
-    std::vector<protocol::GuardbandResponse> responses;
-    std::exception_ptr batch_error;
-    try {
-      responses = handle_batch(requests);
-    } catch (...) {
-      batch_error = std::current_exception();
-    }
-    if (batch_error == nullptr) {
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        PendingRequest& p = *batch[i];
-        {
-          const std::lock_guard<std::mutex> lock(p.mutex);
-          p.response = std::move(responses[i]);
-          p.done = true;
-        }
-        p.done_cv.notify_all();
+    // Split the drained batch by kind: scalar and trace queries share the
+    // admission queue (concurrent clients of either kind coalesce into
+    // one batch) but run through their own batch entry points.
+    std::vector<std::shared_ptr<PendingRequest>> scalar;
+    std::vector<std::shared_ptr<PendingRequest>> traces;
+    for (auto& p : batch) (p->is_trace ? traces : scalar).push_back(std::move(p));
+
+    if (!scalar.empty()) {
+      std::vector<protocol::GuardbandRequest> requests;
+      requests.reserve(scalar.size());
+      for (const auto& p : scalar) requests.push_back(p->request);
+      std::vector<protocol::GuardbandResponse> responses;
+      std::exception_ptr batch_error;
+      try {
+        responses = handle_batch(requests);
+      } catch (...) {
+        batch_error = std::current_exception();
       }
-    } else {
-      // One bad (or failing) request must not poison its batch peers:
-      // retry each request on its own and report per-request errors.
-      for (const auto& p : batch) {
-        std::exception_ptr error;
-        protocol::GuardbandResponse resp;
-        try {
-          resp = handle_batch({p->request})[0];
-        } catch (...) {
-          error = std::current_exception();
+      if (batch_error == nullptr) {
+        for (std::size_t i = 0; i < scalar.size(); ++i) {
+          PendingRequest& p = *scalar[i];
+          {
+            const std::lock_guard<std::mutex> lock(p.mutex);
+            p.response = std::move(responses[i]);
+            p.done = true;
+          }
+          p.done_cv.notify_all();
         }
-        {
-          const std::lock_guard<std::mutex> lock(p->mutex);
-          p->response = std::move(resp);
-          p->error = error;
-          p->done = true;
+      } else {
+        // One bad (or failing) request must not poison its batch peers:
+        // retry each request on its own and report per-request errors.
+        for (const auto& p : scalar) {
+          std::exception_ptr error;
+          protocol::GuardbandResponse resp;
+          try {
+            resp = handle_batch({p->request})[0];
+          } catch (...) {
+            error = std::current_exception();
+          }
+          {
+            const std::lock_guard<std::mutex> lock(p->mutex);
+            p->response = std::move(resp);
+            p->error = error;
+            p->done = true;
+          }
+          p->done_cv.notify_all();
         }
-        p->done_cv.notify_all();
+      }
+    }
+
+    if (!traces.empty()) {
+      std::vector<protocol::TraceRequest> requests;
+      requests.reserve(traces.size());
+      for (const auto& p : traces) requests.push_back(p->trace_request);
+      std::vector<protocol::TraceResponse> responses;
+      std::exception_ptr batch_error;
+      try {
+        responses = handle_trace_batch(requests);
+      } catch (...) {
+        batch_error = std::current_exception();
+      }
+      if (batch_error == nullptr) {
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+          PendingRequest& p = *traces[i];
+          {
+            const std::lock_guard<std::mutex> lock(p.mutex);
+            p.trace_response = std::move(responses[i]);
+            p.done = true;
+          }
+          p.done_cv.notify_all();
+        }
+      } else {
+        for (const auto& p : traces) {
+          std::exception_ptr error;
+          protocol::TraceResponse resp;
+          try {
+            resp = handle_trace_batch({p->trace_request})[0];
+          } catch (...) {
+            error = std::current_exception();
+          }
+          {
+            const std::lock_guard<std::mutex> lock(p->mutex);
+            p->trace_response = std::move(resp);
+            p->error = error;
+            p->done = true;
+          }
+          p->done_cv.notify_all();
+        }
       }
     }
   }
 }
 
 std::string GuardbandServer::serve_payload(std::string_view envelope) {
+  if (protocol::is_trace_request_envelope(envelope)) {
+    return serve_trace_payload(envelope);
+  }
   protocol::GuardbandRequest request;
   try {
     request = protocol::decode_request(envelope);
@@ -350,6 +648,33 @@ std::string GuardbandServer::serve_payload(std::string_view envelope) {
   }
   try {
     return protocol::encode_response(handle(request));
+  } catch (const std::exception& e) {
+    ++errors_;
+    protocol::ErrorResponse err;
+    err.request_id = request.request_id;
+    err.code = protocol::ErrorResponse::kInternal;
+    err.message = e.what();
+    return protocol::encode_error(err);
+  }
+}
+
+std::string GuardbandServer::serve_trace_payload(std::string_view envelope) {
+  protocol::TraceRequest request;
+  try {
+    request = protocol::decode_trace_request(envelope);
+  } catch (const util::codec::Error& e) {
+    ++errors_;
+    protocol::ErrorResponse err;
+    err.code = protocol::ErrorResponse::kMalformedFrame;
+    err.message = e.what();
+    return protocol::encode_error(err);
+  }
+  if (auto err = validate_trace(request)) {
+    ++errors_;
+    return protocol::encode_error(*err);
+  }
+  try {
+    return protocol::encode_trace_response(handle_trace(request));
   } catch (const std::exception& e) {
     ++errors_;
     protocol::ErrorResponse err;
@@ -386,6 +711,9 @@ GuardbandServer::Stats GuardbandServer::stats() const {
   s.batched_corners = batched_corners_.load();
   s.admission_batches = admission_batches_.load();
   s.errors = errors_.load();
+  s.trace_requests = trace_requests_.load();
+  s.trace_hits = trace_hits_.load();
+  s.traces_evaluated = traces_evaluated_.load();
   return s;
 }
 

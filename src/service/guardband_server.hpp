@@ -88,9 +88,24 @@ class GuardbandServer {
   std::vector<protocol::GuardbandResponse> handle_batch(
       const std::vector<protocol::GuardbandRequest>& requests);
 
+  /// One guardband_trace query through the same admission queue as
+  /// handle(): trace and scalar requests coalesce into one admission
+  /// batch and are split by kind on the admission thread. Throws
+  /// std::invalid_argument on anything validate_trace() rejects.
+  protocol::TraceResponse handle_trace(const protocol::TraceRequest& request);
+
+  /// Batch entry point for trace queries, same contract as
+  /// handle_batch(): build-once response slots keyed by the canonical
+  /// tuple (design, quantized grade/ambient, samples_per_segment, the
+  /// trace's canonical serialized bytes — traces are taken verbatim,
+  /// never quantized), grouped by (design, grade) and fanned on the pool.
+  std::vector<protocol::TraceResponse> handle_trace_batch(
+      const std::vector<protocol::TraceRequest>& requests);
+
   /// Wire path: one request envelope in, one response envelope out.
-  /// Never throws — every failure becomes a typed kErrorKind envelope
-  /// (protocol.hpp error contract).
+  /// Dispatches on the envelope kind (guardband-request vs
+  /// guardband-trace-request). Never throws — every failure becomes a
+  /// typed kErrorKind envelope (protocol.hpp error contract).
   std::string serve_payload(std::string_view envelope);
 
   /// Wire path with framing: one length-prefixed frame in, one out.
@@ -102,6 +117,13 @@ class GuardbandServer {
   std::optional<protocol::ErrorResponse> validate(
       const protocol::GuardbandRequest& request) const;
 
+  /// Trace-request validation: known design, temperatures in the served
+  /// domain, samples_per_segment in [1, 16], the trace semantically
+  /// valid (ActivityTrace::validate) with exactly one block, and segment
+  /// x sample counts small enough that the response fits one frame.
+  std::optional<protocol::ErrorResponse> validate_trace(
+      const protocol::TraceRequest& request) const;
+
   struct Stats {
     std::uint64_t requests = 0;         ///< queries admitted (valid ones)
     std::uint64_t tuple_hits = 0;       ///< served from the response cache
@@ -110,6 +132,9 @@ class GuardbandServer {
     std::uint64_t batched_corners = 0;  ///< corners sent through guardband_batch
     std::uint64_t admission_batches = 0;
     std::uint64_t errors = 0;           ///< typed error responses issued
+    std::uint64_t trace_requests = 0;   ///< trace queries admitted (valid ones)
+    std::uint64_t trace_hits = 0;       ///< served from the trace response cache
+    std::uint64_t traces_evaluated = 0; ///< distinct trace tuples replayed
   };
   Stats stats() const;
 
@@ -140,18 +165,54 @@ class GuardbandServer {
     protocol::GuardbandResponse value;  // written once before ready
   };
 
+  /// Canonical form of a trace request: quantized scalars plus the
+  /// trace's canonical serialized payload bytes (f64s are bit-exact
+  /// through the codec, so re-encoding the decoded trace is canonical).
+  struct TraceTuple {
+    std::string design;
+    std::int64_t grade_mdeg = 0;
+    std::int64_t ambient_mdeg = 0;
+    std::int32_t samples_per_segment = 0;
+    std::string trace_payload;
+  };
+  static TraceTuple canonicalize_trace(const protocol::TraceRequest& request);
+  static std::uint64_t trace_tuple_key(const TraceTuple& t);
+
+  struct TraceSlot {
+    std::mutex mutex;
+    std::condition_variable ready_cv;
+    bool ready = false;            // guarded by mutex
+    std::exception_ptr error;      // guarded by mutex
+    protocol::TraceResponse value;  // written once before ready
+  };
+
+  /// One admission-queue entry; either a scalar or a trace query (the
+  /// two kinds coalesce into the same admission batches and are split by
+  /// kind when the batch is drained).
   struct PendingRequest {
-    protocol::GuardbandRequest request;
+    bool is_trace = false;
+    protocol::GuardbandRequest request;          // valid when !is_trace
+    protocol::TraceRequest trace_request;        // valid when is_trace
     protocol::GuardbandResponse response;
+    protocol::TraceResponse trace_response;
     std::exception_ptr error;
     bool done = false;  // guarded by mutex
     std::mutex mutex;
     std::condition_variable done_cv;
   };
 
+  struct TraceWork {
+    TraceTuple tuple;
+    const protocol::TraceRequest* request = nullptr;
+    TraceSlot* slot = nullptr;
+  };
+
   void admission_loop();
   void evaluate_group(const std::string& design, std::int64_t grade_mdeg,
                       const std::vector<std::pair<Tuple, ResponseSlot*>>& tuples);
+  void evaluate_trace_group(const std::string& design, std::int64_t grade_mdeg,
+                            const std::vector<TraceWork>& items);
+  std::string serve_trace_payload(std::string_view envelope);
   static void fill_slot(ResponseSlot& slot, protocol::GuardbandResponse value);
   static void fail_slot(ResponseSlot& slot, std::exception_ptr error);
 
@@ -161,8 +222,9 @@ class GuardbandServer {
   runner::FlowCache cache_;
   runner::ThreadPool pool_;
 
-  std::mutex slots_mutex_;  // guards the map structure only
+  std::mutex slots_mutex_;  // guards the two slot maps' structure only
   std::unordered_map<std::uint64_t, std::unique_ptr<ResponseSlot>> slots_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<TraceSlot>> trace_slots_;
 
   std::mutex metrics_mutex_;
   std::vector<runner::TaskMetrics> metrics_;
@@ -174,6 +236,9 @@ class GuardbandServer {
   std::atomic<std::uint64_t> batched_corners_{0};
   std::atomic<std::uint64_t> admission_batches_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> trace_requests_{0};
+  std::atomic<std::uint64_t> trace_hits_{0};
+  std::atomic<std::uint64_t> traces_evaluated_{0};
 
   std::mutex admission_mutex_;
   std::condition_variable admission_cv_;

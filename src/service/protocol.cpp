@@ -91,13 +91,102 @@ ErrorResponse decode_error(std::string_view envelope) {
   return err;
 }
 
-bool is_error_envelope(std::string_view envelope) {
+std::string encode_trace_request(const TraceRequest& req) {
+  codec::Encoder e;
+  e.u64(req.request_id);
+  e.str(req.design);
+  e.f64(req.grade_t_opt_c);
+  e.f64(req.ambient_c);
+  e.i32(req.samples_per_segment);
+  // The trace rides nested in this payload (no inner envelope; the outer
+  // one armors everything) through the sanctioned ActivityTrace codec
+  // seam — this file never touches the trace byte layout itself.
+  req.trace.serialize(e);
+  return codec::wrap(kTraceRequestKind, e.take());
+}
+
+TraceRequest decode_trace_request(std::string_view envelope) {
+  codec::Decoder d(codec::unwrap(envelope, kTraceRequestKind));
+  TraceRequest req;
+  req.request_id = d.u64();
+  req.design = d.str();
+  req.grade_t_opt_c = d.f64();
+  req.ambient_c = d.f64();
+  req.samples_per_segment = d.i32();
+  req.trace = core::ActivityTrace::deserialize(d);
+  d.expect_done();
+  return req;
+}
+
+std::string encode_trace_response(const TraceResponse& resp) {
+  codec::Encoder e;
+  e.u64(resp.request_id);
+  e.str(resp.design);
+  e.i64(resp.grade_mdeg);
+  e.i64(resp.ambient_mdeg);
+  e.i32(resp.samples_per_segment);
+  e.f64(resp.min_fmax_mhz);
+  e.f64(resp.peak_temp_c);
+  e.f64(resp.throttled_s);
+  e.u64(resp.transient_steps);
+  e.u64(resp.cg_iterations);
+  e.u64(resp.samples.size());
+  for (const TraceSamplePoint& s : resp.samples) {
+    e.f64(s.time_s);
+    e.f64(s.peak_temp_c);
+    e.f64(s.mean_temp_c);
+    e.f64(s.fmax_mhz);
+    e.u8(s.throttled);
+  }
+  return codec::wrap(kTraceResponseKind, e.take());
+}
+
+TraceResponse decode_trace_response(std::string_view envelope) {
+  codec::Decoder d(codec::unwrap(envelope, kTraceResponseKind));
+  TraceResponse resp;
+  resp.request_id = d.u64();
+  resp.design = d.str();
+  resp.grade_mdeg = d.i64();
+  resp.ambient_mdeg = d.i64();
+  resp.samples_per_segment = d.i32();
+  resp.min_fmax_mhz = d.f64();
+  resp.peak_temp_c = d.f64();
+  resp.throttled_s = d.f64();
+  resp.transient_steps = d.u64();
+  resp.cg_iterations = d.u64();
+  const std::uint64_t n_samples = d.u64();
+  // 33 bytes per sample: fail a corrupted huge count fast, before any
+  // allocation (the Decoder::length() rule for nested records).
+  if (n_samples > d.remaining() / 33) {
+    throw codec::Error("trace response: sample count exceeds payload");
+  }
+  resp.samples.resize(static_cast<std::size_t>(n_samples));
+  for (TraceSamplePoint& s : resp.samples) {
+    s.time_s = d.f64();
+    s.peak_temp_c = d.f64();
+    s.mean_temp_c = d.f64();
+    s.fmax_mhz = d.f64();
+    s.throttled = d.u8();
+  }
+  d.expect_done();
+  return resp;
+}
+
+std::uint64_t envelope_kind(std::string_view envelope) {
   // Envelope layout: u32 magic, u32 version, u64 kind id, ...
-  if (envelope.size() < 16) return false;
+  if (envelope.size() < 16) return 0;
   codec::Decoder d(envelope);
   d.u32();
   d.u32();
-  return d.u64() == codec::kind_id(kErrorKind);
+  return d.u64();
+}
+
+bool is_error_envelope(std::string_view envelope) {
+  return envelope_kind(envelope) == codec::kind_id(kErrorKind);
+}
+
+bool is_trace_request_envelope(std::string_view envelope) {
+  return envelope_kind(envelope) == codec::kind_id(kTraceRequestKind);
 }
 
 std::string frame(std::string_view envelope) {

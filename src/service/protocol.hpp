@@ -29,12 +29,16 @@
 #include <string_view>
 #include <vector>
 
+#include "core/dynamic.hpp"
+
 namespace taf::service::protocol {
 
-/// Envelope kinds of the three frame types.
+/// Envelope kinds of the five frame types.
 inline constexpr std::string_view kRequestKind = "guardband-request";
 inline constexpr std::string_view kResponseKind = "guardband-response";
 inline constexpr std::string_view kErrorKind = "error-response";
+inline constexpr std::string_view kTraceRequestKind = "guardband-trace-request";
+inline constexpr std::string_view kTraceResponseKind = "guardband-trace-response";
 
 /// Hard ceiling on a frame's enveloped byte count. A length prefix above
 /// this is rejected before any allocation (the oversized-frame fuzz
@@ -78,6 +82,48 @@ struct GuardbandResponse {
   std::uint64_t cg_iterations = 0;
 };
 
+/// Trace query (the guardband_trace kind): "replay this activity trace
+/// on my design and tell me the time-resolved safe fmax". The trace is a
+/// whole-device utilization schedule (exactly one block on the wire) and
+/// is taken verbatim — unlike the scalar tuple fields it is not
+/// quantized; its canonical serialized bytes key the response cache.
+struct TraceRequest {
+  std::uint64_t request_id = 0;  ///< echoed verbatim in the response
+  std::string design;
+  double grade_t_opt_c = 25.0;
+  double ambient_c = 25.0;
+  /// Temperature/fmax samples per trace segment (domain [1, 16]).
+  std::int32_t samples_per_segment = 4;
+  core::ActivityTrace trace;
+};
+
+/// One recorded instant of the replay (core::DynamicSample on the wire).
+struct TraceSamplePoint {
+  double time_s = 0.0;
+  double peak_temp_c = 0.0;
+  double mean_temp_c = 0.0;
+  double fmax_mhz = 0.0;
+  std::uint8_t throttled = 0;
+};
+
+/// Time series + aggregates of one trace replay. Every field except
+/// request_id is a pure function of (design, quantized grade/ambient,
+/// samples_per_segment, trace bytes) — the same determinism contract as
+/// GuardbandResponse, with deterministic transient work counters.
+struct TraceResponse {
+  std::uint64_t request_id = 0;
+  std::string design;
+  std::int64_t grade_mdeg = 0;
+  std::int64_t ambient_mdeg = 0;
+  std::int32_t samples_per_segment = 0;
+  double min_fmax_mhz = 0.0;   ///< sustained safe frequency over the replay
+  double peak_temp_c = 0.0;    ///< hottest instant of the replay
+  double throttled_s = 0.0;    ///< dwell above the throttle ceiling
+  std::uint64_t transient_steps = 0;
+  std::uint64_t cg_iterations = 0;
+  std::vector<TraceSamplePoint> samples;
+};
+
 /// Typed failure reply. `code` is stable for programmatic handling;
 /// `message` is diagnostic only.
 struct ErrorResponse {
@@ -100,10 +146,21 @@ std::string encode_response(const GuardbandResponse& resp);
 GuardbandResponse decode_response(std::string_view envelope);
 std::string encode_error(const ErrorResponse& err);
 ErrorResponse decode_error(std::string_view envelope);
+std::string encode_trace_request(const TraceRequest& req);
+TraceRequest decode_trace_request(std::string_view envelope);
+std::string encode_trace_response(const TraceResponse& resp);
+TraceResponse decode_trace_response(std::string_view envelope);
 
-/// True when the envelope's kind field says kErrorKind — the cheap
-/// reply-classification peek (does not validate the envelope).
+/// Kind id peeked from an envelope header, or 0 when the header is too
+/// short — the cheap frame-classification peek (does not validate).
+std::uint64_t envelope_kind(std::string_view envelope);
+
+/// True when the envelope's kind field says kErrorKind.
 bool is_error_envelope(std::string_view envelope);
+
+/// True when the envelope's kind field says kTraceRequestKind — how the
+/// server dispatches a payload between the two request decoders.
+bool is_trace_request_envelope(std::string_view envelope);
 
 /// Prepend the u32 length prefix. Throws std::length_error above
 /// kMaxFrameBytes (a server bug, not a peer error).

@@ -283,6 +283,13 @@ void ThermalGrid::step(const std::vector<double>& power_w, units::Seconds dt,
   // cg_core/stencil_solve parameterized by g_c, including the
   // termination floor, which must be derived from the augmented
   // diagonal g_vert_ + C/dt (see cg_tolerance).
+  if (!(dt.value() > 0.0) || !std::isfinite(dt.value())) {
+    // dt == 0 used to sail through and divide straight into the C/dt
+    // diagonal, poisoning the whole field with inf/NaN.
+    throw std::invalid_argument(
+        "ThermalGrid::step: dt must be a positive finite duration, got " +
+        std::to_string(dt.value()) + " s");
+  }
   const double g_c = c_tile_ / dt.value();
 
   std::vector<double> x(static_cast<std::size_t>(n));

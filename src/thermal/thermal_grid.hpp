@@ -121,7 +121,10 @@ class ThermalGrid {
 
   /// Transient step: advance the temperature field by dt under constant
   /// power (backward Euler on C dT/dt + A (T - Tamb) = P). `temps` is
-  /// updated in place. Used to study warm-up after a frequency change.
+  /// updated in place. Used to study warm-up after a frequency change;
+  /// thermal/transient.hpp wraps this in adaptive step control. Throws
+  /// std::invalid_argument unless dt is positive and finite (dt divides
+  /// into the C/dt backward-Euler diagonal).
   void step(const std::vector<double>& power_w, units::Seconds dt,
             std::vector<double>& temps, CgStats* stats = nullptr) const;
 

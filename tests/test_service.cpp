@@ -18,6 +18,8 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -25,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/dynamic.hpp"
 #include "core/flow.hpp"
 #include "service/guardband_server.hpp"
 #include "service/protocol.hpp"
@@ -271,6 +274,178 @@ TEST(ServiceValidation, RejectsBadRequestsWithTypedErrors) {
   const protocol::ErrorResponse err = protocol::decode_error(reply);
   EXPECT_EQ(err.request_id, 7u);
   EXPECT_EQ(err.code, protocol::ErrorResponse::kUnknownDesign);
+}
+
+// ---------- guardband_trace (ISSUE 8) ----------
+
+protocol::TraceRequest trace_request(std::uint64_t id, const char* design,
+                                     double ambient_c, int cycles) {
+  protocol::TraceRequest req;
+  req.request_id = id;
+  req.design = design;
+  req.grade_t_opt_c = 25.0;
+  req.ambient_c = ambient_c;
+  req.samples_per_segment = 3;
+  req.trace = core::ActivityTrace::duty_cycle(cycles, units::Seconds{2e-3},
+                                              0.5, 1.0, 0.1);
+  return req;
+}
+
+TEST(ServiceTrace, WireResponseMatchesInProcessReplayByteForByte) {
+  // The served trace response must be byte-identical to re-running the
+  // same trace through an in-process DynamicGuardband built with the
+  // server's documented option mapping — the wire path adds transport
+  // and caching, never numerics.
+  GuardbandServer server(small_config(2));
+  const protocol::TraceRequest req = trace_request(41, "mkPktMerge", 45.0, 3);
+  const std::string wire = server.serve_payload(protocol::encode_trace_request(req));
+  ASSERT_FALSE(protocol::is_error_envelope(wire));
+
+  netlist::BenchmarkSpec spec;
+  for (const auto& s : netlist::vtr_suite()) {
+    if (s.name == req.design) spec = s;
+  }
+  const ServerConfig& config = server.config();
+  const auto impl = core::implement(netlist::scaled(spec, config.scale), config.arch);
+  const coffe::DeviceModel dev = coffe::Characterizer(config.tech, config.arch)
+                                     .characterize(units::Celsius(req.grade_t_opt_c));
+  core::DynamicGuardbandOptions dopt;
+  dopt.t_amb_c = units::Celsius{req.ambient_c};
+  dopt.margin_c = config.guardband.delta_t_c;
+  dopt.thermal = config.guardband.thermal;
+  dopt.power_scale = config.guardband.power_scale;
+  dopt.samples_per_segment = req.samples_per_segment;
+  const core::DynamicGuardband dyn(*impl, dev, std::move(dopt));
+  const core::DynamicResult r = dyn.replay(req.trace);
+
+  protocol::TraceResponse expected;
+  expected.request_id = req.request_id;
+  expected.design = req.design;
+  expected.grade_mdeg = 25000;
+  expected.ambient_mdeg = 45000;
+  expected.samples_per_segment = req.samples_per_segment;
+  expected.min_fmax_mhz = r.min_fmax_mhz.value();
+  expected.peak_temp_c = r.peak_temp_c.value();
+  expected.throttled_s = r.throttled_s.value();
+  expected.transient_steps = r.stats.steps;
+  expected.cg_iterations = r.stats.cg_iterations;
+  for (const core::DynamicSample& s : r.samples) {
+    expected.samples.push_back({s.time_s, s.peak_temp_c, s.mean_temp_c,
+                                s.fmax_mhz,
+                                static_cast<std::uint8_t>(s.throttled ? 1 : 0)});
+  }
+  EXPECT_EQ(wire, protocol::encode_trace_response(expected));
+
+  // The decoded series is well-formed: monotone time, aggregates match.
+  const protocol::TraceResponse got = protocol::decode_trace_response(wire);
+  ASSERT_FALSE(got.samples.empty());
+  double min_fmax = got.samples.front().fmax_mhz;
+  double peak = got.samples.front().peak_temp_c;
+  for (std::size_t i = 1; i < got.samples.size(); ++i) {
+    EXPECT_GT(got.samples[i].time_s, got.samples[i - 1].time_s) << "sample " << i;
+    min_fmax = std::min(min_fmax, got.samples[i].fmax_mhz);
+    peak = std::max(peak, got.samples[i].peak_temp_c);
+  }
+  EXPECT_DOUBLE_EQ(got.min_fmax_mhz, min_fmax);
+  EXPECT_DOUBLE_EQ(got.peak_temp_c, peak);
+}
+
+TEST(ServiceTrace, DuplicatesCoalesceAndStoreBackedRestartMatches) {
+  const TempDir dir;
+  // Four requests, two distinct tuples (same trace bytes + ambient
+  // coalesce; different ambient does not).
+  std::vector<protocol::TraceRequest> stream;
+  stream.push_back(trace_request(1, "mkPktMerge", 45.0, 2));
+  stream.push_back(trace_request(2, "mkPktMerge", 45.0, 2));
+  stream.push_back(trace_request(3, "mkPktMerge", 60.0, 2));
+  stream.push_back(trace_request(4, "mkPktMerge", 45.0, 2));
+
+  std::vector<std::string> first_bytes;
+  {
+    ServerConfig config = small_config(2);
+    config.artifact_dir = dir.path;
+    GuardbandServer server(config);
+    const auto responses = server.handle_trace_batch(stream);
+    ASSERT_EQ(responses.size(), stream.size());
+    for (const auto& resp : responses) {
+      first_bytes.push_back(protocol::encode_trace_response(resp));
+    }
+    // Coalesced duplicates echo their own request_id but share the body.
+    EXPECT_EQ(responses[0].request_id, 1u);
+    EXPECT_EQ(responses[1].request_id, 2u);
+    EXPECT_EQ(responses[0].min_fmax_mhz, responses[1].min_fmax_mhz);
+    EXPECT_EQ(responses[0].transient_steps, responses[3].transient_steps);
+    const GuardbandServer::Stats s = server.stats();
+    EXPECT_EQ(s.trace_requests, 4u);
+    EXPECT_EQ(s.traces_evaluated, 2u);
+    EXPECT_EQ(s.trace_hits, 2u);
+    EXPECT_GT(server.flow_cache().stats().disk_writes, 0u);
+  }
+  // Cold process, warm artifact directory: identical bytes, implement()
+  // stages reloaded from the disk tier instead of recomputed.
+  {
+    ServerConfig config = small_config(2);
+    config.artifact_dir = dir.path;
+    GuardbandServer server(config);
+    const auto responses = server.handle_trace_batch(stream);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      EXPECT_EQ(protocol::encode_trace_response(responses[i]), first_bytes[i])
+          << "request " << i;
+    }
+    EXPECT_GT(server.flow_cache().stats().disk_hits, 0u);
+  }
+}
+
+TEST(ServiceTrace, RejectsBadTracesWithTypedErrors) {
+  GuardbandServer server(small_config(1));
+
+  protocol::TraceRequest req = trace_request(9, "no-such-design", 45.0, 2);
+  ASSERT_TRUE(server.validate_trace(req).has_value());
+  EXPECT_EQ(server.validate_trace(req)->code, protocol::ErrorResponse::kUnknownDesign);
+  EXPECT_THROW((void)server.handle_trace(req), std::invalid_argument);
+
+  req = trace_request(9, "mkPktMerge", 1e30, 2);
+  ASSERT_TRUE(server.validate_trace(req).has_value());
+  EXPECT_EQ(server.validate_trace(req)->code, protocol::ErrorResponse::kBadParameter);
+
+  req = trace_request(9, "mkPktMerge", 45.0, 2);
+  req.samples_per_segment = 0;
+  ASSERT_TRUE(server.validate_trace(req).has_value());
+  EXPECT_EQ(server.validate_trace(req)->code, protocol::ErrorResponse::kBadParameter);
+  req.samples_per_segment = 17;
+  ASSERT_TRUE(server.validate_trace(req).has_value());
+  EXPECT_EQ(server.validate_trace(req)->code, protocol::ErrorResponse::kBadParameter);
+
+  // Semantically invalid trace (non-monotone): kBadParameter, not a crash.
+  req = trace_request(9, "mkPktMerge", 45.0, 2);
+  req.trace.segments[1].t_end = units::Seconds{1e-6};
+  ASSERT_TRUE(server.validate_trace(req).has_value());
+  EXPECT_EQ(server.validate_trace(req)->code, protocol::ErrorResponse::kBadParameter);
+
+  // Per-block traces are rejected on the wire (service traces are
+  // whole-device).
+  req = trace_request(9, "mkPktMerge", 45.0, 2);
+  req.trace.blocks = 2;
+  for (auto& seg : req.trace.segments) seg.utilization.push_back(0.5);
+  ASSERT_TRUE(server.validate_trace(req).has_value());
+  EXPECT_EQ(server.validate_trace(req)->code, protocol::ErrorResponse::kBadParameter);
+
+  // The wire path: typed error envelopes with the request id echoed, and
+  // kMalformedFrame for bytes that never decode.
+  req = trace_request(9, "no-such-design", 45.0, 2);
+  const std::string reply = server.serve_payload(protocol::encode_trace_request(req));
+  ASSERT_TRUE(protocol::is_error_envelope(reply));
+  const protocol::ErrorResponse err = protocol::decode_error(reply);
+  EXPECT_EQ(err.request_id, 9u);
+  EXPECT_EQ(err.code, protocol::ErrorResponse::kUnknownDesign);
+
+  const std::string good = protocol::encode_trace_request(
+      trace_request(9, "mkPktMerge", 45.0, 2));
+  const std::string truncated = good.substr(0, good.size() - 7);
+  const std::string reply2 = server.serve_payload(truncated);
+  ASSERT_TRUE(protocol::is_error_envelope(reply2));
+  EXPECT_EQ(protocol::decode_error(reply2).code,
+            protocol::ErrorResponse::kMalformedFrame);
 }
 
 TEST(ServiceQuantization, NearbyDoublesCollapseOntoOneTuple) {

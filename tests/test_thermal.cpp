@@ -309,6 +309,22 @@ TEST(ThermalTransient, ZeroPowerStepStaysAtAmbient) {
   }
 }
 
+TEST(ThermalTransient, StepRejectsNonPositiveOrNonFiniteDt) {
+  // Regression (ISSUE 8): dt == 0 used to divide into the C/dt diagonal
+  // and poison the whole field with non-finite values. Every degenerate
+  // dt must throw before touching the temperatures.
+  const ThermalGrid g = make_grid(3, 3, 25.0);
+  const std::vector<double> p(9, 1e-3);
+  std::vector<double> t(9, 25.0);
+  const std::vector<double> before = t;
+  for (const double dt : {0.0, -1.0, std::nan(""),
+                          std::numeric_limits<double>::infinity()}) {
+    EXPECT_THROW(g.step(p, units::Seconds(dt), t), std::invalid_argument)
+        << "dt = " << dt;
+    EXPECT_EQ(t, before) << "field modified by rejected dt = " << dt;
+  }
+}
+
 TEST(Thermal, OneByOneGridSolveIsPackageRise) {
   // A single tile has no lateral neighbours: dT = P * R_package exactly.
   const ThermalGrid g = make_grid(1, 1, 25.0);
