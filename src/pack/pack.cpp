@@ -137,10 +137,15 @@ PackedNetlist pack(const Netlist& nl, const arch::ArchParams& arch,
 
     add_ble(seed);
     while (static_cast<int>(cluster.bles.size()) < arch.cluster_n) {
-      // Candidate with the most shared nets.
+      // Candidate with the most shared nets. Visit nets in sorted order so
+      // affinity ties resolve to the same candidate regardless of the
+      // unordered_set's hash-iteration order: the strict '>' keeps the
+      // first-seen candidate, so net order decides ties.
       int best = -1;
       int best_affinity = -1;
-      for (NetId n : cluster_nets) {
+      std::vector<NetId> nets_sorted(cluster_nets.begin(), cluster_nets.end());
+      std::sort(nets_sorted.begin(), nets_sorted.end());
+      for (NetId n : nets_sorted) {
         auto it = net_to_bles.find(n);
         if (it == net_to_bles.end()) continue;
         for (int cand : it->second) {

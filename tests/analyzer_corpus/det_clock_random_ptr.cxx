@@ -1,0 +1,23 @@
+// analyzer-corpus-path: src/timing/jitter.cpp
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+
+// wall-clock, raw-random, and pointer-keyed-container positives.
+
+struct Node { int id; };
+
+double elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();   // TP: wall-clock
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+int noise() {
+  std::mt19937 gen(42);                               // TP: raw-random engine
+  return static_cast<int>(gen()) + rand();            // TP: raw-random call
+}
+
+std::map<const Node*, int> ranks;                     // TP: pointer-keyed
+std::map<std::string, int> by_name;                   // negative: value-keyed

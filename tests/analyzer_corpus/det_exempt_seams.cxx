@@ -1,0 +1,17 @@
+// analyzer-corpus-path: src/runner/heartbeat.cpp
+#include <chrono>
+#include <random>
+
+// Negatives: src/runner/ may read wall clocks (scheduling is inherently
+// about real time), and a member call .rand() is not libc rand().
+
+struct Rng;
+
+double tick() {
+  const auto t = std::chrono::steady_clock::now();    // negative: runner exemption
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+unsigned draw(Rng& rng) {
+  return rng.rand();                                  // negative: member call
+}

@@ -1,0 +1,24 @@
+// analyzer-corpus-path: src/core/ordered_report.cpp
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+// Negatives: ordered containers may feed sinks directly, and an
+// unordered loop whose body neither sinks nor selects is fine.
+// (The declared-name table is file-wide, so the ordered and unordered
+// containers here carry distinct names, as they would in real code.)
+
+void print_map(const std::map<std::string, int>& by_key) {
+  for (const auto& kv : by_key) {
+    std::printf("%s=%d\n", kv.first.c_str(), kv.second);  // negative: std::map
+  }
+}
+
+int count_positive(const std::unordered_map<std::string, int>& histogram) {
+  int n = 0;
+  for (const auto& kv : histogram) {
+    n += kv.second > 0 ? 1 : 0;   // negative: no sink, no selection
+  }
+  return n;
+}

@@ -1,0 +1,28 @@
+// analyzer-corpus-path: src/place/pick.cpp
+#include <string>
+#include <unordered_set>
+
+// unordered-iteration: order-dependent argmax selection (the pack.cpp
+// defect shape): strict '>' keeps the first-seen candidate, so hash
+// order decides ties.
+
+int pick(const std::unordered_set<int>& candidates) {
+  int best = -1;
+  int best_score = -1;
+  for (int c : candidates) {
+    const int score = c % 7;
+    if (score > best_score) {     // TP: relational + assignment selection
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+int total(const std::unordered_set<int>& candidates) {
+  int sum = 0;
+  for (int c : candidates) {
+    sum += c;                     // negative: commutative accumulation
+  }
+  return sum;
+}

@@ -1,0 +1,23 @@
+// analyzer-corpus-path: src/power/summary.cpp
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// unordered-iteration: hash-order reaching an output sink.
+
+void print_all(const std::unordered_map<std::string, double>& watts) {
+  for (const auto& kv : watts) {
+    std::printf("%s\n", kv.first.c_str());   // TP: hash order reaches stdout
+  }
+}
+
+void print_sorted(const std::unordered_map<std::string, double>& watts) {
+  std::vector<std::string> names;
+  for (const auto& kv : watts) {
+    names.push_back(kv.first);               // accumulates, but then sorts:
+  }
+  std::sort(names.begin(), names.end());     // negative: sort in enclosing scope
+  for (const std::string& n : names) std::printf("%s\n", n.c_str());
+}

@@ -1,0 +1,50 @@
+// analyzer-corpus-path: src/runner/worker.cpp
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+// blocking-while-locked positives and negatives.
+
+std::mutex state_mu;
+std::mutex io_mu;
+std::condition_variable cv;
+
+void flush_under_lock(std::FILE* f) {
+  std::lock_guard<std::mutex> g(state_mu);
+  std::fflush(f);                            // TP: file I/O while locked
+}
+
+void join_under_lock(std::thread& t) {
+  std::lock_guard<std::mutex> g(state_mu);
+  t.join();                                  // TP: join while locked
+}
+
+void wait_wrong_mutex() {
+  std::unique_lock<std::mutex> lk(state_mu);
+  std::lock_guard<std::mutex> g2(io_mu);
+  cv.wait(lk);                               // TP: waits parking state_mu but io_mu stays held
+}
+
+void io_after_scope(std::FILE* f) {
+  {
+    std::lock_guard<std::mutex> g(state_mu);
+  }
+  std::fflush(f);                            // negative: lock already released
+}
+
+void log_under_lock(std::FILE* f) {
+  std::lock_guard<std::mutex> g(state_mu);
+  std::fprintf(f, "progress\n");             // negative: logging is allowed by design
+}
+
+void wait_normal() {
+  std::unique_lock<std::mutex> lk(state_mu);
+  cv.wait(lk);                               // negative: wait parks the only held lock
+}
+
+void unlock_then_io(std::FILE* f) {
+  std::unique_lock<std::mutex> lk(state_mu);
+  lk.unlock();
+  std::fflush(f);                            // negative: explicitly unlocked
+}

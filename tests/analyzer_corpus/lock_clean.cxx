@@ -1,0 +1,31 @@
+// analyzer-corpus-path: src/runner/ordered.cpp
+#include <mutex>
+
+// Negative: consistent lock order, sequential (non-nested) scopes, and
+// scoped_lock's deadlock-free multi-acquire must all pass clean.
+
+std::mutex first_mu;
+std::mutex second_mu;
+
+void consistent_a() {
+  std::lock_guard<std::mutex> g1(first_mu);
+  std::lock_guard<std::mutex> g2(second_mu);  // same order everywhere
+}
+
+void consistent_b() {
+  std::lock_guard<std::mutex> g1(first_mu);
+  std::lock_guard<std::mutex> g2(second_mu);
+}
+
+void sequential() {
+  {
+    std::lock_guard<std::mutex> g(second_mu);
+  }
+  {
+    std::lock_guard<std::mutex> g(first_mu);  // not nested: no edge
+  }
+}
+
+void both_at_once() {
+  std::scoped_lock lk(first_mu, second_mu);  // atomic multi-acquire
+}

@@ -1,0 +1,11 @@
+// analyzer-corpus-path: src/runner/flow_a.cpp
+// analyzer-corpus-group: cross_tu_cycle
+#include <mutex>
+
+std::mutex cache_mu;
+std::mutex pool_mu;
+
+void refresh() {
+  std::lock_guard<std::mutex> g1(cache_mu);
+  std::lock_guard<std::mutex> g2(pool_mu);   // edge cache_mu -> pool_mu
+}

@@ -1,0 +1,11 @@
+// analyzer-corpus-path: src/runner/flow_b.cpp
+// analyzer-corpus-group: cross_tu_cycle
+#include <mutex>
+
+extern std::mutex cache_mu;
+extern std::mutex pool_mu;
+
+void drain() {
+  std::lock_guard<std::mutex> g1(pool_mu);
+  std::lock_guard<std::mutex> g2(cache_mu);  // edge pool_mu -> cache_mu: cycle
+}

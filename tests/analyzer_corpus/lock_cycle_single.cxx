@@ -1,0 +1,20 @@
+// analyzer-corpus-path: src/runner/pool_glue.cpp
+#include <mutex>
+
+// Lock-order cycle inside one translation unit: f takes a then b,
+// g takes b then a.
+
+struct Pools {
+  std::mutex a;
+  std::mutex b;
+};
+
+void f(Pools& p) {
+  std::lock_guard<std::mutex> ga(p.a);
+  std::lock_guard<std::mutex> gb(p.b);   // edge a -> b
+}
+
+void g(Pools& p) {
+  std::lock_guard<std::mutex> gb(p.b);
+  std::lock_guard<std::mutex> ga(p.a);   // edge b -> a: cycle
+}

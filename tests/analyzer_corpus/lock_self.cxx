@@ -1,0 +1,21 @@
+// analyzer-corpus-path: src/service/reentry.cpp
+#include <mutex>
+
+// Re-acquiring a non-recursive mutex while it is already held.
+
+class Server {
+ public:
+  void outer() {
+    std::lock_guard<std::mutex> g(mu_);
+    inner_locked();
+  }
+
+  void broken() {
+    std::lock_guard<std::mutex> g1(mu_);
+    std::lock_guard<std::mutex> g2(mu_);  // TP: self-deadlock
+  }
+
+ private:
+  void inner_locked() {}
+  std::mutex mu_;
+};

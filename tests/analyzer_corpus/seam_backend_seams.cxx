@@ -1,0 +1,18 @@
+// analyzer-corpus-path: src/place/hotspot.cpp
+#include "thermal/stencil_solver.hpp"
+#include <sys/socket.h>
+
+// thermal-backend-seam, service-socket-seam, and trace-codec-seam
+// positives outside their owning directories.
+
+void probe(int fd) {
+  ::connect(fd, nullptr, 0);                  // TP: qualified socket call
+  char b[8];
+  recv(fd, b, sizeof(b), 0);                  // TP: recv on an fd-named arg
+}
+
+int use_backend() {
+  StencilSolver solver;                       // TP: stencil identifier
+  const char* magic = "taf-trace v1";         // TP: trace format literal
+  return solver.ok() && magic != nullptr;
+}

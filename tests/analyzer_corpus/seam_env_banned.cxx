@@ -1,0 +1,20 @@
+// analyzer-corpus-path: src/arch/knobs.cpp
+#include <cstdlib>
+#include <cstring>
+
+// env-through-util and banned-identifier positives and negatives.
+
+int knob(const char* name, char* buf) {
+  const char* raw = std::getenv(name);          // TP: env-through-util
+  if (!raw) raw = getenv("TAF_FALLBACK");       // TP: unqualified spelling
+  int v = atoi(raw);                            // TP: banned-identifier (atoi)
+  strcpy(buf, raw);                             // TP: banned-identifier (strcpy)
+  // negative: member call is not the libc function
+  // negative: the word getenv in this comment is stripped
+  return v;
+}
+
+struct Env {
+  const char* getenv_name = "TAF_X";  // negative: not a call
+  int atoi_count(int n) { return n; }  // negative: identifier prefix only
+};

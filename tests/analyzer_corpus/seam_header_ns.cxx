@@ -1,0 +1,12 @@
+// analyzer-corpus-path: src/route/helpers.h
+#pragma once
+#include <string>
+
+using namespace std;  // TP: using namespace in a header
+
+namespace taf::route {
+// negative: using-declaration (not a directive)
+using std::string;
+// negative: inside a comment: using namespace std;
+inline int answer() { return 42; }
+}  // namespace taf::route

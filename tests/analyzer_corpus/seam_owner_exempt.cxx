@@ -1,0 +1,12 @@
+// analyzer-corpus-path: src/service/socket_listener.cpp
+#include <sys/socket.h>
+#include "thermal/stencil_solver.hpp"
+
+// src/service/ owns raw sockets, so the socket include and calls are
+// exempt here — but the thermal seam still applies (wrong owner).
+
+void accept_loop(int fd) {
+  ::listen(fd, 4);        // negative: inside src/service/
+  StencilOp op;           // TP: thermal seam is not service's to cross
+  (void)op;
+}

@@ -1,0 +1,14 @@
+// analyzer-corpus-path: src/power/report.cpp
+#include <cstdio>
+#include <vector>
+
+// printf-sized-int positives and negatives.
+
+void report(const std::vector<int>& v, std::size_t total) {
+  std::printf("%d items\n", v.size());                     // TP: %d with .size()
+  std::printf("%u of %u\n", total, v.size());              // TP x2: %u with size_t
+  std::printf("%zu items\n", v.size());                    // negative: %zu
+  std::printf("%d items\n", static_cast<int>(v.size()));   // negative: static_cast
+  std::printf("%lld\n", static_cast<long long>(total));    // negative: ll length
+  std::printf("plain %s\n", "text");                       // negative: %s
+}

@@ -1,0 +1,19 @@
+// analyzer-corpus-path: src/runner/snapshot.cpp
+#include <cstdio>
+#include <cstring>
+
+// raw-serialization positives and negatives.
+
+struct Header { int magic; int version; };
+
+void save(std::FILE* f, const Header& h, const char* note) {
+  std::fwrite(&h, sizeof(h), 1, f);             // TP: fwrite + (separately) memcpy-free
+  char buf[64];
+  std::memcpy(buf, &h, sizeof(h));              // TP: memcpy of sizeof-ed object
+  std::memcpy(buf, note, std::strlen(note));    // negative: no sizeof before ';'
+  std::fputs("text form\n", f);                 // negative: fputs is not fwrite
+}
+
+void load(std::FILE* f, Header* h) {
+  fread(h, sizeof(*h), 1, f);                   // TP: unqualified fread
+}

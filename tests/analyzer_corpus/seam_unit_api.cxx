@@ -1,0 +1,16 @@
+// analyzer-corpus-path: src/thermal/unit_api.hpp
+#pragma once
+
+// unit-typed-api positives and negatives in a public header.
+
+namespace taf::thermal {
+
+struct Celsius { double v; };
+
+void set_ambient(double ambient_c);              // TP: _c suffix
+void set_power(double power_w, int tiles);       // TP: power stem + _w
+void set_relax(double relax);                    // negative: dimensionless
+void set_temp(Celsius temp_c);                   // negative: not a raw double
+void set_bound(const double t_max, int n);       // TP: const double, temp stem
+
+}  // namespace taf::thermal

@@ -1,0 +1,20 @@
+// analyzer-corpus-path: src/arch/docs.cpp
+#include <cstdlib>
+#include <string>
+
+// Raw-string handling in the comment/literal stripper. The naive stripper
+// treated R"(...)" like an ordinary string: the first unescaped " after
+// `R"` "closed" it, leaking the literal's interior — including the
+// std::getenv(...) spelled below — into the stripped text as a false
+// positive. A delimiter-aware stripper blanks the whole literal.
+
+const char* kDoc = R"(set "TAF_MODE" via std::getenv("TAF_MODE") at startup)";
+
+const std::string kDelim = R"==(a " quote and a )" fake terminator)==";
+
+// Multi-line raw string: line numbers after it must stay correct.
+const char* kUsage = R"(usage:
+  taf-run "design"
+)";
+
+const char* real() { return std::getenv("TAF_MODE"); }  // TP: the real call

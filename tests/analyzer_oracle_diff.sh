@@ -1,0 +1,43 @@
+#!/bin/sh
+# Differential oracle for the taf-lint -> taf-analyze migration: the nine
+# ported seam rules must report the identical (path, line, rule) finding
+# set as the Python linter over the live tree, suppressions disabled on
+# both sides so the whole finding universe is compared.
+#
+# usage: analyzer_oracle_diff.sh <repo-root> <taf-analyze-binary> [python3]
+set -u
+
+ROOT=$1
+ANALYZE=$2
+PY=${3:-python3}
+
+NINE=unit-typed-api,printf-sized-int,header-using-ns,env-through-util
+NINE=$NINE,banned-identifier,raw-serialization,thermal-backend-seam
+NINE=$NINE,service-socket-seam,trace-codec-seam
+
+a=$(mktemp) || exit 2
+b=$(mktemp) || exit 2
+trap 'rm -f "$a" "$b"' EXIT
+
+# Both exit 1 when findings exist; only exit 2 (I/O error) is fatal here.
+"$ANALYZE" --root "$ROOT" --no-suppress --no-summary --compat \
+    --rules "$NINE" src bench tests examples >"$a" 2>/dev/null
+st=$?
+[ "$st" -le 1 ] || { echo "taf-analyze failed (exit $st)"; exit 1; }
+
+(cd "$ROOT" && "$PY" tools/taf-lint --no-suppress src bench tests examples) \
+    2>/dev/null \
+    | sed -E 's/^([^:]+:[0-9]+): \[([a-z-]+)\].*$/\1:\2/' >"$b"
+st=$?
+[ "$st" -le 1 ] || { echo "taf-lint failed (exit $st)"; exit 1; }
+
+sort "$a" -o "$a"
+sort "$b" -o "$b"
+
+if ! diff -u "$b" "$a"; then
+  echo "oracle differential: MISMATCH (left: taf-lint, right: taf-analyze)"
+  exit 1
+fi
+n=$(wc -l <"$a" | tr -d ' ')
+echo "oracle differential: identical ($n findings)"
+exit 0

@@ -125,6 +125,45 @@ TEST(Pack, HardBlocksAreSingletons) {
   EXPECT_EQ(brams, d.nl.count(netlist::PrimKind::Bram));
 }
 
+TEST(Pack, AffinityTieBreaksByLowestNet) {
+  // Seed LUT a reads nets {na, nb}; candidate x shares only na, candidate
+  // y shares only nb, so both tie at affinity 1. The candidate scan visits
+  // cluster nets in ascending NetId order, so x — reached via na < nb —
+  // must be the first BLE merged into a's cluster regardless of
+  // unordered_set hash-iteration order.
+  netlist::Netlist nl("tie");
+  auto in = [&](const char* name) {
+    return nl.add_net(nl.add_primitive({netlist::PrimKind::Input, name, {}, netlist::kNoNet, 0}));
+  };
+  const netlist::NetId na = in("na"), nb = in("nb"), nc = in("nc"), nd = in("nd");
+  auto lut2 = [&](const char* name, netlist::NetId p0, netlist::NetId p1) {
+    const netlist::PrimId id =
+        nl.add_primitive({netlist::PrimKind::Lut, name, {}, netlist::kNoNet, 0x6});
+    nl.connect(p0, id, 0);
+    nl.connect(p1, id, 1);
+    return id;
+  };
+  const netlist::PrimId a = lut2("a", na, nb);
+  const netlist::PrimId x = lut2("x", na, nc);
+  const netlist::PrimId y = lut2("y", nb, nd);
+  (void)y;
+  for (netlist::PrimId lut : {a, x, y}) {
+    const netlist::NetId out = nl.add_net(lut);
+    const netlist::PrimId po = nl.add_primitive(
+        {netlist::PrimKind::Output, "o_" + nl.prim(lut).name, {}, netlist::kNoNet, 0});
+    nl.connect(out, po, 0);
+  }
+  ASSERT_EQ(nl.validate(), "");
+
+  const pack::PackedNetlist packed = pack::pack(nl, test_arch());
+  const int blk = packed.block_of_prim[static_cast<std::size_t>(a)];
+  ASSERT_GE(blk, 0);
+  const pack::Block& cluster = packed.blocks[static_cast<std::size_t>(blk)];
+  ASSERT_GE(cluster.bles.size(), 2u);
+  EXPECT_EQ(cluster.bles[0].lut, a);
+  EXPECT_EQ(cluster.bles[1].lut, x) << "affinity tie must break toward the lower net id";
+}
+
 // ---------- place ----------
 
 TEST(Place, AllBlocksOnLegalTiles) {

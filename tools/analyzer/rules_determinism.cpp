@@ -1,0 +1,310 @@
+// Determinism rule family (DESIGN.md section 14). The project's core
+// output contract is byte-identical stdout and bit-identical artifacts
+// across backends, pool sizes, and restarts; these rules flag the four
+// classic ways C++ code silently breaks that: iterating a hash container
+// into an output/serialization/hash sink (or an order-dependent argmax),
+// reading wall clocks outside the sanctioned timing seams, unseeded
+// standard randomness, and ordered containers keyed by raw pointers
+// (allocation order).
+
+#include <array>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+#include "analyzer/token_scan.hpp"
+
+namespace taf::analyze {
+
+namespace {
+
+using detail::join_tokens;
+using detail::match_close;
+using detail::match_template_close;
+using detail::path_starts_with;
+using detail::rule_wanted;
+
+const std::array<const char*, 4> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+// Output / serialization / hash sinks: an unordered iteration order that
+// reaches one of these becomes externally visible.
+const std::array<const char*, 18> kSinkIdents = {
+    "printf",    "fprintf",      "sprintf",   "snprintf", "vprintf",  "vfprintf",
+    "vsnprintf", "puts",         "fputs",     "fputc",    "putchar",  "cout",
+    "cerr",      "Encoder",      "Fnv1a",     "fnv1a_bytes", "to_text", "to_envelope"};
+const std::array<const char*, 4> kAccumSinks = {"RunReport", "serialize", "push_back",
+                                                "emplace_back"};
+
+bool ident_in(const LexedFile& f, std::size_t i, const char* const* names,
+              std::size_t count) {
+  if (i >= f.tokens.size() || f.tokens[i].kind != Tok::Ident) return false;
+  for (std::size_t k = 0; k < count; ++k)
+    if (f.tok_is(i, names[k])) return true;
+  return false;
+}
+
+// Names declared (member/local/param) with an unordered container type in
+// this file. Scope-insensitive by design: a false shadow is unlikely and
+// the worst case is a reviewed suppression.
+std::set<std::string> unordered_decl_names(const LexedFile& f) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+    if (f.tokens[i].kind != Tok::Ident) continue;
+    bool is_unordered = false;
+    for (const char* t : kUnorderedTypes) is_unordered = is_unordered || f.tok_is(i, t);
+    if (!is_unordered || !f.tok_is(i + 1, "<")) continue;
+    std::size_t j = match_template_close(f, i + 1);
+    while (j < f.tokens.size() &&
+           (f.tok_is(j, "&") || f.tok_is(j, "*") || f.tok_is(j, "const")))
+      ++j;
+    if (j < f.tokens.size() && f.tokens[j].kind == Tok::Ident)
+      names.insert(f.tok(f.tokens[j]));
+  }
+  return names;
+}
+
+struct RangeFor {
+  std::size_t for_tok = 0;    // index of the `for` token
+  std::size_t body_begin = 0; // first token of the body
+  std::size_t body_end = 0;   // one past the last body token
+  std::string base;           // last identifier of the range expression
+};
+
+// Parse `for ( decl : expr ) body` at token `i` (which is `for`). The
+// range expression must be a pure identifier chain (a.b->c); anything
+// else (calls, casts, sorted copies) is out of scope for the rule.
+bool parse_range_for(const LexedFile& f, std::size_t i, RangeFor& out) {
+  if (!f.tok_is(i, "for") || !f.tok_is(i + 1, "(")) return false;
+  const std::size_t close = match_close(f, i + 1, "(", ")");
+  if (close >= f.tokens.size()) return false;
+  int depth = 0;
+  std::size_t colon = 0;
+  for (std::size_t j = i + 2; j + 1 < close; ++j) {
+    if (f.tok_is(j, "(") || f.tok_is(j, "[") || f.tok_is(j, "{")) ++depth;
+    if (f.tok_is(j, ")") || f.tok_is(j, "]") || f.tok_is(j, "}")) --depth;
+    if (depth) continue;
+    if (f.tok_is(j, ";")) return false;  // classic three-clause for
+    if (f.tok_is(j, ":") && !colon) colon = j;
+  }
+  if (!colon) return false;
+  std::string base;
+  for (std::size_t j = colon + 1; j + 1 < close; ++j) {
+    const Token& t = f.tokens[j];
+    if (t.kind == Tok::Ident) {
+      base = f.tok(t);
+    } else if (!(f.tok_is(j, ".") || f.tok_is(j, "->") || f.tok_is(j, "::"))) {
+      return false;  // not a pure identifier chain
+    }
+  }
+  if (base.empty()) return false;
+  out.for_tok = i;
+  out.base = base;
+  if (f.tok_is(close, "{")) {
+    out.body_begin = close + 1;
+    out.body_end = match_close(f, close, "{", "}");
+  } else {  // single statement: up to the terminating `;` at depth 0
+    std::size_t j = close;
+    int d = 0;
+    while (j < f.tokens.size()) {
+      if (f.tok_is(j, "(") || f.tok_is(j, "[") || f.tok_is(j, "{")) ++d;
+      if (f.tok_is(j, ")") || f.tok_is(j, "]") || f.tok_is(j, "}")) --d;
+      if (d == 0 && f.tok_is(j, ";")) break;
+      ++j;
+    }
+    out.body_begin = close;
+    out.body_end = j;
+  }
+  return true;
+}
+
+// One past the `}` closing the scope the loop lives in (for the
+// intervening-sort escape: a sort anywhere later in the same scope).
+std::size_t enclosing_scope_end(const LexedFile& f, std::size_t from) {
+  int depth = 0;
+  for (std::size_t j = from; j < f.tokens.size(); ++j) {
+    if (f.tok_is(j, "{")) ++depth;
+    if (f.tok_is(j, "}")) {
+      if (depth == 0) return j;
+      --depth;
+    }
+  }
+  return f.tokens.size();
+}
+
+bool has_sink(const LexedFile& f, std::size_t b, std::size_t e) {
+  for (std::size_t j = b; j < e && j < f.tokens.size(); ++j) {
+    if (f.tokens[j].kind != Tok::Ident) continue;
+    if (ident_in(f, j, kSinkIdents.data(), kSinkIdents.size())) return true;
+    if (ident_in(f, j, kAccumSinks.data(), kAccumSinks.size())) return true;
+  }
+  return false;
+}
+
+bool has_sort(const LexedFile& f, std::size_t b, std::size_t e) {
+  for (std::size_t j = b; j < e && j < f.tokens.size(); ++j)
+    if (f.tok_is(j, Tok::Ident, "sort") || f.tok_is(j, Tok::Ident, "stable_sort"))
+      return true;
+  return false;
+}
+
+// `if (<relational compare>) ... = ...` inside the body: the shape of an
+// argmax/selection whose tie-break depends on iteration order.
+bool has_order_dependent_selection(const LexedFile& f, std::size_t b, std::size_t e) {
+  for (std::size_t j = b; j < e && j < f.tokens.size(); ++j) {
+    if (!f.tok_is(j, Tok::Ident, "if") || !f.tok_is(j + 1, "(")) continue;
+    const std::size_t cond_end = match_close(f, j + 1, "(", ")");
+    if (cond_end > e) continue;
+    bool relational = false;
+    for (std::size_t k = j + 2; k + 1 < cond_end; ++k) {
+      if (f.tokens[k].kind != Tok::Punct) continue;
+      if (f.tok_is(k, "<") || f.tok_is(k, ">") || f.tok_is(k, "<=") || f.tok_is(k, ">="))
+        relational = true;
+    }
+    if (!relational) continue;
+    std::size_t stmt_end;
+    if (f.tok_is(cond_end, "{")) {
+      stmt_end = match_close(f, cond_end, "{", "}");
+    } else {
+      stmt_end = cond_end;
+      while (stmt_end < e && !f.tok_is(stmt_end, ";")) ++stmt_end;
+    }
+    for (std::size_t k = cond_end; k < stmt_end && k < e; ++k) {
+      if (f.tokens[k].kind != Tok::Punct) continue;
+      if (f.tok_is(k, "=") || f.tok_is(k, "+=") || f.tok_is(k, "-=") ||
+          f.tok_is(k, "*=") || f.tok_is(k, "/="))
+        return true;
+    }
+  }
+  return false;
+}
+
+void check_unordered_iteration(const LexedFile& f, std::vector<Finding>& out) {
+  const std::set<std::string> unordered = unordered_decl_names(f);
+  if (unordered.empty()) return;
+  for (std::size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+    RangeFor loop;
+    if (!parse_range_for(f, i, loop)) continue;
+    if (!unordered.count(loop.base)) continue;
+    const std::size_t scope_end = enclosing_scope_end(f, loop.body_end);
+    const bool sink = has_sink(f, loop.body_begin, loop.body_end);
+    const bool sorted_later = has_sort(f, loop.body_begin, scope_end);
+    const bool selection =
+        has_order_dependent_selection(f, loop.body_begin, loop.body_end);
+    if (sink && !sorted_later) {
+      out.push_back({f.path, f.tokens[loop.for_tok].line, "unordered-iteration",
+                     "range-for over unordered container `" + loop.base +
+                         "` reaches an output/serialization/hash sink; iterate a "
+                         "sorted materialization so the emitted order is "
+                         "deterministic"});
+    } else if (selection) {
+      out.push_back({f.path, f.tokens[loop.for_tok].line, "unordered-iteration",
+                     "range-for over unordered container `" + loop.base +
+                         "` drives an order-dependent selection (relational compare "
+                         "+ assignment); iterate a sorted materialization so ties "
+                         "break deterministically"});
+    }
+  }
+}
+
+// ------------------------------------------------------------ wall-clock
+
+const std::array<const char*, 11> kClockIdents = {
+    "system_clock", "steady_clock", "high_resolution_clock", "clock_gettime",
+    "gettimeofday", "localtime",    "gmtime",                "mktime",
+    "ctime",        "asctime",      "timespec_get"};
+
+void check_wall_clock(const LexedFile& f, std::vector<Finding>& out) {
+  if (f.path == "src/util/timer.hpp" || path_starts_with(f.path, "src/runner/") ||
+      path_starts_with(f.path, "bench/"))
+    return;
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    if (f.tokens[i].kind != Tok::Ident) continue;
+    std::string what;
+    if (ident_in(f, i, kClockIdents.data(), kClockIdents.size())) {
+      what = f.tok(f.tokens[i]);
+    } else if (f.tok_is(i, "time") && i > 0 && f.tok_is(i - 1, "::") &&
+               f.tok_is(i + 1, "(")) {
+      what = "time";
+    }
+    if (what.empty()) continue;
+    out.push_back({f.path, f.tokens[i].line, "wall-clock",
+                   "wall-clock source `" + what +
+                       "` outside the runner/bench timing seam; route timing "
+                       "through util::Stopwatch (src/util/timer.hpp) so replays "
+                       "stay deterministic"});
+  }
+}
+
+// ------------------------------------------------------------ raw-random
+
+const std::array<const char*, 11> kRandomTypes = {
+    "random_device", "mt19937",     "mt19937_64",   "minstd_rand",
+    "minstd_rand0",  "default_random_engine",       "knuth_b",
+    "ranlux24",      "ranlux48",    "ranlux24_base", "ranlux48_base"};
+const std::array<const char*, 7> kRandomCalls = {"rand",    "srand",   "drand48",
+                                                 "srand48", "lrand48", "mrand48",
+                                                 "rand_r"};
+
+void check_raw_random(const LexedFile& f, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    if (f.tokens[i].kind != Tok::Ident) continue;
+    const bool member = i > 0 && (f.tok_is(i - 1, ".") || f.tok_is(i - 1, "->"));
+    std::string what;
+    if (ident_in(f, i, kRandomTypes.data(), kRandomTypes.size()) && !member) {
+      what = f.tok(f.tokens[i]);
+    } else if (ident_in(f, i, kRandomCalls.data(), kRandomCalls.size()) && !member &&
+               f.tok_is(i + 1, "(")) {
+      what = f.tok(f.tokens[i]);
+    }
+    if (what.empty()) continue;
+    out.push_back({f.path, f.tokens[i].line, "raw-random",
+                   "raw random source `" + what +
+                       "`; use the seeded util::Rng (PCG32, src/util/rng.hpp) so "
+                       "runs replay bit-identically"});
+  }
+}
+
+// ------------------------------------------- pointer-keyed-container
+
+const std::array<const char*, 4> kOrderedTypes = {"map", "set", "multimap", "multiset"};
+
+void check_pointer_keyed(const LexedFile& f, std::vector<Finding>& out) {
+  for (std::size_t i = 2; i + 1 < f.tokens.size(); ++i) {
+    if (f.tokens[i].kind != Tok::Ident) continue;
+    if (!ident_in(f, i, kOrderedTypes.data(), kOrderedTypes.size())) continue;
+    if (!f.tok_is(i - 1, "::") || !f.tok_is(i - 2, "std")) continue;
+    if (!f.tok_is(i + 1, "<")) continue;
+    // first template argument: up to a depth-0 comma or the closing '>'
+    int depth = 0;
+    std::size_t j = i + 2;
+    const std::size_t close = match_template_close(f, i + 1);
+    bool pointer = false;
+    for (; j < close && j < f.tokens.size(); ++j) {
+      if (f.tok_is(j, "<") || f.tok_is(j, "(") || f.tok_is(j, "[")) ++depth;
+      if (f.tok_is(j, ">") || f.tok_is(j, ")") || f.tok_is(j, "]")) --depth;
+      if (depth < 0) break;  // the container's own '>'
+      if (depth == 0 && f.tok_is(j, ",")) break;
+      if (f.tok_is(j, "*")) pointer = true;
+    }
+    if (!pointer) continue;
+    const std::string arg = join_tokens(f, i + 2, j);
+    out.push_back({f.path, f.tokens[i].line, "pointer-keyed-container",
+                   "std::" + f.tok(f.tokens[i]) + " keyed by raw pointer `" + arg +
+                       "`; pointer order is allocation order — key by a stable "
+                       "id instead"});
+  }
+}
+
+}  // namespace
+
+void run_determinism_rules(const LexedFile& f, const std::vector<std::string>& rules,
+                           std::vector<Finding>& findings) {
+  if (rule_wanted(rules, "unordered-iteration")) check_unordered_iteration(f, findings);
+  if (rule_wanted(rules, "wall-clock")) check_wall_clock(f, findings);
+  if (rule_wanted(rules, "raw-random")) check_raw_random(f, findings);
+  if (rule_wanted(rules, "pointer-keyed-container")) check_pointer_keyed(f, findings);
+}
+
+}  // namespace taf::analyze

@@ -1,0 +1,82 @@
+#pragma once
+// Small token-walking helpers shared by the token-level rule families
+// (rules_determinism.cpp, rules_concurrency.cpp). Internal to the
+// analyzer; not part of its public surface.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyzer/lexer.hpp"
+
+namespace taf::analyze::detail {
+
+inline bool tok_text_is(const LexedFile& f, std::size_t i, const char* s) {
+  return f.tok_is(i, s);
+}
+
+/// Index one past the matching closer for the opener token at `i`
+/// ("(" / "[" / "{"); tokens.size() when unbalanced.
+inline std::size_t match_close(const LexedFile& f, std::size_t i, const char* open,
+                               const char* close) {
+  int depth = 0;
+  for (; i < f.tokens.size(); ++i) {
+    if (f.tok_is(i, open)) ++depth;
+    if (f.tok_is(i, close)) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return f.tokens.size();
+}
+
+/// Index one past the ">" closing a template argument list whose "<" is at
+/// `i`; counts a ">>" token as two closers. tokens.size() when unbalanced.
+inline std::size_t match_template_close(const LexedFile& f, std::size_t i) {
+  int depth = 0;
+  for (; i < f.tokens.size(); ++i) {
+    if (f.tok_is(i, "<")) {
+      ++depth;
+    } else if (f.tok_is(i, "<<")) {
+      depth += 2;
+    } else if (f.tok_is(i, ">")) {
+      if (--depth <= 0) return i + 1;
+    } else if (f.tok_is(i, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (f.tok_is(i, ";")) {
+      return i;  // statement end before balance: treat as unterminated
+    }
+  }
+  return f.tokens.size();
+}
+
+/// Join token texts [b, e) compactly: a space only where two word-ish
+/// tokens would otherwise fuse.
+inline std::string join_tokens(const LexedFile& f, std::size_t b, std::size_t e) {
+  auto wordish = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '_';
+  };
+  std::string out;
+  for (std::size_t i = b; i < e && i < f.tokens.size(); ++i) {
+    const std::string t = f.tok(f.tokens[i]);
+    if (!out.empty() && !t.empty() && wordish(out.back()) && wordish(t.front()))
+      out += ' ';
+    out += t;
+  }
+  return out;
+}
+
+inline bool rule_wanted(const std::vector<std::string>& rules, const char* name) {
+  if (rules.empty()) return true;
+  for (const std::string& r : rules)
+    if (r == name) return true;
+  return false;
+}
+
+inline bool path_starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace taf::analyze::detail
