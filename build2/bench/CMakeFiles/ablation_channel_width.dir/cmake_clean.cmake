@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_channel_width.dir/ablation_channel_width.cpp.o"
+  "CMakeFiles/ablation_channel_width.dir/ablation_channel_width.cpp.o.d"
+  "ablation_channel_width"
+  "ablation_channel_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_channel_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

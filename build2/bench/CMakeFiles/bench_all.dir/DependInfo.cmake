@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_channel_width.cpp" "bench/CMakeFiles/bench_all.dir/ablation_channel_width.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/ablation_channel_width.cpp.o.d"
+  "/root/repo/bench/ablation_convergence.cpp" "bench/CMakeFiles/bench_all.dir/ablation_convergence.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/ablation_convergence.cpp.o.d"
+  "/root/repo/bench/ablation_sizing.cpp" "bench/CMakeFiles/bench_all.dir/ablation_sizing.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/ablation_sizing.cpp.o.d"
+  "/root/repo/bench/bench_all.cpp" "bench/CMakeFiles/bench_all.dir/bench_all.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/bench_all.cpp.o.d"
+  "/root/repo/bench/comparison_online_dvfs.cpp" "bench/CMakeFiles/bench_all.dir/comparison_online_dvfs.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/comparison_online_dvfs.cpp.o.d"
+  "/root/repo/bench/dynamic_throttling.cpp" "bench/CMakeFiles/bench_all.dir/dynamic_throttling.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/dynamic_throttling.cpp.o.d"
+  "/root/repo/bench/eq1_expected_delay.cpp" "bench/CMakeFiles/bench_all.dir/eq1_expected_delay.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/eq1_expected_delay.cpp.o.d"
+  "/root/repo/bench/fig1_delay_vs_temp.cpp" "bench/CMakeFiles/bench_all.dir/fig1_delay_vs_temp.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/fig1_delay_vs_temp.cpp.o.d"
+  "/root/repo/bench/fig2_corner_matrix.cpp" "bench/CMakeFiles/bench_all.dir/fig2_corner_matrix.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/fig2_corner_matrix.cpp.o.d"
+  "/root/repo/bench/fig3_cp_corner_curves.cpp" "bench/CMakeFiles/bench_all.dir/fig3_cp_corner_curves.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/fig3_cp_corner_curves.cpp.o.d"
+  "/root/repo/bench/fig6_guardband_tamb25.cpp" "bench/CMakeFiles/bench_all.dir/fig6_guardband_tamb25.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/fig6_guardband_tamb25.cpp.o.d"
+  "/root/repo/bench/fig7_guardband_tamb70.cpp" "bench/CMakeFiles/bench_all.dir/fig7_guardband_tamb70.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/fig7_guardband_tamb70.cpp.o.d"
+  "/root/repo/bench/fig8_arch_opt_tamb70.cpp" "bench/CMakeFiles/bench_all.dir/fig8_arch_opt_tamb70.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/fig8_arch_opt_tamb70.cpp.o.d"
+  "/root/repo/bench/table1_arch_params.cpp" "bench/CMakeFiles/bench_all.dir/table1_arch_params.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/table1_arch_params.cpp.o.d"
+  "/root/repo/bench/table2_characterization.cpp" "bench/CMakeFiles/bench_all.dir/table2_characterization.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/table2_characterization.cpp.o.d"
+  "/root/repo/bench/task_allocation.cpp" "bench/CMakeFiles/bench_all.dir/task_allocation.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/task_allocation.cpp.o.d"
+  "/root/repo/bench/validation_dsp_liberty.cpp" "bench/CMakeFiles/bench_all.dir/validation_dsp_liberty.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/validation_dsp_liberty.cpp.o.d"
+  "/root/repo/bench/validation_thermal.cpp" "bench/CMakeFiles/bench_all.dir/validation_thermal.cpp.o" "gcc" "bench/CMakeFiles/bench_all.dir/validation_thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/taf_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/runner/CMakeFiles/taf_runner.dir/DependInfo.cmake"
+  "/root/repo/build2/src/timing/CMakeFiles/taf_timing.dir/DependInfo.cmake"
+  "/root/repo/build2/src/power/CMakeFiles/taf_power.dir/DependInfo.cmake"
+  "/root/repo/build2/src/thermal/CMakeFiles/taf_thermal.dir/DependInfo.cmake"
+  "/root/repo/build2/src/route/CMakeFiles/taf_route.dir/DependInfo.cmake"
+  "/root/repo/build2/src/place/CMakeFiles/taf_place.dir/DependInfo.cmake"
+  "/root/repo/build2/src/pack/CMakeFiles/taf_pack.dir/DependInfo.cmake"
+  "/root/repo/build2/src/activity/CMakeFiles/taf_activity.dir/DependInfo.cmake"
+  "/root/repo/build2/src/netlist/CMakeFiles/taf_netlist.dir/DependInfo.cmake"
+  "/root/repo/build2/src/coffe/CMakeFiles/taf_coffe.dir/DependInfo.cmake"
+  "/root/repo/build2/src/arch/CMakeFiles/taf_arch.dir/DependInfo.cmake"
+  "/root/repo/build2/src/spice/CMakeFiles/taf_spice.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tech/CMakeFiles/taf_tech.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/taf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

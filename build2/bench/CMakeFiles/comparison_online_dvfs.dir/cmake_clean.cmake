@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_online_dvfs.dir/comparison_online_dvfs.cpp.o"
+  "CMakeFiles/comparison_online_dvfs.dir/comparison_online_dvfs.cpp.o.d"
+  "comparison_online_dvfs"
+  "comparison_online_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_online_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_throttling.dir/dynamic_throttling.cpp.o"
+  "CMakeFiles/dynamic_throttling.dir/dynamic_throttling.cpp.o.d"
+  "dynamic_throttling"
+  "dynamic_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq1_expected_delay.dir/eq1_expected_delay.cpp.o"
+  "CMakeFiles/eq1_expected_delay.dir/eq1_expected_delay.cpp.o.d"
+  "eq1_expected_delay"
+  "eq1_expected_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq1_expected_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_delay_vs_temp.dir/fig1_delay_vs_temp.cpp.o"
+  "CMakeFiles/fig1_delay_vs_temp.dir/fig1_delay_vs_temp.cpp.o.d"
+  "fig1_delay_vs_temp"
+  "fig1_delay_vs_temp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_delay_vs_temp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_corner_matrix.dir/fig2_corner_matrix.cpp.o"
+  "CMakeFiles/fig2_corner_matrix.dir/fig2_corner_matrix.cpp.o.d"
+  "fig2_corner_matrix"
+  "fig2_corner_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_corner_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

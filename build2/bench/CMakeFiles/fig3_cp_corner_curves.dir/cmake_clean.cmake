@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cp_corner_curves.dir/fig3_cp_corner_curves.cpp.o"
+  "CMakeFiles/fig3_cp_corner_curves.dir/fig3_cp_corner_curves.cpp.o.d"
+  "fig3_cp_corner_curves"
+  "fig3_cp_corner_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cp_corner_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_cp_corner_curves.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_guardband_tamb25.dir/fig6_guardband_tamb25.cpp.o"
+  "CMakeFiles/fig6_guardband_tamb25.dir/fig6_guardband_tamb25.cpp.o.d"
+  "fig6_guardband_tamb25"
+  "fig6_guardband_tamb25.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_guardband_tamb25.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_guardband_tamb25.
+# This may be replaced when dependencies are built.

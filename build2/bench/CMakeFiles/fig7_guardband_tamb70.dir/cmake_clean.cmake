@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_guardband_tamb70.dir/fig7_guardband_tamb70.cpp.o"
+  "CMakeFiles/fig7_guardband_tamb70.dir/fig7_guardband_tamb70.cpp.o.d"
+  "fig7_guardband_tamb70"
+  "fig7_guardband_tamb70.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_guardband_tamb70.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_arch_opt_tamb70.dir/fig8_arch_opt_tamb70.cpp.o"
+  "CMakeFiles/fig8_arch_opt_tamb70.dir/fig8_arch_opt_tamb70.cpp.o.d"
+  "fig8_arch_opt_tamb70"
+  "fig8_arch_opt_tamb70.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_arch_opt_tamb70.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_simulator.dir/fleet_simulator.cpp.o"
+  "CMakeFiles/fleet_simulator.dir/fleet_simulator.cpp.o.d"
+  "fleet_simulator"
+  "fleet_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

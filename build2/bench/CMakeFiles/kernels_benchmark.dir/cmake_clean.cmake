@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_benchmark.dir/kernels_benchmark.cpp.o"
+  "CMakeFiles/kernels_benchmark.dir/kernels_benchmark.cpp.o.d"
+  "kernels_benchmark"
+  "kernels_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

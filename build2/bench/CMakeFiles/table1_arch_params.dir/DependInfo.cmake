@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_arch_params.cpp" "bench/CMakeFiles/table1_arch_params.dir/table1_arch_params.cpp.o" "gcc" "bench/CMakeFiles/table1_arch_params.dir/table1_arch_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/taf_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/runner/CMakeFiles/taf_runner.dir/DependInfo.cmake"
+  "/root/repo/build2/src/timing/CMakeFiles/taf_timing.dir/DependInfo.cmake"
+  "/root/repo/build2/src/power/CMakeFiles/taf_power.dir/DependInfo.cmake"
+  "/root/repo/build2/src/thermal/CMakeFiles/taf_thermal.dir/DependInfo.cmake"
+  "/root/repo/build2/src/route/CMakeFiles/taf_route.dir/DependInfo.cmake"
+  "/root/repo/build2/src/place/CMakeFiles/taf_place.dir/DependInfo.cmake"
+  "/root/repo/build2/src/pack/CMakeFiles/taf_pack.dir/DependInfo.cmake"
+  "/root/repo/build2/src/activity/CMakeFiles/taf_activity.dir/DependInfo.cmake"
+  "/root/repo/build2/src/netlist/CMakeFiles/taf_netlist.dir/DependInfo.cmake"
+  "/root/repo/build2/src/coffe/CMakeFiles/taf_coffe.dir/DependInfo.cmake"
+  "/root/repo/build2/src/arch/CMakeFiles/taf_arch.dir/DependInfo.cmake"
+  "/root/repo/build2/src/spice/CMakeFiles/taf_spice.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tech/CMakeFiles/taf_tech.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/taf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

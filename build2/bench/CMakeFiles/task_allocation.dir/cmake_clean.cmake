@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_allocation.dir/task_allocation.cpp.o"
+  "CMakeFiles/task_allocation.dir/task_allocation.cpp.o.d"
+  "task_allocation"
+  "task_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

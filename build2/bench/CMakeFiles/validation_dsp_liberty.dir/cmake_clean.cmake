@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_dsp_liberty.dir/validation_dsp_liberty.cpp.o"
+  "CMakeFiles/validation_dsp_liberty.dir/validation_dsp_liberty.cpp.o.d"
+  "validation_dsp_liberty"
+  "validation_dsp_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_dsp_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for validation_dsp_liberty.
+# This may be replaced when dependencies are built.

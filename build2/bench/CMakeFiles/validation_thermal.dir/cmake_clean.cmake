@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_thermal.dir/validation_thermal.cpp.o"
+  "CMakeFiles/validation_thermal.dir/validation_thermal.cpp.o.d"
+  "validation_thermal"
+  "validation_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corner_explorer.dir/corner_explorer.cpp.o"
+  "CMakeFiles/corner_explorer.dir/corner_explorer.cpp.o.d"
+  "corner_explorer"
+  "corner_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corner_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_accelerator.dir/datacenter_accelerator.cpp.o"
+  "CMakeFiles/datacenter_accelerator.dir/datacenter_accelerator.cpp.o.d"
+  "datacenter_accelerator"
+  "datacenter_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sweep.dir/parallel_sweep.cpp.o"
+  "CMakeFiles/parallel_sweep.dir/parallel_sweep.cpp.o.d"
+  "parallel_sweep"
+  "parallel_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_profile.dir/thermal_profile.cpp.o"
+  "CMakeFiles/thermal_profile.dir/thermal_profile.cpp.o.d"
+  "thermal_profile"
+  "thermal_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

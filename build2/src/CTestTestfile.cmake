@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tech")
+subdirs("spice")
+subdirs("arch")
+subdirs("coffe")
+subdirs("thermal")
+subdirs("netlist")
+subdirs("activity")
+subdirs("pack")
+subdirs("place")
+subdirs("route")
+subdirs("timing")
+subdirs("power")
+subdirs("core")
+subdirs("runner")
+subdirs("service")

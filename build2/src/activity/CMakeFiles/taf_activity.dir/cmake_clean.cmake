@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_activity.dir/activity.cpp.o"
+  "CMakeFiles/taf_activity.dir/activity.cpp.o.d"
+  "libtaf_activity.a"
+  "libtaf_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

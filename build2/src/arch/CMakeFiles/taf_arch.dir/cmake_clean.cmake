@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_arch.dir/fpga_grid.cpp.o"
+  "CMakeFiles/taf_arch.dir/fpga_grid.cpp.o.d"
+  "libtaf_arch.a"
+  "libtaf_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

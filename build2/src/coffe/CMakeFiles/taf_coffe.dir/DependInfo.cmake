@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coffe/bram_model.cpp" "src/coffe/CMakeFiles/taf_coffe.dir/bram_model.cpp.o" "gcc" "src/coffe/CMakeFiles/taf_coffe.dir/bram_model.cpp.o.d"
+  "/root/repo/src/coffe/device_model.cpp" "src/coffe/CMakeFiles/taf_coffe.dir/device_model.cpp.o" "gcc" "src/coffe/CMakeFiles/taf_coffe.dir/device_model.cpp.o.d"
+  "/root/repo/src/coffe/path_eval.cpp" "src/coffe/CMakeFiles/taf_coffe.dir/path_eval.cpp.o" "gcc" "src/coffe/CMakeFiles/taf_coffe.dir/path_eval.cpp.o.d"
+  "/root/repo/src/coffe/path_spec.cpp" "src/coffe/CMakeFiles/taf_coffe.dir/path_spec.cpp.o" "gcc" "src/coffe/CMakeFiles/taf_coffe.dir/path_spec.cpp.o.d"
+  "/root/repo/src/coffe/resource.cpp" "src/coffe/CMakeFiles/taf_coffe.dir/resource.cpp.o" "gcc" "src/coffe/CMakeFiles/taf_coffe.dir/resource.cpp.o.d"
+  "/root/repo/src/coffe/sizing.cpp" "src/coffe/CMakeFiles/taf_coffe.dir/sizing.cpp.o" "gcc" "src/coffe/CMakeFiles/taf_coffe.dir/sizing.cpp.o.d"
+  "/root/repo/src/coffe/stdcell.cpp" "src/coffe/CMakeFiles/taf_coffe.dir/stdcell.cpp.o" "gcc" "src/coffe/CMakeFiles/taf_coffe.dir/stdcell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/tech/CMakeFiles/taf_tech.dir/DependInfo.cmake"
+  "/root/repo/build2/src/spice/CMakeFiles/taf_spice.dir/DependInfo.cmake"
+  "/root/repo/build2/src/arch/CMakeFiles/taf_arch.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/taf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

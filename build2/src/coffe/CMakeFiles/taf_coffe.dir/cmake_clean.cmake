@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_coffe.dir/bram_model.cpp.o"
+  "CMakeFiles/taf_coffe.dir/bram_model.cpp.o.d"
+  "CMakeFiles/taf_coffe.dir/device_model.cpp.o"
+  "CMakeFiles/taf_coffe.dir/device_model.cpp.o.d"
+  "CMakeFiles/taf_coffe.dir/path_eval.cpp.o"
+  "CMakeFiles/taf_coffe.dir/path_eval.cpp.o.d"
+  "CMakeFiles/taf_coffe.dir/path_spec.cpp.o"
+  "CMakeFiles/taf_coffe.dir/path_spec.cpp.o.d"
+  "CMakeFiles/taf_coffe.dir/resource.cpp.o"
+  "CMakeFiles/taf_coffe.dir/resource.cpp.o.d"
+  "CMakeFiles/taf_coffe.dir/sizing.cpp.o"
+  "CMakeFiles/taf_coffe.dir/sizing.cpp.o.d"
+  "CMakeFiles/taf_coffe.dir/stdcell.cpp.o"
+  "CMakeFiles/taf_coffe.dir/stdcell.cpp.o.d"
+  "libtaf_coffe.a"
+  "libtaf_coffe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_coffe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_core.dir/dynamic.cpp.o"
+  "CMakeFiles/taf_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/taf_core.dir/flow.cpp.o"
+  "CMakeFiles/taf_core.dir/flow.cpp.o.d"
+  "CMakeFiles/taf_core.dir/stage_graph.cpp.o"
+  "CMakeFiles/taf_core.dir/stage_graph.cpp.o.d"
+  "libtaf_core.a"
+  "libtaf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

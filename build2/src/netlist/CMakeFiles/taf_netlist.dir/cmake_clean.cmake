@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_netlist.dir/benchmarks.cpp.o"
+  "CMakeFiles/taf_netlist.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/taf_netlist.dir/blif.cpp.o"
+  "CMakeFiles/taf_netlist.dir/blif.cpp.o.d"
+  "CMakeFiles/taf_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/taf_netlist.dir/netlist.cpp.o.d"
+  "libtaf_netlist.a"
+  "libtaf_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_pack.dir/pack.cpp.o"
+  "CMakeFiles/taf_pack.dir/pack.cpp.o.d"
+  "libtaf_pack.a"
+  "libtaf_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

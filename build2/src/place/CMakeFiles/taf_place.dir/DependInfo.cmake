@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/place.cpp" "src/place/CMakeFiles/taf_place.dir/place.cpp.o" "gcc" "src/place/CMakeFiles/taf_place.dir/place.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/pack/CMakeFiles/taf_pack.dir/DependInfo.cmake"
+  "/root/repo/build2/src/arch/CMakeFiles/taf_arch.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/taf_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/netlist/CMakeFiles/taf_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

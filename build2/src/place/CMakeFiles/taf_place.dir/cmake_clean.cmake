@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_place.dir/place.cpp.o"
+  "CMakeFiles/taf_place.dir/place.cpp.o.d"
+  "libtaf_place.a"
+  "libtaf_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

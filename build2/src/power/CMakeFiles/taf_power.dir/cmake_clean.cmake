@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_power.dir/power.cpp.o"
+  "CMakeFiles/taf_power.dir/power.cpp.o.d"
+  "libtaf_power.a"
+  "libtaf_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtaf_power.a"
+)

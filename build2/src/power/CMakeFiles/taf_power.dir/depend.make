@@ -1,0 +1,2 @@
+# Empty dependencies file for taf_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/router.cpp" "src/route/CMakeFiles/taf_route.dir/router.cpp.o" "gcc" "src/route/CMakeFiles/taf_route.dir/router.cpp.o.d"
+  "/root/repo/src/route/rr_graph.cpp" "src/route/CMakeFiles/taf_route.dir/rr_graph.cpp.o" "gcc" "src/route/CMakeFiles/taf_route.dir/rr_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/pack/CMakeFiles/taf_pack.dir/DependInfo.cmake"
+  "/root/repo/build2/src/place/CMakeFiles/taf_place.dir/DependInfo.cmake"
+  "/root/repo/build2/src/arch/CMakeFiles/taf_arch.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/taf_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/netlist/CMakeFiles/taf_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_route.dir/router.cpp.o"
+  "CMakeFiles/taf_route.dir/router.cpp.o.d"
+  "CMakeFiles/taf_route.dir/rr_graph.cpp.o"
+  "CMakeFiles/taf_route.dir/rr_graph.cpp.o.d"
+  "libtaf_route.a"
+  "libtaf_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_runner.dir/artifact_store.cpp.o"
+  "CMakeFiles/taf_runner.dir/artifact_store.cpp.o.d"
+  "CMakeFiles/taf_runner.dir/flow_cache.cpp.o"
+  "CMakeFiles/taf_runner.dir/flow_cache.cpp.o.d"
+  "CMakeFiles/taf_runner.dir/metrics.cpp.o"
+  "CMakeFiles/taf_runner.dir/metrics.cpp.o.d"
+  "CMakeFiles/taf_runner.dir/sweep.cpp.o"
+  "CMakeFiles/taf_runner.dir/sweep.cpp.o.d"
+  "CMakeFiles/taf_runner.dir/thread_pool.cpp.o"
+  "CMakeFiles/taf_runner.dir/thread_pool.cpp.o.d"
+  "libtaf_runner.a"
+  "libtaf_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

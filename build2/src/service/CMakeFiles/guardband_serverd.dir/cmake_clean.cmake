@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardband_serverd.dir/serverd_main.cpp.o"
+  "CMakeFiles/guardband_serverd.dir/serverd_main.cpp.o.d"
+  "guardband_serverd"
+  "guardband_serverd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardband_serverd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

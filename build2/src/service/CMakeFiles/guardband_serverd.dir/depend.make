@@ -1,0 +1,2 @@
+# Empty dependencies file for guardband_serverd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_service.dir/guardband_server.cpp.o"
+  "CMakeFiles/taf_service.dir/guardband_server.cpp.o.d"
+  "CMakeFiles/taf_service.dir/protocol.cpp.o"
+  "CMakeFiles/taf_service.dir/protocol.cpp.o.d"
+  "CMakeFiles/taf_service.dir/socket_transport.cpp.o"
+  "CMakeFiles/taf_service.dir/socket_transport.cpp.o.d"
+  "libtaf_service.a"
+  "libtaf_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

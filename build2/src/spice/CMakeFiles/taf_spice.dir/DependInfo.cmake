@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/taf_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/taf_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/linear.cpp" "src/spice/CMakeFiles/taf_spice.dir/linear.cpp.o" "gcc" "src/spice/CMakeFiles/taf_spice.dir/linear.cpp.o.d"
+  "/root/repo/src/spice/mosfet_model.cpp" "src/spice/CMakeFiles/taf_spice.dir/mosfet_model.cpp.o" "gcc" "src/spice/CMakeFiles/taf_spice.dir/mosfet_model.cpp.o.d"
+  "/root/repo/src/spice/solver.cpp" "src/spice/CMakeFiles/taf_spice.dir/solver.cpp.o" "gcc" "src/spice/CMakeFiles/taf_spice.dir/solver.cpp.o.d"
+  "/root/repo/src/spice/sparse.cpp" "src/spice/CMakeFiles/taf_spice.dir/sparse.cpp.o" "gcc" "src/spice/CMakeFiles/taf_spice.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/tech/CMakeFiles/taf_tech.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/taf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

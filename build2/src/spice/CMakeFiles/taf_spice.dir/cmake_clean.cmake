@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_spice.dir/circuit.cpp.o"
+  "CMakeFiles/taf_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/taf_spice.dir/linear.cpp.o"
+  "CMakeFiles/taf_spice.dir/linear.cpp.o.d"
+  "CMakeFiles/taf_spice.dir/mosfet_model.cpp.o"
+  "CMakeFiles/taf_spice.dir/mosfet_model.cpp.o.d"
+  "CMakeFiles/taf_spice.dir/solver.cpp.o"
+  "CMakeFiles/taf_spice.dir/solver.cpp.o.d"
+  "CMakeFiles/taf_spice.dir/sparse.cpp.o"
+  "CMakeFiles/taf_spice.dir/sparse.cpp.o.d"
+  "libtaf_spice.a"
+  "libtaf_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

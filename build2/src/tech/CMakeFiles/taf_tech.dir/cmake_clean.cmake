@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_tech.dir/technology.cpp.o"
+  "CMakeFiles/taf_tech.dir/technology.cpp.o.d"
+  "libtaf_tech.a"
+  "libtaf_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

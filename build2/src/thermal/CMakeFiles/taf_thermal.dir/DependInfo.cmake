@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/stencil_solver.cpp" "src/thermal/CMakeFiles/taf_thermal.dir/stencil_solver.cpp.o" "gcc" "src/thermal/CMakeFiles/taf_thermal.dir/stencil_solver.cpp.o.d"
+  "/root/repo/src/thermal/thermal_grid.cpp" "src/thermal/CMakeFiles/taf_thermal.dir/thermal_grid.cpp.o" "gcc" "src/thermal/CMakeFiles/taf_thermal.dir/thermal_grid.cpp.o.d"
+  "/root/repo/src/thermal/transient.cpp" "src/thermal/CMakeFiles/taf_thermal.dir/transient.cpp.o" "gcc" "src/thermal/CMakeFiles/taf_thermal.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/arch/CMakeFiles/taf_arch.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/taf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

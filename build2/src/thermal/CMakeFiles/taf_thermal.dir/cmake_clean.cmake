@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_thermal.dir/stencil_solver.cpp.o"
+  "CMakeFiles/taf_thermal.dir/stencil_solver.cpp.o.d"
+  "CMakeFiles/taf_thermal.dir/thermal_grid.cpp.o"
+  "CMakeFiles/taf_thermal.dir/thermal_grid.cpp.o.d"
+  "CMakeFiles/taf_thermal.dir/transient.cpp.o"
+  "CMakeFiles/taf_thermal.dir/transient.cpp.o.d"
+  "libtaf_thermal.a"
+  "libtaf_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

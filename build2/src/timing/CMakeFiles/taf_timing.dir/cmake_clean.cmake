@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_timing.dir/timing.cpp.o"
+  "CMakeFiles/taf_timing.dir/timing.cpp.o.d"
+  "libtaf_timing.a"
+  "libtaf_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_util.dir/env.cpp.o"
+  "CMakeFiles/taf_util.dir/env.cpp.o.d"
+  "CMakeFiles/taf_util.dir/log.cpp.o"
+  "CMakeFiles/taf_util.dir/log.cpp.o.d"
+  "CMakeFiles/taf_util.dir/stats.cpp.o"
+  "CMakeFiles/taf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/taf_util.dir/table.cpp.o"
+  "CMakeFiles/taf_util.dir/table.cpp.o.d"
+  "libtaf_util.a"
+  "libtaf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_activity.dir/test_activity.cpp.o"
+  "CMakeFiles/test_activity.dir/test_activity.cpp.o.d"
+  "test_activity"
+  "test_activity.pdb"
+  "test_activity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cad.dir/test_cad.cpp.o"
+  "CMakeFiles/test_cad.dir/test_cad.cpp.o.d"
+  "test_cad"
+  "test_cad.pdb"
+  "test_cad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

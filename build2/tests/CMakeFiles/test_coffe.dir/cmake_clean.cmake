@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coffe.dir/test_coffe.cpp.o"
+  "CMakeFiles/test_coffe.dir/test_coffe.cpp.o.d"
+  "test_coffe"
+  "test_coffe.pdb"
+  "test_coffe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coffe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

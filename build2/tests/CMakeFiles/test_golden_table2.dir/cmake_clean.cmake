@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_table2.dir/test_golden_table2.cpp.o"
+  "CMakeFiles/test_golden_table2.dir/test_golden_table2.cpp.o.d"
+  "test_golden_table2"
+  "test_golden_table2.pdb"
+  "test_golden_table2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_table2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guardband_incremental.dir/test_guardband_incremental.cpp.o"
+  "CMakeFiles/test_guardband_incremental.dir/test_guardband_incremental.cpp.o.d"
+  "test_guardband_incremental"
+  "test_guardband_incremental.pdb"
+  "test_guardband_incremental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guardband_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

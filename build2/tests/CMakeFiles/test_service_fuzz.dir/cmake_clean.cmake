@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_fuzz.dir/test_service_fuzz.cpp.o"
+  "CMakeFiles/test_service_fuzz.dir/test_service_fuzz.cpp.o.d"
+  "test_service_fuzz"
+  "test_service_fuzz.pdb"
+  "test_service_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

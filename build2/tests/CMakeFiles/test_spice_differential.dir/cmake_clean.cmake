@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_differential.dir/test_spice_differential.cpp.o"
+  "CMakeFiles/test_spice_differential.dir/test_spice_differential.cpp.o.d"
+  "test_spice_differential"
+  "test_spice_differential.pdb"
+  "test_spice_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

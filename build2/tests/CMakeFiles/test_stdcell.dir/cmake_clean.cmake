@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stdcell.dir/test_stdcell.cpp.o"
+  "CMakeFiles/test_stdcell.dir/test_stdcell.cpp.o.d"
+  "test_stdcell"
+  "test_stdcell.pdb"
+  "test_stdcell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stdcell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

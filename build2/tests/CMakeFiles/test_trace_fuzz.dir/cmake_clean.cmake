@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_fuzz.dir/test_trace_fuzz.cpp.o"
+  "CMakeFiles/test_trace_fuzz.dir/test_trace_fuzz.cpp.o.d"
+  "test_trace_fuzz"
+  "test_trace_fuzz.pdb"
+  "test_trace_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

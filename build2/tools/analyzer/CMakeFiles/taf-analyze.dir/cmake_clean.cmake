@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf-analyze.dir/main.cpp.o"
+  "CMakeFiles/taf-analyze.dir/main.cpp.o.d"
+  "taf-analyze"
+  "taf-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/analyzer/analyzer.cpp" "tools/analyzer/CMakeFiles/taf_analyze_core.dir/analyzer.cpp.o" "gcc" "tools/analyzer/CMakeFiles/taf_analyze_core.dir/analyzer.cpp.o.d"
+  "/root/repo/tools/analyzer/lexer.cpp" "tools/analyzer/CMakeFiles/taf_analyze_core.dir/lexer.cpp.o" "gcc" "tools/analyzer/CMakeFiles/taf_analyze_core.dir/lexer.cpp.o.d"
+  "/root/repo/tools/analyzer/rules_concurrency.cpp" "tools/analyzer/CMakeFiles/taf_analyze_core.dir/rules_concurrency.cpp.o" "gcc" "tools/analyzer/CMakeFiles/taf_analyze_core.dir/rules_concurrency.cpp.o.d"
+  "/root/repo/tools/analyzer/rules_determinism.cpp" "tools/analyzer/CMakeFiles/taf_analyze_core.dir/rules_determinism.cpp.o" "gcc" "tools/analyzer/CMakeFiles/taf_analyze_core.dir/rules_determinism.cpp.o.d"
+  "/root/repo/tools/analyzer/rules_seam.cpp" "tools/analyzer/CMakeFiles/taf_analyze_core.dir/rules_seam.cpp.o" "gcc" "tools/analyzer/CMakeFiles/taf_analyze_core.dir/rules_seam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

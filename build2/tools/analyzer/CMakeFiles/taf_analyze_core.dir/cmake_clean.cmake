@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taf_analyze_core.dir/analyzer.cpp.o"
+  "CMakeFiles/taf_analyze_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/taf_analyze_core.dir/lexer.cpp.o"
+  "CMakeFiles/taf_analyze_core.dir/lexer.cpp.o.d"
+  "CMakeFiles/taf_analyze_core.dir/rules_concurrency.cpp.o"
+  "CMakeFiles/taf_analyze_core.dir/rules_concurrency.cpp.o.d"
+  "CMakeFiles/taf_analyze_core.dir/rules_determinism.cpp.o"
+  "CMakeFiles/taf_analyze_core.dir/rules_determinism.cpp.o.d"
+  "CMakeFiles/taf_analyze_core.dir/rules_seam.cpp.o"
+  "CMakeFiles/taf_analyze_core.dir/rules_seam.cpp.o.d"
+  "libtaf_analyze_core.a"
+  "libtaf_analyze_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taf_analyze_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
