@@ -107,6 +107,12 @@ struct FlowCounters {
   /// counters so Algorithm 1 and trace-replay work never conflate.
   std::uint64_t transient_steps = 0;
   std::uint64_t transient_cg_iterations = 0;
+  /// Place->thermal feedback work (the thermal_place stage): adjoint
+  /// gradient solves performed and re-place moves proposed by the
+  /// bounded refinement passes. Zero whenever the feature is off or the
+  /// refined placement was served from the artifact store.
+  std::uint64_t thermal_adjoint_solves = 0;
+  std::uint64_t replace_moves = 0;
 
   FlowCounters operator-(const FlowCounters& rhs) const {
     FlowCounters d;
@@ -118,6 +124,8 @@ struct FlowCounters {
     d.thermal_precond_iterations = thermal_precond_iterations - rhs.thermal_precond_iterations;
     d.transient_steps = transient_steps - rhs.transient_steps;
     d.transient_cg_iterations = transient_cg_iterations - rhs.transient_cg_iterations;
+    d.thermal_adjoint_solves = thermal_adjoint_solves - rhs.thermal_adjoint_solves;
+    d.replace_moves = replace_moves - rhs.replace_moves;
     return d;
   }
 };
@@ -156,10 +164,49 @@ struct FlowObserver {
 /// computations and capture fresh ones, without core knowing about disk.
 struct StageHooks;
 
+/// Thermal-aware placement refinement — the place->thermal feedback edge
+/// (DESIGN.md section 15). Off by default: with enabled == false the flow
+/// graph, every stage hash, and every result are untouched. When enabled,
+/// two extra stages run after the thermally-blind flow: `thermal_place`
+/// (price tiles with d(peak T)/d(P) from ThermalGrid::solve_adjoint and
+/// greedily refine the placement under the composed cost model, up to
+/// `passes` candidate passes with the gradient field refreshed after each
+/// accepted one) and `route_refined` (re-route the refined placement),
+/// and the final STA is built on the refined artifacts. Every pass is
+/// guarded: it is kept only if the rerouted design is strictly faster at
+/// the pricing point, or equally fast with a strictly lower realized
+/// peak — the feedback edge can only improve the implementation.
+struct ThermalPlaceOptions {
+  bool enabled = false;
+  /// Device whose Table II characterization prices block dynamic power
+  /// and leakage. Required when enabled (implement() throws otherwise);
+  /// borrowed, not owned. The stage's content hash identifies the device
+  /// by (name, t_opt_c) — sufficient because devices are deterministic in
+  /// (technology, arch, t_opt) and both are already hashed upstream.
+  const coffe::DeviceModel* device = nullptr;
+  /// Cost-mix weight: HPWL units per kelvin of predicted smooth-peak
+  /// rise. Zero disables the thermal term (the refinement then only
+  /// polishes wirelength).
+  double weight = 1.0e6;
+  int passes = 4;          ///< candidate passes (a rejected pass retries with a new seed)
+  double effort = 0.25;    ///< refinement move budget scale (see PlaceOptions)
+  int max_rounds = 32;     ///< descent rounds per refinement pass
+  /// Smooth-max temperature scale tau of the log-sum-exp peak selection.
+  units::Kelvin smooth_tau_k{0.05};
+  /// Operating point the power map is priced at: design frequency and a
+  /// uniform leakage temperature (the gradient is refreshed per pass, not
+  /// per Algorithm 1 iteration, so a representative point suffices).
+  units::Megahertz pricing_f_mhz{100.0};
+  units::Celsius pricing_temp_c{60.0};
+  /// Thermal model for the adjoint solves (backend, conductances).
+  thermal::ThermalConfig thermal;
+};
+
 struct ImplementOptions {
   unsigned seed = 1;
   double place_effort = 0.5;
   route::RouteOptions route;
+  ThermalPlaceOptions thermal_place;
   const FlowObserver* observer = nullptr;  ///< not owned; may be null
   const StageHooks* stage_hooks = nullptr; ///< not owned; may be null
 };

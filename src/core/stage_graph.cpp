@@ -1,6 +1,7 @@
 #include "core/stage_graph.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -20,6 +21,8 @@ const char* artifact_kind_name(ArtifactKind kind) {
     case ArtifactKind::Routes: return "routes";
     case ArtifactKind::Activity: return "activity";
     case ArtifactKind::Sta: return "sta";
+    case ArtifactKind::PlacementRefined: return "placement_refined";
+    case ArtifactKind::RoutesRefined: return "routes_refined";
   }
   return "unknown";
 }
@@ -203,6 +206,104 @@ void load_activity(FlowBuild& b, std::string_view payload) {
   d.expect_done();
 }
 
+// --- ThermalPlace (place -> thermal feedback edge) -------------------------
+
+/// Quantize adjoint prices to 1e-3 K/W before they reach the placer:
+/// the two thermal backends agree only to solver tolerance (~1e-10 K/W),
+/// so pricing at a granularity orders of magnitude above that makes
+/// every accept decision — and hence the refined placement artifact —
+/// backend-independent (same pattern as FlowCache::quantize_t_opt).
+double quantize_price(double k_per_w) {
+  return std::round(k_per_w * 1000.0) / 1000.0;
+}
+
+void run_thermal_place(FlowBuild& b) {
+  const ThermalPlaceOptions& tp = b.opt.thermal_place;
+  const coffe::DeviceModel& dev = *tp.device;
+  Implementation& impl = *b.impl;
+  FlowCounters& counters = thread_flow_counters();
+
+  thermal::ThermalConfig tcfg = tp.thermal;
+  const thermal::ThermalGrid tgrid(impl.grid, tcfg);
+  const std::vector<double> block_w = power::block_dynamic_power(
+      dev, impl.nl, impl.packed, impl.activity, tp.pricing_f_mhz);
+  const std::vector<double> pricing_temp(
+      static_cast<std::size_t>(impl.grid.num_tiles()), tp.pricing_temp_c.value());
+
+  place::RefineOptions ropt;
+  ropt.effort = tp.effort;
+  ropt.max_rounds = tp.max_rounds;
+
+  // Timing guard: a pass is only kept when the rerouted design is at
+  // least as fast as what it replaces (STA at the uniform pricing
+  // temperature). Thermal-aware refinement must never ship a slower
+  // implementation — placement moves reroute nets, and routed-delay
+  // perturbation would otherwise swamp the kelvin-scale thermal win.
+  double fmax_best =
+      timing::TimingAnalyzer(impl.nl, impl.packed, impl.placement, impl.rr,
+                             impl.routes, impl.grid)
+          .analyze_uniform(dev, tp.pricing_temp_c)
+          .fmax_mhz.value();
+
+  for (int pass = 0; pass < tp.passes; ++pass) {
+    const power::PowerBreakdown power = power::compute_power(
+        dev, impl.nl, impl.packed, impl.placement, impl.rr, impl.routes,
+        impl.activity, tp.pricing_f_mhz, pricing_temp, impl.grid);
+    const thermal::AdjointResult adj =
+        tgrid.solve_adjoint(power.tile_w, tp.smooth_tau_k);
+    counters.thermal_adjoint_solves += 1;
+
+    place::ThermalField field;
+    field.dpeak_dp_k_per_w.reserve(adj.dpeak_dp_k_per_w.size());
+    for (double v : adj.dpeak_dp_k_per_w)
+      field.dpeak_dp_k_per_w.push_back(quantize_price(v));
+    field.block_power_w = block_w;
+    field.weight = tp.weight;
+
+    ropt.seed = b.opt.seed + static_cast<unsigned>(pass);
+    place::RefineStats rstats;
+    place::Placement refined = place::refine_placement(
+        impl.packed, impl.grid, impl.placement, field, ropt, &rstats);
+    counters.replace_moves += static_cast<std::uint64_t>(rstats.moves);
+    if (rstats.accepted == 0) break;  // descent fixed point: nothing moved
+
+    route::RouteResult rerouted =
+        route::route(impl.rr, impl.packed, refined, b.opt.route);
+    const double fmax_refined =
+        timing::TimingAnalyzer(impl.nl, impl.packed, refined, impl.rr, rerouted,
+                               impl.grid)
+            .analyze_uniform(dev, tp.pricing_temp_c)
+            .fmax_mhz.value();
+    // Reject the pass but keep trying: the next pass draws a different
+    // move sequence (seed advances with the pass index) from the same
+    // placement, so one unlucky candidate does not end refinement.
+    if (fmax_refined < fmax_best) continue;
+    if (fmax_refined == fmax_best) {
+      // Timing is flat, so the pass must pay its way thermally: require
+      // the realized (not just predicted smooth-max) peak to drop.
+      // The linearized model can be off by millikelvins after rerouting.
+      const power::PowerBreakdown p_ref = power::compute_power(
+          dev, impl.nl, impl.packed, refined, impl.rr, rerouted, impl.activity,
+          tp.pricing_f_mhz, pricing_temp, impl.grid);
+      const units::Celsius peak_ref =
+          thermal::ThermalGrid::peak(tgrid.solve(p_ref.tile_w));
+      const units::Celsius peak_now = thermal::ThermalGrid::peak(adj.temp_c);
+      if (!(peak_ref.value() < peak_now.value())) continue;
+    }
+
+    impl.placement = std::move(refined);
+    impl.routes = std::move(rerouted);
+    fmax_best = fmax_refined;
+  }
+}
+
+// --- RouteRefined ----------------------------------------------------------
+
+void run_route_refined(FlowBuild& b) {
+  b.impl->routes = route::route(b.impl->rr, b.impl->packed, b.impl->placement,
+                                b.opt.route);
+}
+
 // --- StaBuild --------------------------------------------------------------
 
 void run_sta_build(FlowBuild& b) {
@@ -287,13 +388,84 @@ FlowGraph FlowGraph::standard(const netlist::BenchmarkSpec& spec,
     s.load = load_activity;
     g.add(std::move(s));
   }
+  const bool feedback = opt.thermal_place.enabled;
+  if (feedback) {
+    const ThermalPlaceOptions& tp = opt.thermal_place;
+    if (tp.device == nullptr) {
+      throw std::invalid_argument(
+          "implement: thermal_place.enabled requires a device model for power "
+          "pricing (thermal_place.device is null)");
+    }
+    {
+      FlowStage s;
+      s.name = "thermal_place";
+      s.phase = FlowPhase::Place;
+      s.output = ArtifactKind::PlacementRefined;
+      s.inputs = {ArtifactKind::Netlist, ArtifactKind::Packed,
+                  ArtifactKind::Placement, ArtifactKind::Routes,
+                  ArtifactKind::Activity};
+      util::Fnv1a h;
+      h.add(opt.seed);
+      h.add(tp.weight);
+      h.add(tp.passes);
+      h.add(tp.effort);
+      h.add(tp.max_rounds);
+      h.add(tp.smooth_tau_k.value());
+      h.add(tp.pricing_f_mhz.value());
+      h.add(tp.pricing_temp_c.value());
+      h.add(std::string_view(tp.device->name));
+      h.add(tp.device->t_opt_c.value());
+      // Thermal-model knobs that shape the gradient field. The backend is
+      // deliberately NOT hashed: prices are quantized far above solver
+      // tolerance, so both backends produce the same refined placement.
+      h.add(tp.thermal.silicon_k_w_mk);
+      h.add(tp.thermal.die_thickness_um);
+      h.add(tp.thermal.tile_edge_um);
+      h.add(tp.thermal.package_r_k_per_w);
+      s.param_hash = h.state;
+      s.storable = true;
+      s.run = run_thermal_place;
+      s.save = save_place;
+      s.load = load_place;
+      g.add(std::move(s));
+    }
+    {
+      FlowStage s;
+      s.name = "route_refined";
+      s.phase = FlowPhase::Route;
+      s.output = ArtifactKind::RoutesRefined;
+      s.inputs = {ArtifactKind::Packed, ArtifactKind::PlacementRefined};
+      util::Fnv1a h;
+      h.add(opt.route.max_iterations);
+      h.add(opt.route.first_iter_pres_fac);
+      h.add(opt.route.pres_fac_mult);
+      h.add(opt.route.hist_fac);
+      h.add(opt.route.astar_fac);
+      s.param_hash = h.state;
+      s.storable = true;
+      s.run = run_route_refined;
+      s.finalize = finalize_route;
+      s.save = save_route;
+      s.load = load_route;
+      g.add(std::move(s));
+    }
+  }
   {
     FlowStage s;
     s.name = "sta_build";
     s.phase = FlowPhase::StaBuild;
     s.output = ArtifactKind::Sta;
-    s.inputs = {ArtifactKind::Netlist, ArtifactKind::Packed, ArtifactKind::Placement,
-                ArtifactKind::Routes};
+    // The final STA sees the refined placement/routes when the feedback
+    // edge is on — its input hash shifts with them, as it must.
+    s.inputs = feedback
+                   ? std::vector<ArtifactKind>{ArtifactKind::Netlist,
+                                               ArtifactKind::Packed,
+                                               ArtifactKind::PlacementRefined,
+                                               ArtifactKind::RoutesRefined}
+                   : std::vector<ArtifactKind>{ArtifactKind::Netlist,
+                                               ArtifactKind::Packed,
+                                               ArtifactKind::Placement,
+                                               ArtifactKind::Routes};
     s.storable = false;
     s.run = run_sta_build;
     g.add(std::move(s));

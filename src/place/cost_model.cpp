@@ -1,0 +1,109 @@
+#include "place/cost_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace taf::place {
+
+double q_factor(int pins) {
+  static const double kQ[] = {1.0,    1.0,    1.0,    1.0828, 1.1536, 1.2206,
+                              1.2823, 1.3385, 1.3991, 1.4493, 1.4974};
+  if (pins <= 10) return kQ[std::max(0, pins)];
+  return 1.4974 + (pins - 10) * 0.0264;
+}
+
+CostModel::CostModel(const pack::PackedNetlist& packed, const arch::FpgaGrid& grid,
+                     Placement& pl, const ThermalField* thermal)
+    : packed_(packed), grid_(grid), pl_(pl), thermal_(thermal) {
+  // A zero-weight field contributes exactly nothing; drop it so the
+  // wirelength-only fast path (and its bit-identity contract) applies.
+  if (thermal_ != nullptr && thermal_->weight == 0.0) thermal_ = nullptr;
+  if (thermal_ != nullptr) {
+    if (thermal_->dpeak_dp_k_per_w.size() !=
+            static_cast<std::size_t>(grid_.num_tiles()) ||
+        thermal_->block_power_w.size() != packed_.blocks.size()) {
+      throw std::invalid_argument(
+          "place::CostModel: thermal field shape mismatch: " +
+          std::to_string(thermal_->dpeak_dp_k_per_w.size()) + " prices for " +
+          std::to_string(grid_.num_tiles()) + " tiles, " +
+          std::to_string(thermal_->block_power_w.size()) + " block powers for " +
+          std::to_string(packed_.blocks.size()) + " blocks");
+    }
+  }
+  nets_of_block_.resize(packed_.blocks.size());
+  for (int n = 0; n < static_cast<int>(packed_.block_nets.size()); ++n) {
+    const auto& bn = packed_.block_nets[static_cast<std::size_t>(n)];
+    nets_of_block_[static_cast<std::size_t>(bn.driver_block)].push_back(n);
+    for (int s : bn.sink_blocks) nets_of_block_[static_cast<std::size_t>(s)].push_back(n);
+  }
+}
+
+double CostModel::net_cost(int net) const {
+  const auto& bn = packed_.block_nets[static_cast<std::size_t>(net)];
+  NetBox box;
+  const arch::TilePos d = pl_.pos[static_cast<std::size_t>(bn.driver_block)];
+  box.xmin = box.xmax = d.x;
+  box.ymin = box.ymax = d.y;
+  box.pins = 1 + static_cast<int>(bn.sink_blocks.size());
+  for (int s : bn.sink_blocks) {
+    const arch::TilePos p = pl_.pos[static_cast<std::size_t>(s)];
+    box.xmin = std::min(box.xmin, p.x);
+    box.xmax = std::max(box.xmax, p.x);
+    box.ymin = std::min(box.ymin, p.y);
+    box.ymax = std::max(box.ymax, p.y);
+  }
+  return box.cost();
+}
+
+double CostModel::price_at(arch::TilePos p) const {
+  return thermal_->dpeak_dp_k_per_w[static_cast<std::size_t>(grid_.index_of(p))];
+}
+
+double CostModel::thermal_total() const {
+  double s = 0.0;
+  for (std::size_t b = 0; b < packed_.blocks.size(); ++b) {
+    s += thermal_->block_power_w[b] * price_at(pl_.pos[b]);
+  }
+  return thermal_->weight * s;
+}
+
+double CostModel::total() const {
+  double wl = wirelength_cost(packed_, pl_);
+  if (thermal_ != nullptr) wl += thermal_total();
+  return wl;
+}
+
+void CostModel::stage_move(int b1, int b2) {
+  affected_ = nets_of_block_[static_cast<std::size_t>(b1)];
+  if (b2 >= 0) {
+    affected_.insert(affected_.end(), nets_of_block_[static_cast<std::size_t>(b2)].begin(),
+                     nets_of_block_[static_cast<std::size_t>(b2)].end());
+  }
+  std::sort(affected_.begin(), affected_.end());
+  affected_.erase(std::unique(affected_.begin(), affected_.end()), affected_.end());
+
+  staged_before_ = 0.0;
+  for (int n : affected_) staged_before_ += net_cost(n);
+}
+
+double CostModel::staged_delta(int b1, arch::TilePos old1, int b2,
+                               arch::TilePos old2) const {
+  double after = 0.0;
+  for (int n : affected_) after += net_cost(n);
+  double delta = after - staged_before_;
+  if (thermal_ != nullptr) {
+    // O(1) re-pricing: only the moved blocks change tiles, so the
+    // thermal sum shifts by each block's power times its price change.
+    double td = thermal_->block_power_w[static_cast<std::size_t>(b1)] *
+                (price_at(pl_.pos[static_cast<std::size_t>(b1)]) - price_at(old1));
+    if (b2 >= 0) {
+      td += thermal_->block_power_w[static_cast<std::size_t>(b2)] *
+            (price_at(pl_.pos[static_cast<std::size_t>(b2)]) - price_at(old2));
+    }
+    delta += thermal_->weight * td;
+  }
+  return delta;
+}
+
+}  // namespace taf::place

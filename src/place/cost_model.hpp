@@ -1,0 +1,88 @@
+#pragma once
+// Composable placement cost model: the q-corrected HPWL wirelength term
+// plus an optional thermal term priced by an adjoint gradient field
+// (DESIGN.md section 15).
+//
+// INTERNAL to src/place — the place-cost-seam lint rule bans this header
+// and its identifiers outside the placement layer. Consumers drive the
+// model through place()/refine_placement() in place/place.hpp; the
+// ThermalField exchange type lives there for the same reason.
+//
+// Contract: with no thermal field (or weight zero) every arithmetic
+// expression the model evaluates is the one the fused annealer used, in
+// the same order, so place() reproduces pre-refactor placements
+// bit-for-bit (the ZeroWeight differential tests pin this).
+
+#include <vector>
+
+#include "arch/fpga_grid.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+
+namespace taf::place {
+
+/// VPR's crossing-count correction for multi-terminal nets.
+double q_factor(int pins);
+
+struct NetBox {
+  int xmin = 0, xmax = 0, ymin = 0, ymax = 0;
+  int pins = 0;
+  double cost() const {
+    return q_factor(pins) * ((xmax - xmin) + (ymax - ymin));
+  }
+};
+
+/// Incremental cost evaluation over a live Placement. The annealer owns
+/// slot bookkeeping and position updates; the model owns every cost
+/// number. Move evaluation is two-phase to preserve the fused annealer's
+/// exact sequence: stage_move() records the affected nets and their cost
+/// at the OLD positions; the caller then applies the proposed positions
+/// and staged_delta() re-prices the same nets (plus the O(1) thermal
+/// re-pricing of the one or two moved blocks).
+class CostModel {
+ public:
+  /// pl and thermal (may be null) are borrowed for the model's lifetime.
+  /// A non-null thermal field must carry one price per grid tile and one
+  /// power per block (std::invalid_argument otherwise).
+  CostModel(const pack::PackedNetlist& packed, const arch::FpgaGrid& grid,
+            Placement& pl, const ThermalField* thermal);
+
+  /// Full cost at the current positions: wirelength + weight * sum_b
+  /// P_b * price(tile(b)). Exactly wirelength_cost() when thermal is off.
+  double total() const;
+
+  /// q-corrected bounding-box cost of one block net at current positions.
+  double net_cost(int net) const;
+
+  /// Nets incident to each block (driver + sinks, deduped per net).
+  const std::vector<int>& nets_of(int block) const {
+    return nets_of_block_[static_cast<std::size_t>(block)];
+  }
+
+  /// Phase 1 of a proposed swap of b1 with b2 (b2 < 0 for a free target
+  /// slot): collect the affected nets and price them at the current
+  /// (old) positions.
+  void stage_move(int b1, int b2);
+
+  /// Phase 2, after the caller applied the proposed positions to the
+  /// placement: total cost delta of the staged move. old1/old2 are the
+  /// pre-move positions of b1/b2 (old2 ignored when b2 < 0).
+  double staged_delta(int b1, arch::TilePos old1, int b2,
+                      arch::TilePos old2) const;
+
+  bool thermal_active() const { return thermal_ != nullptr; }
+
+ private:
+  double thermal_total() const;
+  double price_at(arch::TilePos p) const;
+
+  const pack::PackedNetlist& packed_;
+  const arch::FpgaGrid& grid_;
+  Placement& pl_;
+  const ThermalField* thermal_;
+  std::vector<std::vector<int>> nets_of_block_;
+  std::vector<int> affected_;
+  double staged_before_ = 0.0;
+};
+
+}  // namespace taf::place

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "place/cost_model.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -28,21 +30,111 @@ TileKind tile_kind_for(BlockKind k) {
   return TileKind::Clb;
 }
 
-/// VPR's crossing-count correction for multi-terminal nets.
-double q_factor(int pins) {
-  static const double kQ[] = {1.0,    1.0,    1.0,    1.0828, 1.1536, 1.2206,
-                              1.2823, 1.3385, 1.3991, 1.4493, 1.4974};
-  if (pins <= 10) return kQ[std::max(0, pins)];
-  return 1.4974 + (pins - 10) * 0.0264;
+void validate(double effort, int io_capacity) {
+  if (!(effort > 0.0) || !std::isfinite(effort)) {
+    throw std::invalid_argument(
+        "place: effort must be positive and finite, got " + std::to_string(effort));
+  }
+  if (io_capacity < 1) {
+    throw std::invalid_argument("place: io_capacity must be >= 1, got " +
+                                std::to_string(io_capacity));
+  }
 }
 
-struct NetBox {
-  int xmin = 0, xmax = 0, ymin = 0, ymax = 0;
-  int pins = 0;
-  double cost() const {
-    return q_factor(pins) * ((xmax - xmin) + (ymax - ymin));
-  }
+struct Slot {
+  TilePos pos;
+  int block = -1;  ///< occupying block or -1
 };
+
+/// One slot pool per BlockKind, capacity io_capacity on IO tiles.
+std::vector<std::vector<Slot>> build_slots(const FpgaGrid& grid, int io_capacity) {
+  std::vector<std::vector<Slot>> slots(4);
+  for (int k = 0; k < 4; ++k) {
+    const TileKind tk = tile_kind_for(static_cast<BlockKind>(k));
+    const int cap = tk == TileKind::Io ? io_capacity : 1;
+    for (const TilePos& p : grid.tiles_of(tk)) {
+      for (int c = 0; c < cap; ++c) slots[static_cast<std::size_t>(k)].push_back({p, -1});
+    }
+  }
+  return slots;
+}
+
+/// Shared accept/reject machinery of place() and refine_placement():
+/// propose a swap, price it through the cost model, apply or revert.
+/// Returns true when accepted. With plateau=true every RNG draw and
+/// arithmetic expression matches the pre-refactor fused annealer (the
+/// bit-identity contract). refine_placement() passes plateau=false:
+/// zero-delta swaps are rejected (without an RNG draw, same as the
+/// legacy delta <= 0 branch) because they only churn routing.
+bool try_move(const PackedNetlist& packed, std::vector<std::vector<Slot>>& slots,
+              std::vector<int>& slot_of_block, Placement& pl, CostModel& model,
+              util::Rng& rng, double temperature, double& cost,
+              bool plateau = true,
+              const std::vector<int>* candidates = nullptr,
+              int max_dist = std::numeric_limits<int>::max()) {
+  const int num_blocks = static_cast<int>(packed.blocks.size());
+  const int b1 =
+      candidates == nullptr
+          ? static_cast<int>(rng.next_below(static_cast<std::uint32_t>(num_blocks)))
+          : (*candidates)[rng.next_below(static_cast<std::uint32_t>(candidates->size()))];
+  const int k = static_cast<int>(packed.blocks[static_cast<std::size_t>(b1)].kind);
+  auto& pool = slots[static_cast<std::size_t>(k)];
+  const int s1 = slot_of_block[static_cast<std::size_t>(b1)];
+  const int s2 = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(pool.size())));
+  if (s1 == s2) return false;
+  // Range limit (refinement only): discard proposals beyond max_dist so
+  // heat spreads through short hops instead of re-routing distant logic.
+  {
+    const TilePos p1 = pool[static_cast<std::size_t>(s1)].pos;
+    const TilePos p2 = pool[static_cast<std::size_t>(s2)].pos;
+    if (std::abs(p1.x - p2.x) + std::abs(p1.y - p2.y) > max_dist) return false;
+  }
+  const int b2 = pool[static_cast<std::size_t>(s2)].block;
+
+  model.stage_move(b1, b2);
+  const TilePos old1 = pool[static_cast<std::size_t>(s1)].pos;
+  const TilePos old2 = pool[static_cast<std::size_t>(s2)].pos;
+
+  // Apply.
+  pl.pos[static_cast<std::size_t>(b1)] = pool[static_cast<std::size_t>(s2)].pos;
+  if (b2 >= 0) pl.pos[static_cast<std::size_t>(b2)] = pool[static_cast<std::size_t>(s1)].pos;
+
+  const double delta = model.staged_delta(b1, old1, b2, old2);
+
+  bool accept;
+  if (delta < 0.0) {
+    accept = true;
+  } else if (delta == 0.0) {
+    accept = plateau;  // no RNG draw either way, matching the legacy branch
+  } else {
+    accept = rng.next_double() < std::exp(-delta / temperature);
+  }
+  if (accept) {
+    std::swap(pool[static_cast<std::size_t>(s1)].block, pool[static_cast<std::size_t>(s2)].block);
+    slot_of_block[static_cast<std::size_t>(b1)] = s2;
+    if (b2 >= 0) slot_of_block[static_cast<std::size_t>(b2)] = s1;
+    cost += delta;
+    return true;
+  }
+  // Revert.
+  pl.pos[static_cast<std::size_t>(b1)] = pool[static_cast<std::size_t>(s1)].pos;
+  if (b2 >= 0) pl.pos[static_cast<std::size_t>(b2)] = pool[static_cast<std::size_t>(s2)].pos;
+  return false;
+}
+
+/// VPR's adaptive alpha: cool slowly near the critical acceptance band.
+double adaptive_alpha(double rate) {
+  if (rate > 0.96) return 0.5;
+  if (rate > 0.8) return 0.9;
+  if (rate > 0.15) return 0.95;
+  return 0.8;
+}
+
+int moves_per_temperature(double effort, int num_blocks) {
+  return std::max(
+      64, static_cast<int>(effort *
+                           std::pow(static_cast<double>(num_blocks), 4.0 / 3.0)));
+}
 
 }  // namespace
 
@@ -68,22 +160,11 @@ double wirelength_cost(const PackedNetlist& packed, const Placement& pl) {
 
 Placement place(const PackedNetlist& packed, const FpgaGrid& grid,
                 const PlaceOptions& opt) {
+  validate(opt.effort, opt.io_capacity);
   util::Rng rng(opt.seed);
   const int num_blocks = static_cast<int>(packed.blocks.size());
 
-  // --- Build slot lists per block kind.
-  struct Slot {
-    TilePos pos;
-    int block = -1;  ///< occupying block or -1
-  };
-  std::vector<std::vector<Slot>> slots(4);
-  for (int k = 0; k < 4; ++k) {
-    const TileKind tk = tile_kind_for(static_cast<BlockKind>(k));
-    const int cap = tk == TileKind::Io ? opt.io_capacity : 1;
-    for (const TilePos& p : grid.tiles_of(tk)) {
-      for (int c = 0; c < cap; ++c) slots[static_cast<std::size_t>(k)].push_back({p, -1});
-    }
-  }
+  std::vector<std::vector<Slot>> slots = build_slots(grid, opt.io_capacity);
 
   // --- Random legal initial placement.
   std::vector<int> slot_of_block(static_cast<std::size_t>(num_blocks), -1);
@@ -107,41 +188,16 @@ Placement place(const PackedNetlist& packed, const FpgaGrid& grid,
     pl.pos[static_cast<std::size_t>(b)] = pool[static_cast<std::size_t>(base)].pos;
   }
 
-  // --- Per-block incident nets for incremental cost evaluation.
-  std::vector<std::vector<int>> nets_of_block(static_cast<std::size_t>(num_blocks));
-  for (int n = 0; n < static_cast<int>(packed.block_nets.size()); ++n) {
-    const auto& bn = packed.block_nets[static_cast<std::size_t>(n)];
-    nets_of_block[static_cast<std::size_t>(bn.driver_block)].push_back(n);
-    for (int s : bn.sink_blocks) nets_of_block[static_cast<std::size_t>(s)].push_back(n);
-  }
+  CostModel model(packed, grid, pl, opt.thermal);
 
-  auto net_cost = [&](int n) {
-    const auto& bn = packed.block_nets[static_cast<std::size_t>(n)];
-    NetBox box;
-    const TilePos d = pl.pos[static_cast<std::size_t>(bn.driver_block)];
-    box.xmin = box.xmax = d.x;
-    box.ymin = box.ymax = d.y;
-    box.pins = 1 + static_cast<int>(bn.sink_blocks.size());
-    for (int s : bn.sink_blocks) {
-      const TilePos p = pl.pos[static_cast<std::size_t>(s)];
-      box.xmin = std::min(box.xmin, p.x);
-      box.xmax = std::max(box.xmax, p.x);
-      box.ymin = std::min(box.ymin, p.y);
-      box.ymax = std::max(box.ymax, p.y);
-    }
-    return box.cost();
-  };
-
-  double cost = wirelength_cost(packed, pl);
+  double cost = model.total();
   if (packed.block_nets.empty() || num_blocks < 2) {
-    pl.cost = cost;
+    pl.cost = wirelength_cost(packed, pl);
     return pl;
   }
 
   // --- Annealing schedule (VPR-flavoured).
-  const int moves_per_t = std::max(
-      64, static_cast<int>(opt.effort *
-                           std::pow(static_cast<double>(num_blocks), 4.0 / 3.0)));
+  const int moves_per_t = moves_per_temperature(opt.effort, num_blocks);
 
   // Initial temperature: sample random swaps.
   double t;
@@ -149,76 +205,150 @@ Placement place(const PackedNetlist& packed, const FpgaGrid& grid,
     util::Accumulator deltas;
     for (int i = 0; i < 200; ++i) {
       const int b = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(num_blocks)));
-      deltas.add(std::fabs(net_cost(nets_of_block[static_cast<std::size_t>(b)].empty()
-                                        ? 0
-                                        : nets_of_block[static_cast<std::size_t>(b)][0])));
+      deltas.add(std::fabs(model.net_cost(model.nets_of(b).empty()
+                                              ? 0
+                                              : model.nets_of(b)[0])));
     }
     t = 20.0 * std::max(deltas.mean(), 1.0);
   }
-
-  // One proposed move: pick a random block, a random slot of its kind,
-  // swap occupants (or move into a free slot).
-  auto try_move = [&](double temperature) -> bool {
-    const int b1 = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(num_blocks)));
-    const int k = static_cast<int>(packed.blocks[static_cast<std::size_t>(b1)].kind);
-    auto& pool = slots[static_cast<std::size_t>(k)];
-    const int s1 = slot_of_block[static_cast<std::size_t>(b1)];
-    const int s2 = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(pool.size())));
-    if (s1 == s2) return false;
-    const int b2 = pool[static_cast<std::size_t>(s2)].block;
-
-    // Collect affected nets (dedup via sort).
-    std::vector<int> affected = nets_of_block[static_cast<std::size_t>(b1)];
-    if (b2 >= 0) {
-      affected.insert(affected.end(), nets_of_block[static_cast<std::size_t>(b2)].begin(),
-                      nets_of_block[static_cast<std::size_t>(b2)].end());
-    }
-    std::sort(affected.begin(), affected.end());
-    affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
-
-    double before = 0.0;
-    for (int n : affected) before += net_cost(n);
-
-    // Apply.
-    pl.pos[static_cast<std::size_t>(b1)] = pool[static_cast<std::size_t>(s2)].pos;
-    if (b2 >= 0) pl.pos[static_cast<std::size_t>(b2)] = pool[static_cast<std::size_t>(s1)].pos;
-
-    double after = 0.0;
-    for (int n : affected) after += net_cost(n);
-    const double delta = after - before;
-
-    const bool accept = delta <= 0.0 || rng.next_double() < std::exp(-delta / temperature);
-    if (accept) {
-      std::swap(pool[static_cast<std::size_t>(s1)].block, pool[static_cast<std::size_t>(s2)].block);
-      slot_of_block[static_cast<std::size_t>(b1)] = s2;
-      if (b2 >= 0) slot_of_block[static_cast<std::size_t>(b2)] = s1;
-      cost += delta;
-      return true;
-    }
-    // Revert.
-    pl.pos[static_cast<std::size_t>(b1)] = pool[static_cast<std::size_t>(s1)].pos;
-    if (b2 >= 0) pl.pos[static_cast<std::size_t>(b2)] = pool[static_cast<std::size_t>(s2)].pos;
-    return false;
-  };
 
   const double exit_t = 0.002 * cost / static_cast<double>(std::max<std::size_t>(packed.block_nets.size(), 1));
   int rounds = 0;
   while (t > exit_t && rounds++ < 200) {
     int accepted = 0;
-    for (int m = 0; m < moves_per_t; ++m) accepted += try_move(t) ? 1 : 0;
+    for (int m = 0; m < moves_per_t; ++m) {
+      accepted += try_move(packed, slots, slot_of_block, pl, model, rng, t, cost) ? 1 : 0;
+    }
     const double rate = static_cast<double>(accepted) / moves_per_t;
-    // VPR's adaptive alpha: cool slowly near the critical acceptance band.
-    double alpha;
-    if (rate > 0.96) alpha = 0.5;
-    else if (rate > 0.8) alpha = 0.9;
-    else if (rate > 0.15) alpha = 0.95;
-    else alpha = 0.8;
-    t *= alpha;
+    t *= adaptive_alpha(rate);
   }
 
   pl.cost = wirelength_cost(packed, pl);
   util::log_debug("place: %d blocks, final HPWL %.1f after %d rounds", num_blocks,
                   pl.cost, rounds);
+  return pl;
+}
+
+Placement refine_placement(const PackedNetlist& packed, const FpgaGrid& grid,
+                           const Placement& start, const ThermalField& thermal,
+                           const RefineOptions& opt, RefineStats* stats) {
+  validate(opt.effort, opt.io_capacity);
+  if (opt.max_rounds < 0) {
+    throw std::invalid_argument("refine_placement: max_rounds must be >= 0, got " +
+                                std::to_string(opt.max_rounds));
+  }
+  if (!(opt.start_t_factor > 0.0) || !std::isfinite(opt.start_t_factor)) {
+    throw std::invalid_argument(
+        "refine_placement: start_t_factor must be positive and finite, got " +
+        std::to_string(opt.start_t_factor));
+  }
+  const int num_blocks = static_cast<int>(packed.blocks.size());
+  if (start.pos.size() != static_cast<std::size_t>(num_blocks)) {
+    throw std::invalid_argument(
+        "refine_placement: start placement has " + std::to_string(start.pos.size()) +
+        " positions for " + std::to_string(num_blocks) + " blocks");
+  }
+  util::Rng rng(opt.seed);
+
+  // Rebuild the slot pools and occupancy from the start placement: each
+  // block claims an unused slot of its kind at its start position.
+  std::vector<std::vector<Slot>> slots = build_slots(grid, opt.io_capacity);
+  std::vector<std::vector<std::vector<int>>> free_at(4);
+  for (int k = 0; k < 4; ++k) {
+    auto& pool = slots[static_cast<std::size_t>(k)];
+    free_at[static_cast<std::size_t>(k)].resize(static_cast<std::size_t>(grid.num_tiles()));
+    for (int s = 0; s < static_cast<int>(pool.size()); ++s) {
+      free_at[static_cast<std::size_t>(k)]
+             [static_cast<std::size_t>(grid.index_of(pool[static_cast<std::size_t>(s)].pos))]
+                 .push_back(s);
+    }
+  }
+  std::vector<int> slot_of_block(static_cast<std::size_t>(num_blocks), -1);
+  Placement pl;
+  pl.pos = start.pos;
+  for (int b = 0; b < num_blocks; ++b) {
+    const int k = static_cast<int>(packed.blocks[static_cast<std::size_t>(b)].kind);
+    const TilePos p = pl.pos[static_cast<std::size_t>(b)];
+    if (p.x < 0 || p.x >= grid.width() || p.y < 0 || p.y >= grid.height()) {
+      throw std::invalid_argument("refine_placement: block " + std::to_string(b) +
+                                  " starts off-grid");
+    }
+    auto& avail = free_at[static_cast<std::size_t>(k)][static_cast<std::size_t>(grid.index_of(p))];
+    if (avail.empty()) {
+      throw std::invalid_argument(
+          "refine_placement: start placement is illegal: no free slot of kind " +
+          std::to_string(k) + " at (" + std::to_string(p.x) + "," +
+          std::to_string(p.y) + ") for block " + std::to_string(b));
+    }
+    const int s = avail.back();
+    avail.pop_back();
+    slots[static_cast<std::size_t>(k)][static_cast<std::size_t>(s)].block = b;
+    slot_of_block[static_cast<std::size_t>(b)] = s;
+  }
+
+  CostModel model(packed, grid, pl, &thermal);
+  double cost = model.total();
+  RefineStats local;
+
+  // Directed move generation: propose only blocks carrying at least the
+  // mean dynamic power. Cold-block swaps cannot improve the thermal term,
+  // and the wirelength-only shuffles they would produce perturb timing
+  // for no thermal return — place() already annealed that landscape.
+  std::vector<int> hot;
+  {
+    double mean_w = 0.0;
+    for (double w : thermal.block_power_w) mean_w += w;
+    mean_w /= static_cast<double>(std::max(num_blocks, 1));
+    for (int b = 0; b < num_blocks; ++b) {
+      const double w = thermal.block_power_w[static_cast<std::size_t>(b)];
+      if (w > 0.0 && w >= mean_w) hot.push_back(b);
+    }
+  }
+
+  if (packed.block_nets.empty() || num_blocks < 2 || opt.max_rounds == 0 ||
+      hot.empty()) {
+    pl.cost = wirelength_cost(packed, pl);
+    if (stats != nullptr) *stats = local;
+    return pl;
+  }
+
+  // Bounded near-greedy schedule: start barely warm (at the default
+  // start_t_factor uphill moves are effectively never accepted, so only
+  // moves improving the composed wirelength + thermal cost survive) and
+  // stop at the round budget or a descent fixed point. Plateau swaps are
+  // rejected (plateau=false): they cannot improve the cost and the
+  // routing churn they cause is pure timing noise.
+  const double per_net =
+      cost / static_cast<double>(std::max<std::size_t>(packed.block_nets.size(), 1));
+  double t = opt.start_t_factor * std::max(per_net, 1.0);
+  const int moves_per_t =
+      moves_per_temperature(opt.effort, static_cast<int>(hot.size()));
+  // Short hops only: the adjoint price field decays over the thermal
+  // healing length (a few tiles), so local moves capture almost all of
+  // the thermal benefit at a fraction of the routing perturbation.
+  const int move_radius =
+      std::max(2, std::min(grid.width(), grid.height()) / 8);
+
+  int rounds = 0;
+  while (rounds++ < opt.max_rounds) {
+    int accepted = 0;
+    for (int m = 0; m < moves_per_t; ++m) {
+      accepted += try_move(packed, slots, slot_of_block, pl, model, rng, t, cost,
+                           /*plateau=*/false, &hot, move_radius)
+                      ? 1
+                      : 0;
+    }
+    local.moves += moves_per_t;
+    local.accepted += accepted;
+    if (accepted == 0) break;  // no proposed swap improves the cost
+    const double rate = static_cast<double>(accepted) / moves_per_t;
+    t *= adaptive_alpha(rate);
+  }
+
+  pl.cost = wirelength_cost(packed, pl);
+  util::log_debug("refine_placement: %d blocks, HPWL %.1f after %d rounds (%lld/%lld accepted)",
+                  num_blocks, pl.cost, rounds, local.accepted, local.moves);
+  if (stats != nullptr) *stats = local;
   return pl;
 }
 

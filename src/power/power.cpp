@@ -37,6 +37,51 @@ units::Microwatts tile_leakage(const coffe::DeviceModel& dev, arch::TileKind kin
   return units::Microwatts{uw};
 }
 
+std::vector<double> block_dynamic_power(const coffe::DeviceModel& dev,
+                                        const netlist::Netlist& nl,
+                                        const pack::PackedNetlist& packed,
+                                        const std::vector<activity::SignalStats>& act,
+                                        units::Megahertz f) {
+  // Mirrors the block-dynamic section of compute_power() term for term,
+  // binned by block instead of tile so the result is placement-free.
+  std::vector<double> block_w(packed.blocks.size(), 0.0);
+  auto net_density = [&](netlist::NetId n) {
+    return n >= 0 && n < static_cast<netlist::NetId>(act.size())
+               ? act[static_cast<std::size_t>(n)].density
+               : 0.0;
+  };
+  auto add_uw = [&](int block, double uw) {
+    block_w[static_cast<std::size_t>(block)] += uw * 1e-6;
+  };
+  for (netlist::PrimId id = 0; id < static_cast<netlist::PrimId>(nl.prims().size());
+       ++id) {
+    const auto& p = nl.prim(id);
+    const int block = packed.block_of_prim[static_cast<std::size_t>(id)];
+    if (block < 0) continue;
+    const double alpha = p.output != netlist::kNoNet ? net_density(p.output) : 0.0;
+    switch (p.kind) {
+      case PrimKind::Lut: {
+        add_uw(block, dev.dyn_power(ResourceKind::Lut, f, alpha).value());
+        double in_alpha = 0.0;
+        for (netlist::NetId in : p.inputs)
+          if (in != netlist::kNoNet) in_alpha += net_density(in);
+        add_uw(block, dev.dyn_power(ResourceKind::LocalMux, f, in_alpha).value());
+        add_uw(block, dev.dyn_power(ResourceKind::OutputMux, f, alpha).value());
+        break;
+      }
+      case PrimKind::Bram:
+        add_uw(block, dev.dyn_power(ResourceKind::Bram, f, 0.5 + alpha).value());
+        break;
+      case PrimKind::Dsp:
+        add_uw(block, dev.dyn_power(ResourceKind::Dsp, f, 0.25 + 0.5 * alpha).value());
+        break;
+      default:
+        break;
+    }
+  }
+  return block_w;
+}
+
 PowerBreakdown compute_power(const coffe::DeviceModel& dev, const netlist::Netlist& nl,
                              const pack::PackedNetlist& packed,
                              const place::Placement& pl, const route::RrGraph& rr,

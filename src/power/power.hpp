@@ -35,6 +35,22 @@ struct PowerBreakdown {
 units::Microwatts tile_leakage(const coffe::DeviceModel& dev, arch::TileKind kind,
                                const arch::ArchParams& arch, units::Celsius temp);
 
+/// Per-block movable dynamic power [W]: the block-anchored dynamic terms
+/// of compute_power() (LUT + local/output mux, BRAM, DSP switching)
+/// attributed to the packed block that carries them — one entry per
+/// block. This is the per-block -> per-tile power Jacobian of placement:
+/// tile_w = sum_b block_w[b] * e_{tile(b)} + placement-anchored routing
+/// and leakage terms, so moving block b from tile t1 to t2 shifts
+/// exactly block_w[b] watts between the two tiles. Routing and leakage
+/// are excluded (the former follows the routes, the latter the
+/// temperature field); the thermal-aware placer treats both as frozen
+/// between gradient refreshes (DESIGN.md section 15).
+std::vector<double> block_dynamic_power(const coffe::DeviceModel& dev,
+                                        const netlist::Netlist& nl,
+                                        const pack::PackedNetlist& packed,
+                                        const std::vector<activity::SignalStats>& act,
+                                        units::Megahertz f);
+
 /// Full power map for an implemented design at frequency f and the given
 /// per-tile temperatures.
 PowerBreakdown compute_power(const coffe::DeviceModel& dev,

@@ -131,6 +131,25 @@ const core::Implementation& FlowCache::implementation(const netlist::BenchmarkSp
   h.add(opt.route.pres_fac_mult);
   h.add(opt.route.hist_fac);
   h.add(opt.route.astar_fac);
+  h.add(opt.thermal_place.enabled ? 1 : 0);
+  if (opt.thermal_place.enabled) {
+    const core::ThermalPlaceOptions& tp = opt.thermal_place;
+    h.add(tp.weight);
+    h.add(tp.passes);
+    h.add(tp.effort);
+    h.add(tp.max_rounds);
+    h.add(tp.smooth_tau_k.value());
+    h.add(tp.pricing_f_mhz.value());
+    h.add(tp.pricing_temp_c.value());
+    h.add(tp.thermal.silicon_k_w_mk);
+    h.add(tp.thermal.die_thickness_um);
+    h.add(tp.thermal.tile_edge_um);
+    h.add(tp.thermal.package_r_k_per_w);
+    if (tp.device != nullptr) {
+      h.add(std::string_view(tp.device->name));
+      h.add(tp.device->t_opt_c.value());
+    }
+  }
   return get_or_build(impls_, h.state, &impl_hits_, &impl_misses_, [&] {
     // Disk tier: consulted only here, inside a build — i.e. only after an
     // in-memory miss — keyed per stage by the stage graph's chained input

@@ -83,6 +83,8 @@ std::string RunReport::to_json() const {
            ", \"thermal_precond_iters\": " + std::to_string(t.thermal_precond_iters) +
            ", \"transient_steps\": " + std::to_string(t.transient_steps) +
            ", \"transient_cg_iters\": " + std::to_string(t.transient_cg_iters) +
+           ", \"thermal_adjoint_solves\": " + std::to_string(t.thermal_adjoint_solves) +
+           ", \"replace_moves\": " + std::to_string(t.replace_moves) +
            ", \"guardband_nonconverged\": " + std::to_string(t.guardband_nonconverged) +
            ", \"disk_hits\": " + std::to_string(t.disk_hits) +
            ", \"disk_misses\": " + std::to_string(t.disk_misses) +
@@ -100,6 +102,7 @@ std::string RunReport::to_csv() const {
       "name,kind,wall_s,iterations,spice_factorizations,spice_pattern_reuses,"
       "spice_newton_iters,sta_edges_reevaluated,sta_delay_cache_hits,"
       "thermal_cg_iters,thermal_precond_iters,transient_steps,transient_cg_iters,"
+      "thermal_adjoint_solves,replace_moves,"
       "guardband_nonconverged,disk_hits,disk_misses,disk_writes";
   for (int p = 0; p < core::kNumFlowPhases; ++p) {
     out += ',';
@@ -122,6 +125,8 @@ std::string RunReport::to_csv() const {
            std::to_string(t.thermal_precond_iters) + ',' +
            std::to_string(t.transient_steps) + ',' +
            std::to_string(t.transient_cg_iters) + ',' +
+           std::to_string(t.thermal_adjoint_solves) + ',' +
+           std::to_string(t.replace_moves) + ',' +
            std::to_string(t.guardband_nonconverged) + ',' +
            std::to_string(t.disk_hits) + ',' + std::to_string(t.disk_misses) + ',' +
            std::to_string(t.disk_writes);

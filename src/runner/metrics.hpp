@@ -61,6 +61,11 @@ struct TaskMetrics {
   /// the steady-state thermal counters above.
   std::uint64_t transient_steps = 0;
   std::uint64_t transient_cg_iters = 0;
+  /// Place->thermal feedback work (thermal_place stage): adjoint solves
+  /// and bounded re-place moves. Zero when the feature is off or the
+  /// refined placement came from the artifact store.
+  std::uint64_t thermal_adjoint_solves = 0;
+  std::uint64_t replace_moves = 0;
   std::uint64_t guardband_nonconverged = 0;
   /// Disk artifact-store traffic attributable to this task (per stage:
   /// one implement build probes up to four storable stages). All zero
@@ -105,6 +110,8 @@ class FlowCounterScope {
     m_.thermal_precond_iters += d.thermal_precond_iterations;
     m_.transient_steps += d.transient_steps;
     m_.transient_cg_iters += d.transient_cg_iterations;
+    m_.thermal_adjoint_solves += d.thermal_adjoint_solves;
+    m_.replace_moves += d.replace_moves;
     m_.guardband_nonconverged += d.guardband_nonconverged;
   }
   FlowCounterScope(const FlowCounterScope&) = delete;

@@ -1,0 +1,14 @@
+// analyzer-corpus-path: bench/hot_replace.cpp
+#include "place/cost_model.hpp"
+
+// place-cost-seam positives outside src/place/: the cost-model include,
+// each confined identifier, and the non-overlapping word-bounded scan.
+
+double rebuild(const taf::place::CostModel& m) {  // TP: CostModel
+  NetBox box;                        // TP: NetBox
+  double q = q_factor(7);            // TP: q_factor
+  // CostModel in a comment is stripped before the identifier scan.
+  const char* s = "NetBox";          // literal interior blanked: negative
+  int CostModelNetBox = 0;           // joined word: no \b match, negative
+  return q + box.width() + CostModelNetBox + m.cost() + (s != nullptr);
+}

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Differential oracle for the taf-lint -> taf-analyze migration: the nine
+# Differential oracle for the taf-lint -> taf-analyze migration: the ten
 # ported seam rules must report the identical (path, line, rule) finding
 # set as the Python linter over the live tree, suppressions disabled on
 # both sides so the whole finding universe is compared.
@@ -11,9 +11,9 @@ ROOT=$1
 ANALYZE=$2
 PY=${3:-python3}
 
-NINE=unit-typed-api,printf-sized-int,header-using-ns,env-through-util
-NINE=$NINE,banned-identifier,raw-serialization,thermal-backend-seam
-NINE=$NINE,service-socket-seam,trace-codec-seam
+TEN=unit-typed-api,printf-sized-int,header-using-ns,env-through-util
+TEN=$TEN,banned-identifier,raw-serialization,thermal-backend-seam
+TEN=$TEN,service-socket-seam,trace-codec-seam,place-cost-seam
 
 a=$(mktemp) || exit 2
 b=$(mktemp) || exit 2
@@ -21,7 +21,7 @@ trap 'rm -f "$a" "$b"' EXIT
 
 # Both exit 1 when findings exist; only exit 2 (I/O error) is fatal here.
 "$ANALYZE" --root "$ROOT" --no-suppress --no-summary --compat \
-    --rules "$NINE" src bench tests examples >"$a" 2>/dev/null
+    --rules "$TEN" src bench tests examples >"$a" 2>/dev/null
 st=$?
 [ "$st" -le 1 ] || { echo "taf-analyze failed (exit $st)"; exit 1; }
 

@@ -1,0 +1,397 @@
+// Placement-layer tests for the CostModel refactor (DESIGN.md section
+// 15): PlaceOptions/RefineOptions validation regressions, wirelength
+// property tests (non-negativity, translation invariance, single-block
+// nets), the Placement codec corruption corpus (same style as
+// tests/test_artifact_store.cpp), the zero-weight bit-identity contract
+// of the composed cost model, and refinement invariants (descent,
+// determinism, legality).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/fpga_grid.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "util/codec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace taf;
+namespace codec = util::codec;
+
+/// Synthetic all-CLB packed netlist with random nets. place() and the
+/// cost model only read blocks[].kind and block_nets, so no source
+/// netlist is needed.
+pack::PackedNetlist make_packed(int num_blocks, int num_nets, int max_fanout,
+                                unsigned seed) {
+  pack::PackedNetlist p;
+  p.blocks.resize(static_cast<std::size_t>(num_blocks));
+  for (auto& b : p.blocks) b.kind = pack::BlockKind::Clb;
+  util::Rng rng(seed);
+  for (int n = 0; n < num_nets; ++n) {
+    pack::BlockNet bn;
+    bn.net = n;
+    bn.driver_block =
+        static_cast<int>(rng.next_below(static_cast<std::uint32_t>(num_blocks)));
+    const int fanout =
+        1 + static_cast<int>(rng.next_below(static_cast<std::uint32_t>(max_fanout)));
+    for (int s = 0; s < fanout; ++s) {
+      const int sink =
+          static_cast<int>(rng.next_below(static_cast<std::uint32_t>(num_blocks)));
+      if (sink != bn.driver_block &&
+          std::find(bn.sink_blocks.begin(), bn.sink_blocks.end(), sink) ==
+              bn.sink_blocks.end()) {
+        bn.sink_blocks.push_back(sink);
+      }
+    }
+    if (!bn.sink_blocks.empty()) p.block_nets.push_back(std::move(bn));
+  }
+  return p;
+}
+
+place::ThermalField make_field(const arch::FpgaGrid& grid,
+                               const pack::PackedNetlist& packed, double weight,
+                               unsigned seed) {
+  place::ThermalField f;
+  f.weight = weight;
+  util::Rng rng(seed);
+  // Price gradient: hotter (more expensive) toward the grid centre, like
+  // a real adjoint field around a hotspot.
+  const double cx = grid.width() / 2.0, cy = grid.height() / 2.0;
+  f.dpeak_dp_k_per_w.resize(static_cast<std::size_t>(grid.num_tiles()));
+  for (int i = 0; i < grid.num_tiles(); ++i) {
+    const arch::TilePos p = grid.pos_of(i);
+    const double d = std::abs(p.x - cx) + std::abs(p.y - cy);
+    f.dpeak_dp_k_per_w[static_cast<std::size_t>(i)] = 30.0 - d;
+  }
+  f.block_power_w.resize(packed.blocks.size());
+  for (double& w : f.block_power_w) w = 1e-4 * rng.next_double();
+  return f;
+}
+
+// ---------- options validation (regression: these used to be silently
+// accepted and degenerated the anneal / built empty slot pools) ----------
+
+TEST(Place, RejectsInvalidOptions) {
+  const pack::PackedNetlist packed = make_packed(12, 20, 4, 1);
+  const arch::FpgaGrid grid = arch::FpgaGrid::fit(12, 0, 0);
+
+  for (double effort : {0.0, -1.0, std::nan(""),
+                        std::numeric_limits<double>::infinity()}) {
+    place::PlaceOptions opt;
+    opt.effort = effort;
+    EXPECT_THROW(place::place(packed, grid, opt), std::invalid_argument)
+        << "effort = " << effort;
+  }
+  for (int io_capacity : {0, -3}) {
+    place::PlaceOptions opt;
+    opt.io_capacity = io_capacity;
+    EXPECT_THROW(place::place(packed, grid, opt), std::invalid_argument)
+        << "io_capacity = " << io_capacity;
+  }
+
+  place::PlaceOptions ok;
+  ok.effort = 0.1;
+  EXPECT_NO_THROW(place::place(packed, grid, ok));
+}
+
+TEST(Refine, RejectsInvalidOptionsAndIllegalStarts) {
+  const pack::PackedNetlist packed = make_packed(12, 20, 4, 2);
+  const arch::FpgaGrid grid = arch::FpgaGrid::fit(12, 0, 0);
+  const place::Placement start = place::place(packed, grid, {});
+  const place::ThermalField field = make_field(grid, packed, 1e6, 3);
+
+  {
+    place::RefineOptions opt;
+    opt.effort = 0.0;
+    EXPECT_THROW(place::refine_placement(packed, grid, start, field, opt),
+                 std::invalid_argument);
+  }
+  {
+    place::RefineOptions opt;
+    opt.max_rounds = -1;
+    EXPECT_THROW(place::refine_placement(packed, grid, start, field, opt),
+                 std::invalid_argument);
+  }
+  {
+    place::RefineOptions opt;
+    opt.start_t_factor = 0.0;
+    EXPECT_THROW(place::refine_placement(packed, grid, start, field, opt),
+                 std::invalid_argument);
+  }
+  {
+    // Wrong number of start positions.
+    place::Placement bad = start;
+    bad.pos.pop_back();
+    EXPECT_THROW(place::refine_placement(packed, grid, bad, field, {}),
+                 std::invalid_argument);
+  }
+  {
+    // Two CLBs stacked on one tile: illegal under capacity 1.
+    place::Placement bad = start;
+    bad.pos[1] = bad.pos[0];
+    EXPECT_THROW(place::refine_placement(packed, grid, bad, field, {}),
+                 std::invalid_argument);
+  }
+  {
+    // Mis-shaped thermal field (validated by the cost model).
+    place::ThermalField bad = field;
+    bad.dpeak_dp_k_per_w.pop_back();
+    EXPECT_THROW(place::refine_placement(packed, grid, start, bad, {}),
+                 std::invalid_argument);
+  }
+}
+
+// ---------- wirelength properties ----------
+
+TEST(Wirelength, NonNegativeOnRandomPlacements) {
+  const pack::PackedNetlist packed = make_packed(24, 60, 6, 5);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 32; ++trial) {
+    place::Placement pl;
+    pl.pos.resize(packed.blocks.size());
+    for (auto& p : pl.pos) {
+      p.x = static_cast<int>(rng.next_below(20));
+      p.y = static_cast<int>(rng.next_below(20));
+    }
+    EXPECT_GE(place::wirelength_cost(packed, pl), 0.0) << "trial " << trial;
+  }
+}
+
+TEST(Wirelength, TranslationInvariant) {
+  const pack::PackedNetlist packed = make_packed(24, 60, 6, 11);
+  util::Rng rng(13);
+  place::Placement pl;
+  pl.pos.resize(packed.blocks.size());
+  for (auto& p : pl.pos) {
+    p.x = static_cast<int>(rng.next_below(20));
+    p.y = static_cast<int>(rng.next_below(20));
+  }
+  const double base = place::wirelength_cost(packed, pl);
+  for (const auto& shift : {arch::TilePos{3, 5}, arch::TilePos{17, 0},
+                            arch::TilePos{0, 9}}) {
+    place::Placement moved = pl;
+    for (auto& p : moved.pos) {
+      p.x += shift.x;
+      p.y += shift.y;
+    }
+    // Identical summation order over integer box spans: exactly equal.
+    EXPECT_EQ(place::wirelength_cost(packed, moved), base)
+        << "shift (" << shift.x << "," << shift.y << ")";
+  }
+}
+
+TEST(Wirelength, SingleBlockNetsCostZero) {
+  // Every net's pins live on one block: all bounding boxes are points.
+  pack::PackedNetlist packed;
+  packed.blocks.resize(4);
+  for (auto& b : packed.blocks) b.kind = pack::BlockKind::Clb;
+  for (int b = 0; b < 4; ++b) {
+    pack::BlockNet bn;
+    bn.net = b;
+    bn.driver_block = b;
+    bn.sink_blocks = {b, b};  // degenerate self-sinks
+    packed.block_nets.push_back(std::move(bn));
+  }
+  place::Placement pl;
+  pl.pos = {{2, 3}, {5, 1}, {9, 9}, {0, 7}};
+  EXPECT_EQ(place::wirelength_cost(packed, pl), 0.0);
+}
+
+// ---------- Placement codec: round trip + corruption corpus ----------
+
+TEST(PlacementCodec, RoundTripIsExact) {
+  util::Rng rng(17);
+  place::Placement pl;
+  for (int i = 0; i < 40; ++i) {
+    pl.pos.push_back({static_cast<int>(rng.next_below(100)) - 50,
+                      static_cast<int>(rng.next_below(100)) - 50});
+  }
+  pl.cost = 12345.6789;
+
+  codec::Encoder enc;
+  place::serialize(pl, enc);
+  const std::string bytes = enc.take();
+
+  codec::Decoder dec(bytes);
+  const place::Placement back = place::deserialize(dec);
+  dec.expect_done();
+  ASSERT_EQ(back.pos.size(), pl.pos.size());
+  for (std::size_t i = 0; i < pl.pos.size(); ++i) {
+    EXPECT_EQ(back.pos[i], pl.pos[i]) << "block " << i;
+  }
+  EXPECT_EQ(back.cost, pl.cost);
+
+  // Re-serialization is byte-identical.
+  codec::Encoder again;
+  place::serialize(back, again);
+  EXPECT_EQ(again.take(), bytes);
+}
+
+TEST(PlacementCodec, CorruptionCorpusThrows) {
+  place::Placement pl;
+  pl.pos = {{1, 2}, {3, 4}, {5, 6}};
+  pl.cost = 42.0;
+  codec::Encoder enc;
+  place::serialize(pl, enc);
+  const std::string bytes = enc.take();
+
+  auto expect_reject = [](const std::string& payload, const char* what) {
+    codec::Decoder dec(payload);
+    EXPECT_THROW(
+        {
+          const place::Placement p = place::deserialize(dec);
+          dec.expect_done();
+          (void)p;
+        },
+        codec::Error)
+        << what;
+  };
+
+  // Truncations at every prefix length short of the full payload.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{4}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    expect_reject(bytes.substr(0, cut), "truncation");
+  }
+  // Element count inflated far beyond the remaining input.
+  {
+    std::string huge = bytes;
+    huge[0] = '\xff';
+    huge[1] = '\xff';
+    expect_reject(huge, "inflated count");
+  }
+  // Trailing garbage after a well-formed payload.
+  expect_reject(bytes + "zz", "trailing bytes");
+}
+
+// ---------- zero-weight bit-identity of the composed cost model ----------
+
+TEST(Place, ZeroWeightThermalFieldIsBitIdenticalToNoField) {
+  const pack::PackedNetlist packed = make_packed(20, 50, 5, 23);
+  const arch::FpgaGrid grid = arch::FpgaGrid::fit(20, 0, 0);
+
+  place::PlaceOptions blind;
+  blind.seed = 9;
+  blind.effort = 0.3;
+  const place::Placement a = place::place(packed, grid, blind);
+
+  place::ThermalField zero = make_field(grid, packed, /*weight=*/0.0, 29);
+  place::PlaceOptions with_field = blind;
+  with_field.thermal = &zero;
+  const place::Placement b = place::place(packed, grid, with_field);
+
+  ASSERT_EQ(a.pos.size(), b.pos.size());
+  for (std::size_t i = 0; i < a.pos.size(); ++i) {
+    EXPECT_EQ(a.pos[i], b.pos[i]) << "block " << i;
+  }
+  EXPECT_EQ(a.cost, b.cost);  // bitwise: identical arithmetic sequence
+}
+
+TEST(Place, RefineWithOverwhelmingWeightNeverRaisesThermalTerm) {
+  const pack::PackedNetlist packed = make_packed(20, 50, 5, 23);
+  const arch::FpgaGrid grid = arch::FpgaGrid::fit(20, 0, 0);
+  const place::ThermalField field = make_field(grid, packed, 1e9, 31);
+
+  place::PlaceOptions blind;
+  blind.seed = 9;
+  blind.effort = 0.3;
+  const place::Placement start = place::place(packed, grid, blind);
+
+  auto thermal_term = [&](const place::Placement& pl) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < pl.pos.size(); ++i) {
+      s += field.block_power_w[i] *
+           field.dpeak_dp_k_per_w[static_cast<std::size_t>(grid.index_of(pl.pos[i]))];
+    }
+    return s;
+  };
+
+  // Greedy descent under a weight that makes any thermal regression cost
+  // more than every possible wirelength gain: the predicted peak term can
+  // only go down (or stay, via thermally neutral wirelength moves).
+  const place::Placement refined =
+      place::refine_placement(packed, grid, start, field, {});
+  EXPECT_LE(thermal_term(refined), thermal_term(start) + 1e-12);
+  EXPECT_LT(thermal_term(refined), thermal_term(start));
+}
+
+// ---------- refinement invariants ----------
+
+TEST(Refine, DescendsComposedCostDeterministicallyAndStaysLegal) {
+  const pack::PackedNetlist packed = make_packed(30, 80, 5, 37);
+  const arch::FpgaGrid grid = arch::FpgaGrid::fit(30, 0, 0);
+  const place::Placement start = place::place(packed, grid, {});
+  const place::ThermalField field = make_field(grid, packed, 1e6, 41);
+
+  auto composed = [&](const place::Placement& pl) {
+    double s = place::wirelength_cost(packed, pl);
+    for (std::size_t i = 0; i < pl.pos.size(); ++i) {
+      s += field.weight * field.block_power_w[i] *
+           field.dpeak_dp_k_per_w[static_cast<std::size_t>(grid.index_of(pl.pos[i]))];
+    }
+    return s;
+  };
+
+  place::RefineOptions opt;
+  opt.seed = 3;
+  place::RefineStats stats;
+  const place::Placement refined =
+      place::refine_placement(packed, grid, start, field, opt, &stats);
+
+  // Near-greedy descent: the composed cost never goes up.
+  EXPECT_LE(composed(refined), composed(start));
+  EXPECT_GT(stats.moves, 0);
+  EXPECT_GE(stats.moves, stats.accepted);
+
+  // Determinism: same inputs, same placement, move for move.
+  place::RefineStats stats2;
+  const place::Placement again =
+      place::refine_placement(packed, grid, start, field, opt, &stats2);
+  ASSERT_EQ(again.pos.size(), refined.pos.size());
+  for (std::size_t i = 0; i < refined.pos.size(); ++i) {
+    EXPECT_EQ(again.pos[i], refined.pos[i]) << "block " << i;
+  }
+  EXPECT_EQ(stats2.moves, stats.moves);
+  EXPECT_EQ(stats2.accepted, stats.accepted);
+
+  // Legality: every block on a tile of its kind, one CLB per tile.
+  std::map<std::pair<int, int>, int> occupancy;
+  for (std::size_t i = 0; i < refined.pos.size(); ++i) {
+    const arch::TilePos p = refined.pos[i];
+    ASSERT_GE(p.x, 0);
+    ASSERT_LT(p.x, grid.width());
+    ASSERT_GE(p.y, 0);
+    ASSERT_LT(p.y, grid.height());
+    EXPECT_EQ(grid.at(p), arch::TileKind::Clb) << "block " << i;
+    EXPECT_EQ(++occupancy[std::make_pair(p.x, p.y)], 1)
+        << "tile (" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST(Refine, ZeroRoundsReturnsStartUnchanged) {
+  const pack::PackedNetlist packed = make_packed(12, 20, 4, 43);
+  const arch::FpgaGrid grid = arch::FpgaGrid::fit(12, 0, 0);
+  const place::Placement start = place::place(packed, grid, {});
+  const place::ThermalField field = make_field(grid, packed, 1e6, 47);
+
+  place::RefineOptions opt;
+  opt.max_rounds = 0;
+  place::RefineStats stats;
+  const place::Placement out =
+      place::refine_placement(packed, grid, start, field, opt, &stats);
+  EXPECT_EQ(stats.moves, 0);
+  ASSERT_EQ(out.pos.size(), start.pos.size());
+  for (std::size_t i = 0; i < start.pos.size(); ++i) {
+    EXPECT_EQ(out.pos[i], start.pos[i]) << "block " << i;
+  }
+}
+
+}  // namespace

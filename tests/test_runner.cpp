@@ -261,6 +261,8 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   m.thermal_precond_iters = 21;
   m.transient_steps = 64;
   m.transient_cg_iters = 512;
+  m.thermal_adjoint_solves = 2;
+  m.replace_moves = 4096;
   m.guardband_nonconverged = 1;
   m.phases.add(core::FlowPhase::Thermal, 0.125);
   report.tasks.push_back(m);
@@ -278,6 +280,8 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
   EXPECT_NE(json.find("\"thermal_precond_iters\": 21"), std::string::npos);
   EXPECT_NE(json.find("\"transient_steps\": 64"), std::string::npos);
   EXPECT_NE(json.find("\"transient_cg_iters\": 512"), std::string::npos);
+  EXPECT_NE(json.find("\"thermal_adjoint_solves\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"replace_moves\": 4096"), std::string::npos);
   EXPECT_NE(json.find("\"guardband_nonconverged\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"thermal\":0.125000"), std::string::npos);
   EXPECT_NE(json.find("\"scalars\": {\"throughput_qps\": 1234.500000, "
@@ -290,13 +294,13 @@ TEST(Metrics, ReportSerializesJsonAndCsv) {
                      "sta_edges_reevaluated,sta_delay_cache_hits,"
                      "thermal_cg_iters,thermal_precond_iters,"
                      "transient_steps,transient_cg_iters,"
+                     "thermal_adjoint_solves,replace_moves,"
                      "guardband_nonconverged,"
                      "disk_hits,disk_misses,disk_writes,pack_s"),
             std::string::npos);
-  EXPECT_NE(
-      csv.find(
-          "sha@D25/amb70,guardband,0.250000,3,120,118,120,450,9000,37,21,64,512,1,0,0,0"),
-      std::string::npos);
+  EXPECT_NE(csv.find("sha@D25/amb70,guardband,0.250000,3,120,118,120,450,9000,37,21,"
+                     "64,512,2,4096,1,0,0,0"),
+            std::string::npos);
   EXPECT_NE(csv.find("scalar,throughput_qps,1234.500000"), std::string::npos);
   EXPECT_NE(csv.find("scalar,latency_p99_ms,0.250000"), std::string::npos);
 }

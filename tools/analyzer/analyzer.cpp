@@ -32,6 +32,7 @@ const std::vector<std::string>& all_rules() {
       "unit-typed-api",    "printf-sized-int",      "header-using-ns",
       "env-through-util",  "banned-identifier",     "raw-serialization",
       "thermal-backend-seam", "service-socket-seam", "trace-codec-seam",
+      "place-cost-seam",
       "lock-order-cycle",  "blocking-while-locked", "unordered-iteration",
       "wall-clock",        "raw-random",            "pointer-keyed-container",
   };

@@ -1,7 +1,7 @@
 #pragma once
 // taf-analyze — compiled static-analysis gate for the TAF tree.
 //
-// Fifteen rules over the shared lexer (lexer.hpp): the nine seam rules
+// Sixteen rules over the shared lexer (lexer.hpp): the ten seam rules
 // ported char-for-char from tools/taf-lint (the Python tool stays as a
 // differential oracle), plus two families the regex linter cannot
 // express — lock discipline (lock-order-cycle, blocking-while-locked)

@@ -7,7 +7,7 @@
 // From the same pass it derives a "stripped" view of the text — comments
 // and literal *contents* blanked to spaces, quotes and newlines kept —
 // with exactly the semantics of taf-lint's (fixed) strip_comments, so the
-// nine ported seam rules can run char-level scans that agree with the
+// ten ported seam rules can run char-level scans that agree with the
 // Python oracle byte for byte. Token-level rules (lock discipline,
 // determinism) walk `tokens` instead. DESIGN.md section 14.
 

@@ -1,4 +1,4 @@
-// The nine taf-lint seam rules, ported char-level onto the shared lexer's
+// The ten taf-lint seam rules, ported char-level onto the shared lexer's
 // stripped view (and the raw text where the Python tool scans raw text).
 // Fidelity contract: on the live tree these ports agree finding-for-finding
 // with tools/taf-lint (the migration test diffs both tools' --no-suppress
@@ -646,6 +646,48 @@ void check_trace_codec_seam(const LexedFile& f, std::vector<Finding>& out) {
   }
 }
 
+// ------------------------------------------------------- place-cost-seam
+
+const char* kPlaceCostSeamMsg =
+    "placer cost-model internals reached around the src/place/ seam; "
+    "compose costs via PlaceOptions::thermal / refine_placement "
+    "instead of touching CostModel directly";
+
+void check_place_cost_seam(const LexedFile& f, std::vector<Finding>& out) {
+  if (starts_with(f.path, "src/place/")) return;
+  const std::string& text = f.text;
+  const char* inc = "\"place/cost_model.hpp\"";
+  for (std::size_t p = text.find(inc); p != std::string::npos;
+       p = text.find(inc, p + 1)) {
+    std::size_t start = 0;
+    if (!include_directive_before(text, p, &start)) continue;
+    out.push_back({f.path, line_of(text, start), "place-cost-seam", kPlaceCostSeamMsg});
+  }
+  const std::string& clean = f.stripped;
+  // \b(?:CostModel|NetBox|q_factor)\b — alternatives tried in order at each
+  // position; the Python scan is non-overlapping, so resume after a match.
+  static const std::array<const char*, 3> kIdents = {"CostModel", "NetBox",
+                                                     "q_factor"};
+  std::size_t i = 0;
+  while (i < clean.size()) {
+    if (!ident_start(clean[i]) || (i > 0 && word_char(clean[i - 1]))) {
+      ++i;
+      continue;
+    }
+    bool matched = false;
+    for (const char* id : kIdents) {
+      const std::size_t len = std::strlen(id);
+      if (clean.compare(i, len, id) != 0) continue;
+      if (i + len < clean.size() && word_char(clean[i + len])) continue;
+      out.push_back({f.path, line_of(clean, i), "place-cost-seam", kPlaceCostSeamMsg});
+      i += len;  // non-overlapping: resume after the matched identifier
+      matched = true;
+      break;
+    }
+    if (!matched) ++i;
+  }
+}
+
 }  // namespace
 
 void run_seam_rules(const LexedFile& f, const std::vector<std::string>& rules,
@@ -659,6 +701,7 @@ void run_seam_rules(const LexedFile& f, const std::vector<std::string>& rules,
   if (want(rules, "thermal-backend-seam")) check_thermal_backend_seam(f, findings);
   if (want(rules, "service-socket-seam")) check_service_socket_seam(f, findings);
   if (want(rules, "trace-codec-seam")) check_trace_codec_seam(f, findings);
+  if (want(rules, "place-cost-seam")) check_place_cost_seam(f, findings);
 }
 
 }  // namespace taf::analyze
